@@ -1,0 +1,42 @@
+"""Benchmark configuration.
+
+Scale selection: set ``REPRO_SCALE`` to ``ci`` (fast sanity), ``bench``
+(default: STIC at paper scale, DCO trimmed) or ``paper`` (full 1.2 TB DCO
+columns; minutes of wall time per figure).
+
+Each benchmark runs its experiment exactly once (``pedantic``): the
+measured quantity is the wall time of regenerating the figure, and the
+figure's paper-vs-measured table is printed to the terminal (run with
+``-s`` to see them inline) and collected into ``benchmarks/last_run.md``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+_REPORTS: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "bench")
+
+
+@pytest.fixture
+def record_report():
+    def _record(report) -> None:
+        text = report.render()
+        print("\n" + text)
+        _REPORTS.append(text)
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _REPORTS:
+        out = Path(__file__).parent / "last_run.md"
+        body = "\n\n".join(f"```\n{text}\n```" for text in _REPORTS)
+        out.write_text("# Regenerated figures (last benchmark run)\n\n"
+                       + body + "\n")
+    del session, exitstatus

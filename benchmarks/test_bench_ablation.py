@@ -1,0 +1,158 @@
+"""Ablation benches for the design choices called out in DESIGN.md §5.
+
+These do not correspond to a paper figure; they probe the knobs that drive
+the reproduced shapes: the disk seek-penalty model (hot-spot magnitude),
+splitting vs the §IV-B2 spread-output alternative, the hybrid replication
+interval, and the failure-detection timeout.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentReport
+from repro.cluster import presets
+from repro.core import strategies
+from repro.core.middleware import run_chain
+from repro.workloads.chain import build_chain
+
+MB = 1 << 20
+
+
+def small_chain(n_jobs=4):
+    return build_chain(n_jobs=n_jobs, per_node_input=512 * MB,
+                       block_size=64 * MB)
+
+
+def test_disk_penalty_sweep(benchmark, scale, record_report):
+    """The seek penalty drives the hot-spot: with no penalty, NO-SPLIT's
+    recomputation mappers are barely slower; with it, they balloon."""
+    def run_sweep():
+        report = ExperimentReport(
+            "Ablation A", "disk concurrency penalty vs hot-spot magnitude")
+        for alpha in (0.0, 0.25, 0.5, 1.0):
+            node = dataclasses.replace(
+                presets.tiny(8, (2, 2)).node, disk_concurrency_penalty=alpha)
+            cluster = dataclasses.replace(presets.tiny(8, (2, 2)), node=node)
+            result = run_chain(cluster, strategies.RCMP_NOSPLIT,
+                               chain=small_chain(), failures="4")
+            mappers = result.metrics.mapper_durations(("recompute", "rerun"))
+            report.add(f"alpha={alpha}: median recomp mapper (s)",
+                       float(np.median(mappers)))
+        return report
+
+    report = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record_report(report)
+    values = [c.measured for c in report.rows]
+    assert values[0] < values[-1]  # contention model is load-bearing
+    assert all(a <= b + 1e-6 for a, b in zip(values, values[1:]))
+
+
+def test_split_vs_spread(benchmark, scale, record_report):
+    """§IV-B2: spreading reducer output mitigates the next job's hot-spot
+    but, unlike splitting, does not parallelize the reducer itself."""
+    def run_compare():
+        report = ExperimentReport(
+            "Ablation B", "reducer splitting vs spread-output alternative")
+        chain = small_chain()
+        for name, strategy in (("SPLIT", strategies.RCMP),
+                               ("SPREAD", strategies.RCMP_SPREAD),
+                               ("NEITHER", strategies.RCMP_NOSPLIT)):
+            result = run_chain(presets.tiny(8, (2, 2)), strategy,
+                               chain=chain, failures="4")
+            report.add(f"{name}: total runtime (s)", result.total_runtime)
+            reducers = result.metrics.reducer_durations(("recompute",))
+            if reducers.size:
+                report.add(f"{name}: mean recomp reducer (s)",
+                           float(reducers.mean()))
+        return report
+
+    report = benchmark.pedantic(run_compare, rounds=1, iterations=1)
+    record_report(report)
+    rows = {c.label: c.measured for c in report.rows}
+    # splitting divides the reducer work; spreading does not
+    assert rows["SPLIT: mean recomp reducer (s)"] < \
+        rows["SPREAD: mean recomp reducer (s)"]
+    # both beat doing neither on total runtime
+    assert rows["SPLIT: total runtime (s)"] <= \
+        rows["NEITHER: total runtime (s)"] + 1.0
+
+
+def test_hybrid_interval_sweep(benchmark, scale, record_report):
+    """§IV-C: smaller replication intervals bound the cascade but tax the
+    failure-free portion of the run."""
+    def run_sweep():
+        report = ExperimentReport(
+            "Ablation C", "hybrid replication interval (failure at job 6)")
+        chain = small_chain(n_jobs=6)
+        for k in (0, 4, 2, 1):
+            strategy = strategies.RCMP if k == 0 \
+                else strategies.rcmp(hybrid_interval=k)
+            result = run_chain(presets.tiny(6), strategy, chain=chain,
+                               failures="6")
+            recomputed = len(result.metrics.jobs_of_kind("recompute"))
+            report.add(f"k={k or 'off'}: runtime (s)", result.total_runtime)
+            report.add(f"k={k or 'off'}: jobs recomputed", float(recomputed))
+        return report
+
+    report = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record_report(report)
+    rows = {c.label: c.measured for c in report.rows}
+    # cascade depth shrinks monotonically with the interval
+    assert rows["k=off: jobs recomputed"] >= rows["k=4: jobs recomputed"] \
+        >= rows["k=2: jobs recomputed"] >= rows["k=1: jobs recomputed"]
+
+
+def test_detection_timeout(benchmark, scale, record_report):
+    """The ~45 s reaction overhead the paper calls 'pure overhead' scales
+    directly with the detection timeout."""
+    def run_sweep():
+        report = ExperimentReport(
+            "Ablation D", "failure-detection timeout vs recovery cost")
+        chain = small_chain()
+        for timeout in (5.0, 30.0, 90.0):
+            spec = dataclasses.replace(presets.tiny(6),
+                                       failure_detection_timeout=timeout)
+            result = run_chain(spec, strategies.RCMP, chain=chain,
+                               failures="4")
+            report.add(f"timeout={timeout:.0f}s: runtime (s)",
+                       result.total_runtime)
+        return report
+
+    report = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record_report(report)
+    values = [c.measured for c in report.rows]
+    assert values[0] < values[1] < values[2]
+
+
+def test_persisted_storage_tradeoff(benchmark, scale, record_report):
+    """§IV-A: RCMP trades storage for recomputation speed.  Quantify the
+    persisted-output footprint against the recomputation benefit it buys
+    (vs recomputing with map reuse disabled)."""
+    def run_compare():
+        report = ExperimentReport(
+            "Ablation E", "persisted map outputs: storage vs speed-up")
+        chain = small_chain(n_jobs=5)
+        reuse = run_chain(presets.tiny(6), strategies.RCMP, chain=chain,
+                          failures="5")
+        no_reuse = dataclasses.replace(strategies.RCMP,
+                                       reuse_map_outputs=False)
+        cold = run_chain(presets.tiny(6), no_reuse, chain=chain,
+                         failures="5")
+        report.add("persisted bytes at end (GB)",
+                   reuse.persisted_bytes / (1 << 30))
+        report.add("recompute mean w/ reuse (s)",
+                   float(reuse.metrics.job_durations("recompute").mean()))
+        report.add("recompute mean w/o reuse (s)",
+                   float(cold.metrics.job_durations("recompute").mean()))
+        report.add("total runtime w/ reuse (s)", reuse.total_runtime)
+        report.add("total runtime w/o reuse (s)", cold.total_runtime)
+        return report
+
+    report = benchmark.pedantic(run_compare, rounds=1, iterations=1)
+    record_report(report)
+    rows = {c.label: c.measured for c in report.rows}
+    # the persisted data is what makes recomputation runs cheap
+    assert rows["recompute mean w/ reuse (s)"] < \
+        rows["recompute mean w/o reuse (s)"]
+    assert rows["persisted bytes at end (GB)"] > 0

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 10 (chain-length extrapolation)."""
+
+
+def test_fig10_chain_length_extrapolation(benchmark, scale, record_report):
+    from repro.experiments import fig10
+
+    report = benchmark.pedantic(lambda: fig10.run(scale), rounds=1,
+                                iterations=1)
+    record_report(report)
+    rows = {c.label: c.measured for c in report.rows}
+
+    for name in ("HADOOP REPL-2", "HADOOP REPL-3"):
+        l10 = rows[f"{name} slowdown @ L=10"]
+        l100 = rows[f"{name} slowdown @ L=100"]
+        spread = rows[f"{name} spread over L (max-min)"]
+        # RCMP wins at every chain length ...
+        assert l10 > 1.0 and l100 > 1.0
+        # ... and its relative benefit is stable in chain length
+        assert spread < 0.25 * max(l10, l100)
+    # REPL-3's overhead exceeds REPL-2's at every length
+    assert rows["HADOOP REPL-3 slowdown @ L=50"] > \
+        rows["HADOOP REPL-2 slowdown @ L=50"]

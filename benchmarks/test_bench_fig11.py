@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 11 (recomputation speed-up vs cluster size)."""
+
+
+def test_fig11_speedup_vs_nodes(benchmark, scale, record_report):
+    from repro.experiments import fig11
+
+    report = benchmark.pedantic(lambda: fig11.run(scale), rounds=1,
+                                iterations=1)
+    record_report(report)
+    rows = {c.label: c.measured for c in report.rows}
+    counts = sorted({int(label.split()[0][2:]) for label in rows})
+
+    split = [rows[f"N={n} RCMP SPLIT"] for n in counts]
+    nosplit = [rows[f"N={n} RCMP NO-SPLIT"] for n in counts]
+
+    # splitting always beats no-split
+    for s, ns in zip(split, nosplit):
+        assert s > ns
+
+    if len(counts) >= 2:
+        # SPLIT's speed-up grows strongly with the node count ...
+        assert split[-1] > split[0] * 1.3
+        # ... while NO-SPLIT stays nearly flat (one node still recomputes
+        # the whole lost reducer)
+        assert nosplit[-1] < nosplit[0] * 1.6

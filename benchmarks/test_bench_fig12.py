@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig. 12 (hot-spot mapper-time CDFs)."""
+
+
+def test_fig12_hotspot_cdfs(benchmark, scale, record_report):
+    from repro.experiments import fig12
+
+    report = benchmark.pedantic(lambda: fig12.run(scale), rounds=1,
+                                iterations=1)
+    record_report(report)
+    rows = {c.label: c.measured for c in report.rows}
+
+    med_split = rows["median recomputation mapper, SPLIT-8 (s)"]
+    med_nosplit = rows["median recomputation mapper, NO-SPLIT (s)"]
+    p90_split = rows["p90 recomputation mapper, SPLIT-8 (s)"]
+    p90_nosplit = rows["p90 recomputation mapper, NO-SPLIT (s)"]
+
+    if scale != "ci":
+        # the hot-spot: NO-SPLIT's mapper distribution sits far right of
+        # SPLIT's (paper: whole CDF shifted, tail reaching ~80 s)
+        assert med_nosplit > med_split * 1.5
+        assert p90_nosplit > med_nosplit  # contention spreads the tail
+        # reducer medians improve with splitting (paper: 103 s -> 53 s)
+        red_split = rows["median recomputation reducer, SPLIT (s)"]
+        red_nosplit = rows["median recomputation reducer, NOSPLIT (s)"]
+        assert red_nosplit > red_split * 1.4
+    else:
+        assert med_nosplit >= med_split * 0.95
+    del p90_split

@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 13 (speed-up vs reducer waves)."""
+
+
+def test_fig13_reducer_wave_speedup(benchmark, scale, record_report):
+    from repro.experiments import fig13
+
+    report = benchmark.pedantic(lambda: fig13.run(scale), rounds=1,
+                                iterations=1)
+    record_report(report)
+    rows = {c.label: c.measured for c in report.rows}
+
+    fast = [rows[f"FAST SHUFFLE waves {w}:1"] for w in fig13.WAVE_RATIOS]
+    slow = [rows[f"SLOW SHUFFLE waves {w}:1"] for w in fig13.WAVE_RATIOS]
+
+    if scale == "ci":
+        assert all(v > 0 for v in fast + slow)
+        return
+    # speed-up grows with the wave ratio under both networks
+    assert fast[0] < fast[1] < fast[2]
+    assert slow[0] < slow[1] < slow[2]
+    # SLOW scales ~linearly: 4:1 gains at least ~2.7x over 1:1 ...
+    assert slow[2] / slow[0] > 2.5
+    # ... while FAST is sub-linear relative to SLOW at 4:1 (its first
+    # initial wave overlaps the map phase and dominates)
+    assert fast[2] / fast[0] < slow[2] / slow[0]

@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 14 (speed-up vs mapper waves)."""
+
+
+def test_fig14_mapper_wave_speedup(benchmark, scale, record_report):
+    from repro.experiments import fig14
+
+    report = benchmark.pedantic(lambda: fig14.run(scale), rounds=1,
+                                iterations=1)
+    record_report(report)
+    rows = {c.label: c.measured for c in report.rows}
+
+    if scale == "ci":
+        assert all(v > 0 for v in rows.values())
+        return
+
+    points = fig14.WAVE_POINTS
+    fast = [rows[f"FAST SHUFFLE {w} mapper waves"] for w in points]
+    slow = [rows[f"SLOW SHUFFLE {w} mapper waves"] for w in points]
+
+    # FAST: fewer recomputed mapper waves -> near-linear speed-up growth
+    assert fast[0] > fast[-1] * 1.4
+    # SLOW: the bottlenecked shuffle hides the map phase, so the curve is
+    # nearly flat in mapper waves
+    assert slow[0] < slow[-1] * 1.25
+    # and FAST's spread exceeds SLOW's
+    assert (fast[0] - fast[-1]) > (slow[0] - slow[-1])

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 2 (failures-per-day CDFs)."""
+
+
+def test_fig2_failure_trace_cdf(benchmark, scale, record_report):
+    from repro.experiments import fig2
+
+    report = benchmark.pedantic(lambda: fig2.run(scale), rounds=1,
+                                iterations=1)
+    record_report(report)
+    rows = {c.label: c for c in report.rows}
+    stic = rows["STIC: CDF at 0 failures/day (%)"]
+    sugar = rows["SUG@R: CDF at 0 failures/day (%)"]
+    # shape: most days see no failures, matching §III-A's 17% / 12%
+    assert abs(stic.measured - stic.paper) < 4.0
+    assert abs(sugar.measured - sugar.paper) < 4.0
+    assert sugar.measured > stic.measured  # SUG@R fails less often

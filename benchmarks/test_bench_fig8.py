@@ -1,0 +1,46 @@
+"""Bench: regenerate Fig. 8 (overall comparison, slowdown factors).
+
+Shape assertions follow the paper's findings, not its absolute numbers:
+replication pays on every failure-free run (REPL-2 < REPL-3, both slower
+than RCMP); under single failures RCMP stays fastest-or-comparable; the
+SPLIT vs NO-SPLIT gap is larger for the late failure; OPTIMISTIC collapses
+when the failure is late.
+"""
+
+
+def rows_by_prefix(report, prefix):
+    return {c.label: c.measured for c in report.rows
+            if c.label.startswith(prefix)}
+
+
+def test_fig8_overall_comparison(benchmark, scale, record_report):
+    from repro.experiments import fig8
+
+    report = benchmark.pedantic(lambda: fig8.run(scale), rounds=1,
+                                iterations=1)
+    record_report(report)
+
+    for bed in ("STIC 1-1", "STIC 2-2"):
+        a = rows_by_prefix(report, f"8a [{bed}]")
+        # 8a: replication strictly ordered, RCMP/OPTIMISTIC at 1.0
+        assert a[f"8a [{bed}] RCMP SPLIT"] <= 1.02
+        assert a[f"8a [{bed}] OPTIMISTIC"] <= 1.05
+        assert 1.1 < a[f"8a [{bed}] HADOOP REPL-2"] \
+            < a[f"8a [{bed}] HADOOP REPL-3"] <= 2.3
+
+        # 8c: OPTIMISTIC is the big loser on a late failure
+        c = rows_by_prefix(report, f"8c [{bed}]")
+        assert c[f"8c [{bed}] OPTIMISTIC"] > 1.5
+        # RCMP SPLIT within ~15% of the fastest strategy even under failure
+        assert c[f"8c [{bed}] RCMP SPLIT"] <= 1.15
+        # splitting never hurts
+        assert c[f"8c [{bed}] RCMP SPLIT"] <= \
+            c[f"8c [{bed}] RCMP NO-SPLIT"] + 0.02
+
+    # the SPLIT/NO-SPLIT gap grows from 8b (1 recomputation) to 8c (6)
+    for bed in ("STIC 1-1",):
+        b = rows_by_prefix(report, f"8b [{bed}]")
+        c = rows_by_prefix(report, f"8c [{bed}]")
+        gap_b = b[f"8b [{bed}] RCMP NO-SPLIT"] - b[f"8b [{bed}] RCMP SPLIT"]
+        gap_c = c[f"8c [{bed}] RCMP NO-SPLIT"] - c[f"8c [{bed}] RCMP SPLIT"]
+        assert gap_c >= gap_b - 0.02

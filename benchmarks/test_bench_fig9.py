@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 9 (double failures, RCMP vs REPL-3)."""
+
+
+def test_fig9_double_failures(benchmark, scale, record_report):
+    from repro.experiments import fig9
+
+    report = benchmark.pedantic(lambda: fig9.run(scale), rounds=1,
+                                iterations=1)
+    record_report(report)
+    rows = {c.label: c for c in report.rows}
+
+    for case in fig9.CASES:
+        s8 = rows[f"FAIL {case} RCMP S8"]
+        repl3 = rows[f"FAIL {case} HADOOP REPL-3"]
+        # everything completed (incl. the nested FAIL 4,7)
+        assert "FAILED" not in s8.note
+        assert "FAILED" not in repl3.note
+        # RCMP with splitting beats or matches REPL-3 in every case
+        assert s8.measured <= repl3.measured + 0.05, case
+
+    # splitting benefits FAIL 7,14 the most (most recomputations)
+    gap = {case: rows[f"FAIL {case} RCMP NO-SPLIT"].measured
+           - rows[f"FAIL {case} RCMP S8"].measured
+           for case in fig9.CASES}
+    assert gap["7,14"] >= max(gap["2,2"], gap["2,4"]) - 0.05

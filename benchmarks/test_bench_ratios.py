@@ -1,0 +1,18 @@
+"""Bench: the §V-A ratio prediction (no paper figure).
+
+"The relative benefits of RCMP vs Hadoop are expected to increase when the
+job output is relatively larger compared to the input and shuffle."
+"""
+
+
+def test_ratio_sweep_output_weight(benchmark, scale, record_report):
+    from repro.experiments import ratios
+
+    report = benchmark.pedantic(lambda: ratios.run(scale), rounds=1,
+                                iterations=1)
+    record_report(report)
+    values = [c.measured for c in report.rows]
+    # REPL-3's slowdown grows monotonically with the output weight
+    assert all(a < b for a, b in zip(values, values[1:]))
+    # and the output-heavy end clearly exceeds the paper's 1/1/1 band
+    assert values[-1] > values[1] * 1.15

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Recomputation on DAG-shaped computations (paper §I, §IV-A).
+
+The paper evaluates a linear chain, but its middleware is driven by
+user-supplied job dependencies and RCMP targets any DAG-of-jobs
+computation.  This example runs a diamond (fork/join) and a fan-out under
+failures and shows the cascade planner recomputing only the *ancestry* the
+interrupted job actually needs.
+"""
+
+from repro.cluster import presets
+from repro.core import strategies
+from repro.core.middleware import run_chain
+from repro.workloads import dag
+
+MB = 1 << 20
+
+
+def describe(result):
+    recomputed = [j.logical_index for j in
+                  result.metrics.jobs_of_kind("recompute")]
+    return (f"{result.total_runtime:7.1f}s, {result.jobs_started} jobs "
+            f"started, recomputed {recomputed or 'nothing'}")
+
+
+def main() -> None:
+    cluster = presets.tiny(5)
+
+    print("diamond: job1 -> {job2, job3} -> job4 (join)")
+    chain = dag.diamond(per_node_input=384 * MB, block_size=64 * MB)
+    clean = run_chain(cluster, strategies.RCMP, chain=chain)
+    print(f"  failure-free : {describe(clean)}")
+    failed = run_chain(cluster, strategies.RCMP, chain=chain, failures="4")
+    print(f"  fail @ join  : {describe(failed)}")
+    print("  -> the join's cascade covers its whole damaged ancestry "
+          "(jobs 1-3)\n")
+
+    print("fan-out: job1 -> {job2, job3, job4} (independent consumers)")
+    chain = dag.fan_out(k=3, per_node_input=384 * MB, block_size=64 * MB)
+    failed = run_chain(cluster, strategies.RCMP, chain=chain, failures="3")
+    print(f"  fail @ job3  : {describe(failed)}")
+    print("  -> sibling job2's lost output is NOT regenerated: no "
+          "downstream job needs it;\n     only the shared producer "
+          "(job 1) cascades — the paper's minimal-recomputation\n     "
+          "principle applied to a DAG.\n")
+
+    print("binary join tree, depth 2 (4 leaves, 3 joins), double failure")
+    chain = dag.binary_tree(depth=2, per_node_input=256 * MB,
+                            block_size=64 * MB)
+    failed = run_chain(cluster, strategies.RCMP, chain=chain,
+                       failures="6,8")
+    print(f"  FAIL 6,8     : {describe(failed)}")
+    assert failed.completed
+
+
+if __name__ == "__main__":
+    main()

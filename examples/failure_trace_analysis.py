@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Failure-trace analysis (paper §III-A, Fig. 2).
+
+Generates synthetic availability traces calibrated to the Rice STIC and
+SUG@R clusters, prints the failures-per-day CDF as ASCII, and then asks the
+paper's economic question: given how rare failure days are at moderate
+scale, what does always-on replication cost versus recomputing on the rare
+failure?
+"""
+
+import numpy as np
+
+from repro.cluster import presets
+from repro.cluster.traces import STIC_TRACE, SUGAR_TRACE, generate_trace
+from repro.core import strategies
+from repro.core.middleware import run_chain
+from repro.workloads.chain import build_chain
+
+MB = 1 << 20
+
+
+def ascii_series(x, f, width=48) -> str:
+    lines = []
+    for xi, fi in zip(x[:8], f[:8]):
+        bar = "#" * int((fi - 75) / 25 * width) if fi > 75 else ""
+        lines.append(f"    <= {int(xi):2d}/day: {fi:6.2f}%  |{bar}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    rng = np.random.default_rng(2014)
+    print("=== synthetic availability traces (calibrated to paper Fig. 2)")
+    for config in (STIC_TRACE, SUGAR_TRACE):
+        trace = generate_trace(config, rng)
+        x, f = trace.cdf()
+        print(f"\n{config.name}: {config.n_nodes} nodes, "
+              f"{config.n_days} days, "
+              f"{trace.failure_day_fraction * 100:.1f}% failure days, "
+              f"one failure day every "
+              f"{trace.mean_time_between_failure_days():.1f} days")
+        print(ascii_series(x, f))
+
+    print("\n=== what does always-on replication buy?")
+    cluster = presets.tiny(6)
+    chain = build_chain(n_jobs=5, per_node_input=384 * MB,
+                        block_size=64 * MB)
+    t_rcmp_clean = run_chain(cluster, strategies.RCMP,
+                             chain=chain).total_runtime
+    t_repl3_clean = run_chain(cluster, strategies.REPL3,
+                              chain=chain).total_runtime
+    t_rcmp_fail = run_chain(cluster, strategies.RCMP, chain=chain,
+                            failures="5").total_runtime
+    t_repl3_fail = run_chain(cluster, strategies.REPL3, chain=chain,
+                             failures="5").total_runtime
+    overhead = t_repl3_clean - t_rcmp_clean
+    penalty = max(0.0, t_rcmp_fail - t_repl3_fail)
+    print(f"  failure-free:   RCMP {t_rcmp_clean:7.1f}s   "
+          f"REPL-3 {t_repl3_clean:7.1f}s  "
+          f"(replication tax {overhead:+.1f}s per run)")
+    print(f"  with a failure: RCMP {t_rcmp_fail:7.1f}s   "
+          f"REPL-3 {t_repl3_fail:7.1f}s  "
+          f"(recomputation penalty {penalty:+.1f}s)")
+    if penalty > 0:
+        print(f"  -> replication only pays off if more than "
+              f"{overhead / penalty * 100:.0f}% of runs hit a failure; "
+              "the traces above show a few percent at most.")
+    else:
+        print("  -> here RCMP wins even in the failure case: replication "
+              "never pays off.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Hot-spot mitigation via reducer splitting (paper §IV-B2, Figs. 6 & 12).
+
+Without splitting, the single node that recomputed a lost reducer output
+becomes a hot-spot: in the next recomputed job, every recomputed mapper
+reads its input from that node's disk simultaneously (up to S*N concurrent
+accesses vs ~S in an initial run).  Reducer splitting spreads the
+regenerated data across all survivors, defusing the contention.
+
+This example prints the mapper running-time distribution during
+recomputation with and without splitting, plus an ASCII CDF.
+"""
+
+import numpy as np
+
+from repro.analysis.cdf import empirical_cdf, percentile
+from repro.cluster import presets
+from repro.core import strategies
+from repro.core.middleware import run_chain
+from repro.workloads.chain import build_chain
+
+MB = 1 << 20
+
+
+def run_variant(strategy):
+    cluster = presets.tiny(n_nodes=8, slots=(2, 2))
+    chain = build_chain(n_jobs=4, per_node_input=512 * MB,
+                        block_size=64 * MB)
+    result = run_chain(cluster, strategy, chain=chain, failures="4")
+    return result.metrics.mapper_durations(("recompute", "rerun"))
+
+
+def ascii_cdf(durations, width=50) -> str:
+    x, f = empirical_cdf(durations)
+    lines = []
+    for pct in (25, 50, 75, 90, 100):
+        value = percentile(durations, pct)
+        bar = "#" * int(value / x[-1] * width)
+        lines.append(f"    p{pct:<3d} {value:7.1f}s |{bar}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("mapper running times during recomputation (8 nodes, SLOTS 2-2)")
+    for name, strategy in (("RCMP SPLIT", strategies.RCMP),
+                           ("RCMP NO-SPLIT", strategies.RCMP_NOSPLIT)):
+        durations = run_variant(strategy)
+        print(f"\n{name}: {durations.size} recomputed mappers, "
+              f"median {np.median(durations):.1f}s, "
+              f"max {durations.max():.1f}s")
+        print(ascii_cdf(durations))
+    print("\nWithout splitting the regenerated partition lives on one "
+          "node, so every\nrecomputed mapper of the next job hammers that "
+          "disk at once — the paper's\nhot-spot (its Fig. 12 shows the "
+          "same rightward CDF shift).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Regenerate and plot the paper's figures in the terminal.
+
+Runs the CI-scale versions of a few experiments and renders them with the
+ASCII plotting helpers — a one-command tour of the reproduction.  Use
+``rcmp-repro <fig> --scale bench`` for the paper-scale numbers.
+"""
+
+from repro.analysis.plotting import bar_chart, cdf_plot, line_plot
+from repro.experiments import fig2, fig10, fig12, ratios
+from repro.experiments.fig10 import CHAIN_LENGTHS
+
+
+def main() -> None:
+    print(line_plot(fig2.series("ci", seed=1),
+                    title="Fig. 2: CDF of new failures per day",
+                    x_label="new failures per day"))
+    print()
+
+    curves = fig10.curves("ci")
+    print(line_plot({k: (list(CHAIN_LENGTHS), list(v))
+                     for k, v in curves.items()},
+                    title="Fig. 10: slowdown vs chain length "
+                          "(failure at job 2)",
+                    x_label="chain length (jobs)"))
+    print()
+
+    data = fig12.mapper_cdf_data("ci")
+    print(cdf_plot({"SPLIT": data["split"]["mappers"],
+                    "NO-SPLIT": data["nosplit"]["mappers"]},
+                   title="Fig. 12: recomputation mapper running times",
+                   x_label="mapper duration (s)"))
+    print()
+
+    report = ratios.run("ci")
+    print(bar_chart({c.label.split(":")[0]: c.measured
+                     for c in report.rows},
+                    unit="x",
+                    title="REPL-3 / RCMP failure-free slowdown vs "
+                          "output weight (§V-A)"))
+    print("\n(all CI scale; run `rcmp-repro all --scale bench` for the "
+          "paper-scale tables)")
+
+
+if __name__ == "__main__":
+    main()

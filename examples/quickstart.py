@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: compare RCMP against replication on a small cluster.
+
+Runs the paper's core experiment in miniature: a 5-job I/O-intensive chain
+on a 6-node simulated cluster, failure-free and with a node failure late in
+the chain, under four failure-resilience strategies.
+"""
+
+from repro.cluster import presets
+from repro.core import strategies
+from repro.core.middleware import run_chain
+from repro.workloads.chain import build_chain
+
+MB = 1 << 20
+
+
+def main() -> None:
+    cluster = presets.tiny(n_nodes=6)
+    chain = build_chain(n_jobs=5, per_node_input=512 * MB,
+                        block_size=64 * MB)
+    contenders = (strategies.RCMP, strategies.RCMP_NOSPLIT,
+                  strategies.REPL2, strategies.REPL3,
+                  strategies.OPTIMISTIC)
+
+    print("=== failure-free ===")
+    baseline = {}
+    for strategy in contenders:
+        result = run_chain(cluster, strategy, chain=chain)
+        baseline[strategy.name] = result.total_runtime
+        print(f"  {strategy.name:16s} {result.total_runtime:8.1f}s "
+              f"({result.jobs_started} jobs)")
+    fastest = min(baseline.values())
+    print("  -> replication's cost is paid on *every* run: "
+          f"REPL-3 is {baseline['HADOOP REPL-3'] / fastest:.2f}x "
+          "the unreplicated runtime")
+
+    print("\n=== one node dies during job 5 (late failure) ===")
+    for strategy in contenders:
+        result = run_chain(cluster, strategy, chain=chain, failures="5")
+        recomputed = len(result.metrics.jobs_of_kind("recompute"))
+        print(f"  {strategy.name:16s} {result.total_runtime:8.1f}s "
+              f"({result.jobs_started} jobs, {recomputed} recomputations, "
+              f"killed node {result.killed_nodes})")
+    print("  -> RCMP recomputes only the lost 1/N of each prior job and")
+    print("     splits the lost reducers across all surviving nodes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Closed-form models, numerical analysis and reporting utilities."""
+
+from repro.analysis.cdf import empirical_cdf
+from repro.analysis.extrapolation import (
+    RunAverages,
+    extract_averages,
+    extrapolate_chain_length,
+    optimistic_runtime,
+)
+from repro.analysis.model import (
+    recomputation_waves,
+    recomputed_fraction,
+    storage_contention,
+    waves,
+)
+from repro.analysis.reporting import Comparison, format_table
+
+__all__ = [
+    "Comparison",
+    "RunAverages",
+    "empirical_cdf",
+    "extract_averages",
+    "extrapolate_chain_length",
+    "format_table",
+    "optimistic_runtime",
+    "recomputation_waves",
+    "recomputed_fraction",
+    "storage_contention",
+    "waves",
+]

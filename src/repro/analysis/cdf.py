@@ -1,0 +1,35 @@
+"""Empirical CDF utilities for Figs. 2 and 12."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def empirical_cdf(values, as_percent: bool = True
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(x, F)`` with ``F[i] = P(value <= x[i])``.
+
+    ``x`` is the sorted unique values; ``F`` is in percent by default
+    (matching the paper's CDF axes)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("empirical_cdf needs at least one value")
+    x = np.sort(np.unique(values))
+    counts = np.searchsorted(np.sort(values), x, side="right")
+    f = counts / values.size
+    return x, f * 100.0 if as_percent else f
+
+
+def cdf_at(values, points) -> np.ndarray:
+    """Evaluate the empirical CDF at arbitrary points (percent)."""
+    values = np.sort(np.asarray(values, dtype=float))
+    points = np.asarray(points, dtype=float)
+    return np.searchsorted(values, points, side="right") / values.size * 100.0
+
+
+def percentile(values, pct: float) -> float:
+    """Inverse CDF (inclusive), e.g. ``percentile(d, 50)`` is the median."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("percentile of empty data")
+    return float(np.percentile(values, pct, method="inverted_cdf"))

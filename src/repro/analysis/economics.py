@@ -1,0 +1,98 @@
+"""The replicate-vs-recompute economics of paper §III.
+
+The paper's argument against always-on replication has three parts:
+
+* failures are rare at moderate cluster scale (Fig. 2), so the *expected*
+  cost of recomputation is small;
+* replication's overhead is paid on every single run;
+* replication inflates provisioning: extra nodes/disks are needed to
+  sustain a given job-completion rate (§III-B).
+
+This module quantifies all three from measured chain runtimes and a
+failure-day probability, giving the break-even failure rate at which
+always-on replication starts to pay off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StrategyCosts:
+    """Measured runtimes of one strategy (seconds per chain execution)."""
+
+    name: str
+    runtime_clean: float
+    runtime_with_failure: float
+
+    def __post_init__(self) -> None:
+        if self.runtime_clean <= 0 or self.runtime_with_failure <= 0:
+            raise ValueError("runtimes must be positive")
+
+    def expected_runtime(self, failure_probability: float) -> float:
+        """Expected runtime when a run hits a failure with probability p."""
+        if not 0 <= failure_probability <= 1:
+            raise ValueError("failure_probability must be in [0, 1]")
+        p = failure_probability
+        return (1 - p) * self.runtime_clean + p * self.runtime_with_failure
+
+
+def break_even_failure_probability(recompute: StrategyCosts,
+                                   replicate: StrategyCosts) -> float:
+    """Failure probability p* above which the replication strategy has the
+    lower expected runtime.
+
+    Solves E_repl(p) = E_recomp(p).  Returns ``inf`` when recomputation
+    wins at every p (its failure-time penalty is smaller than replication's
+    standing overhead), and 0 when replication wins even failure-free.
+    """
+    # E(p) = clean + p * (failure - clean); equate and solve for p.
+    clean_gap = replicate.runtime_clean - recompute.runtime_clean
+    penalty_gap = ((recompute.runtime_with_failure
+                    - recompute.runtime_clean)
+                   - (replicate.runtime_with_failure
+                      - replicate.runtime_clean))
+    if penalty_gap <= 0:
+        # recomputation's failure penalty doesn't exceed replication's:
+        # recomputation wins everywhere iff it also wins failure-free
+        return float("inf") if clean_gap >= 0 else 0.0
+    p_star = clean_gap / penalty_gap
+    if p_star < 0:
+        return 0.0
+    return min(p_star, 1.0) if p_star <= 1.0 else float("inf")
+
+
+def provisioning_overhead(runtime_clean_repl: float,
+                          runtime_clean_rcmp: float) -> float:
+    """§III-B: the extra capacity needed to sustain a target job rate under
+    replication — the fraction of additional node-seconds consumed per
+    chain (0.65 means 65 % more cluster time per unit of work)."""
+    if runtime_clean_rcmp <= 0:
+        raise ValueError("baseline runtime must be positive")
+    return runtime_clean_repl / runtime_clean_rcmp - 1.0
+
+
+def runs_between_failures(failure_day_fraction: float,
+                          runs_per_day: float) -> float:
+    """Expected number of chain runs between failure *days* given a trace's
+    failure-day fraction (Fig. 2) and a cluster's daily job load."""
+    if not 0 < failure_day_fraction <= 1:
+        raise ValueError("failure_day_fraction must be in (0, 1]")
+    if runs_per_day <= 0:
+        raise ValueError("runs_per_day must be positive")
+    return runs_per_day / failure_day_fraction
+
+
+def expected_slowdown_table(strategies: list[StrategyCosts],
+                            failure_probabilities: list[float]
+                            ) -> dict[str, list[float]]:
+    """Expected-runtime matrix, normalized per-probability to the best
+    strategy — the §III trade-off at a glance."""
+    table: dict[str, list[float]] = {s.name: [] for s in strategies}
+    for p in failure_probabilities:
+        expected = {s.name: s.expected_runtime(p) for s in strategies}
+        best = min(expected.values())
+        for name, value in expected.items():
+            table[name].append(value / best)
+    return table

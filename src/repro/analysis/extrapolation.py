@@ -1,0 +1,121 @@
+"""Numerical analysis: OPTIMISTIC runtimes and the Fig. 10 extrapolation.
+
+The paper obtains OPTIMISTIC's numbers by numerical analysis, combining the
+average job running times before and after a failure measured from RCMP's
+(no-splitting) runs; and Fig. 10 extrapolates the 7-job measurements to
+chains of 10-100 jobs.  The extrapolation composes, per strategy, the
+measured per-job averages: jobs that ran with all N nodes before the
+failure, the wasted time of the job interrupted by the failure, the
+recomputation runs, and the jobs completed with N-1 survivors afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.middleware import ChainResult
+
+
+@dataclass(frozen=True)
+class RunAverages:
+    """Per-category averages extracted from one measured chain execution."""
+
+    #: average duration of initial-run jobs completed before the failure
+    #: (full cluster)
+    job_before: float
+    #: average duration of jobs completed after the failure (N-1 nodes);
+    #: falls back to job_before when the run had no failure
+    job_after: float
+    #: average duration of one recomputation run (0 when none occurred)
+    recompute: float
+    #: number of recomputation runs observed
+    n_recomputes: int
+    #: wasted time of the job interrupted by the failure (start to abort)
+    wasted: float
+
+
+def extract_averages(result: ChainResult) -> RunAverages:
+    """Pull the extrapolation inputs from one measured execution."""
+    metrics = result.metrics
+    fail_time = metrics.failures[0][0] if metrics.failures else float("inf")
+    before, after, wasted = [], [], 0.0
+    for job in metrics.jobs:
+        if job.outcome == "aborted":
+            wasted += (job.end or job.start) - job.start
+            continue
+        if job.kind == "recompute" or job.outcome != "done":
+            continue
+        if job.end is not None and job.end <= fail_time:
+            before.append(job.duration)
+        else:
+            after.append(job.duration)
+    recomputes = metrics.job_durations("recompute")
+    job_before = float(np.mean(before)) if before else float("nan")
+    job_after = float(np.mean(after)) if after else job_before
+    if not before:
+        job_before = job_after
+    return RunAverages(
+        job_before=job_before,
+        job_after=job_after,
+        recompute=float(recomputes.mean()) if recomputes.size else 0.0,
+        n_recomputes=int(recomputes.size),
+        wasted=wasted,
+    )
+
+
+def optimistic_runtime(averages: RunAverages, n_jobs: int,
+                       fail_at: int) -> float:
+    """OPTIMISTIC under a single failure at started-job ``fail_at``:
+    ``fail_at - 1`` full-cluster jobs, the wasted partial job, then the
+    entire chain again on N-1 nodes (the paper's §V-A analysis, built from
+    unreplicated per-job averages)."""
+    if not 1 <= fail_at <= n_jobs:
+        raise ValueError("fail_at must be within the chain")
+    return ((fail_at - 1) * averages.job_before
+            + averages.wasted
+            + n_jobs * averages.job_after)
+
+
+def rcmp_runtime(averages: RunAverages, n_jobs: int, fail_at: int) -> float:
+    """RCMP under a single failure at job ``fail_at`` of an ``n_jobs``
+    chain: full-cluster jobs before, the wasted partial job, one
+    recomputation run per prior job, then the rest on N-1 nodes."""
+    if not 1 <= fail_at <= n_jobs:
+        raise ValueError("fail_at must be within the chain")
+    return ((fail_at - 1) * averages.job_before
+            + averages.wasted
+            + (fail_at - 1) * averages.recompute
+            + (n_jobs - fail_at + 1) * averages.job_after)
+
+
+def hadoop_runtime(averages: RunAverages, n_jobs: int, fail_at: int) -> float:
+    """A replication baseline under the same failure: no recomputation;
+    the interrupted job's extra cost is folded into ``job_after`` measured
+    from the run that absorbed the failure.  ``wasted`` is 0 for Hadoop
+    (the job continues through the failure)."""
+    if not 1 <= fail_at <= n_jobs:
+        raise ValueError("fail_at must be within the chain")
+    return ((fail_at - 1) * averages.job_before
+            + averages.wasted
+            + (n_jobs - fail_at + 1) * averages.job_after)
+
+
+def extrapolate_chain_length(rcmp_avgs: RunAverages,
+                             baseline_avgs: dict[str, RunAverages],
+                             chain_lengths, fail_at: int = 2
+                             ) -> dict[str, np.ndarray]:
+    """Fig. 10: slowdown of each baseline relative to RCMP for longer
+    chains, a failure injected at job ``fail_at``.
+
+    Returns ``{name: slowdown_array}`` aligned with ``chain_lengths``."""
+    chain_lengths = np.asarray(list(chain_lengths), dtype=int)
+    rcmp = np.array([rcmp_runtime(rcmp_avgs, int(n), fail_at)
+                     for n in chain_lengths])
+    out: dict[str, np.ndarray] = {"RCMP": rcmp / rcmp}
+    for name, avgs in baseline_avgs.items():
+        base = np.array([hadoop_runtime(avgs, int(n), fail_at)
+                         for n in chain_lengths])
+        out[name] = base / rcmp
+    return out

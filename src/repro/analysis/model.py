@@ -1,0 +1,70 @@
+"""Closed-form model of the recomputation arithmetic (paper §IV).
+
+The paper's illustration model: N compute nodes, S mapper and S reducer
+slots each, WM waves of mappers and WR waves of reducers per node, balanced
+work.  After a single node failure RCMP recomputes 1/N of the mappers and
+1/N of the reducers (and 1/N of the shuffle traffic); with splitting over
+the N-1 survivors the recomputed mappers take ceil(WM/(N-1)) waves instead
+of WM.
+
+These formulas cross-validate the simulator in tests and drive the Fig. 10
+extrapolation.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def waves(n_tasks: int, n_nodes: int, slots: int) -> int:
+    """Waves needed to run ``n_tasks`` over ``n_nodes`` with ``slots``
+    concurrent tasks per node."""
+    if min(n_tasks, n_nodes, slots) < 0 or n_nodes == 0 or slots == 0:
+        raise ValueError("invalid wave arithmetic inputs")
+    return math.ceil(n_tasks / (n_nodes * slots))
+
+
+def recomputation_waves(wm: int, n_nodes: int) -> int:
+    """§IV-B: tasks worth WM waves on one node, recomputed over the N-1
+    survivors: ceil((WM*S) / ((N-1)*S)) = ceil(WM / (N-1))."""
+    if wm < 0 or n_nodes < 2:
+        raise ValueError("need wm >= 0 and at least 2 nodes")
+    return math.ceil(wm / (n_nodes - 1))
+
+
+def recomputed_fraction(n_nodes: int, n_failures: int = 1) -> float:
+    """Fraction of a job's tasks (and shuffle traffic) RCMP recomputes
+    after ``n_failures`` distinct node losses (balanced layout)."""
+    if not 0 <= n_failures <= n_nodes:
+        raise ValueError("0 <= n_failures <= n_nodes required")
+    return n_failures / n_nodes
+
+
+def storage_contention(slots: int, n_nodes: int,
+                       split: bool) -> tuple[int, int]:
+    """§IV-B2: (initial-run, recomputation) concurrent mapper accesses on
+    one storage location.  Initial runs see ~S concurrent accesses; an
+    unsplit recomputation concentrates up to S*N accesses on the single
+    node holding the regenerated data; splitting spreads the data so the
+    per-node access count returns to ~S."""
+    initial = slots
+    recomputation = slots if split else slots * n_nodes
+    return initial, recomputation
+
+
+def ideal_split_speedup(n_nodes: int) -> float:
+    """Upper bound on the reduce-phase recomputation speed-up from
+    splitting: the lost reducer's work is divided over N-1 survivors
+    instead of one node."""
+    if n_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    return float(n_nodes - 1)
+
+
+def replication_disk_bytes(replication: int) -> float:
+    """Relative per-input-byte disk traffic of one 1/1/1 job: read input,
+    write map output, serve + spill shuffle, merge, write r output copies.
+    Used to sanity-check the simulator's failure-free ordering."""
+    if replication < 1:
+        raise ValueError("replication must be >= 1")
+    return 5.0 + replication

@@ -1,0 +1,100 @@
+"""Dependency-free ASCII plotting for experiment series.
+
+The experiment modules expose raw series (``fig2.series()``,
+``fig10.curves()``, ``fig12.mapper_cdf_data()``); these helpers render them
+as terminal plots so the repository can show every figure without a
+graphics stack.  Used by the CLI's ``--plot`` flag and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+#: glyphs assigned to series in insertion order
+GLYPHS = "ox+*#@%&"
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, cells: int
+           ) -> np.ndarray:
+    if hi <= lo:
+        return np.zeros(len(values), dtype=int)
+    pos = (values - lo) / (hi - lo) * (cells - 1)
+    return np.clip(np.round(pos).astype(int), 0, cells - 1)
+
+
+def line_plot(series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+              width: int = 64, height: int = 18, title: str = "",
+              x_label: str = "", y_label: str = "") -> str:
+    """Render ``{name: (x, y)}`` as an ASCII scatter/line plot."""
+    if not series:
+        raise ValueError("no series to plot")
+    all_x = np.concatenate([np.asarray(x, dtype=float)
+                            for x, _y in series.values()])
+    all_y = np.concatenate([np.asarray(y, dtype=float)
+                            for _x, y in series.values()])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, (xs, ys)) in zip(GLYPHS, series.items()):
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        cols = _scale(xs, x_lo, x_hi, width)
+        rows = _scale(ys, y_lo, y_hi, height)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = glyph
+        del name
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:8.2f} |"
+        elif i == height - 1:
+            label = f"{y_lo:8.2f} |"
+        else:
+            label = "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    left = f"{x_lo:.6g}"
+    right = f"{x_hi:.6g}"
+    pad = " " * max(1, width - len(left) - len(right))
+    lines.append("          " + left + pad + right)
+    if x_label:
+        lines.append(("[" + x_label + "]").center(width + 10))
+    legend = "   ".join(f"{glyph}={name}"
+                        for glyph, name in zip(GLYPHS, series))
+    lines.append(legend)
+    if y_label:
+        lines.insert(1 if title else 0, f"y: {y_label}")
+    return "\n".join(lines)
+
+
+def cdf_plot(datasets: Mapping[str, Sequence[float]], width: int = 64,
+             height: int = 16, title: str = "",
+             x_label: str = "value") -> str:
+    """Render empirical CDFs of one or more datasets (paper-style)."""
+    from repro.analysis.cdf import empirical_cdf
+    series = {}
+    for name, values in datasets.items():
+        x, f = empirical_cdf(values)
+        series[name] = (x, f)
+    return line_plot(series, width=width, height=height, title=title,
+                     x_label=x_label, y_label="CDF (%)")
+
+
+def bar_chart(values: Mapping[str, float], width: int = 48,
+              title: str = "", unit: str = "") -> str:
+    """Horizontal bar chart for slowdown-factor style comparisons."""
+    if not values:
+        raise ValueError("no values to chart")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("bar_chart needs a positive maximum")
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(1, int(round(value / peak * width)))
+        lines.append(f"{name.ljust(label_w)} {value:8.2f}{unit} |{bar}")
+    return "\n".join(lines)

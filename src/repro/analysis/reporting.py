@@ -1,0 +1,72 @@
+"""Paper-vs-measured reporting used by the experiment harness.
+
+Every experiment emits :class:`Comparison` rows; ``format_table`` renders
+them in the console and EXPERIMENTS.md.  We do not expect to match the
+paper's absolute seconds (our substrate is a calibrated simulator, not the
+authors' testbed) — the comparisons target the *shape*: orderings, rough
+factors and crossovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Comparison:
+    """One reported quantity: what the paper shows vs what we measured."""
+
+    label: str
+    measured: float
+    paper: Optional[float] = None
+    unit: str = ""
+    note: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.paper in (None, 0):
+            return None
+        return self.measured / self.paper
+
+    def row(self) -> tuple[str, str, str, str, str]:
+        paper = f"{self.paper:.2f}" if self.paper is not None else "-"
+        ratio = f"{self.ratio:.2f}" if self.ratio is not None else "-"
+        return (self.label, f"{self.measured:.2f}", paper, ratio, self.note)
+
+
+@dataclass
+class ExperimentReport:
+    """A figure's full regenerated dataset."""
+
+    figure: str
+    title: str
+    rows: list[Comparison] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, label: str, measured: float,
+            paper: Optional[float] = None, unit: str = "",
+            note: str = "") -> Comparison:
+        comparison = Comparison(label, measured, paper, unit, note)
+        self.rows.append(comparison)
+        return comparison
+
+    def render(self) -> str:
+        return format_table(self)
+
+
+def format_table(report: ExperimentReport) -> str:
+    """Render a report as a fixed-width text table."""
+    header = ("series / point", "measured", "paper", "meas/paper", "note")
+    rows = [header] + [c.row() for c in report.rows]
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+
+    def fmt(row: tuple[str, ...]) -> str:
+        return "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+
+    lines = [f"== {report.figure}: {report.title} ==", fmt(header),
+             fmt(tuple("-" * w for w in widths))]
+    lines.extend(fmt(r) for r in rows[1:])
+    for note in report.notes:
+        lines.append(f"   note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Command-line entry point: regenerate any evaluation figure.
+
+Usage::
+
+    rcmp-repro list
+    rcmp-repro fig8 --scale bench
+    rcmp-repro all --scale ci
+    rcmp-repro run --cluster stic --strategy rcmp --failures 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cluster import presets
+from repro.core import strategies
+from repro.core.middleware import run_chain
+from repro.experiments import ALL_FIGURES
+from repro.workloads.chain import build_chain
+
+STRATEGIES = {
+    "rcmp": strategies.RCMP,
+    "rcmp-nosplit": strategies.RCMP_NOSPLIT,
+    "repl2": strategies.REPL2,
+    "repl3": strategies.REPL3,
+    "optimistic": strategies.OPTIMISTIC,
+    "hybrid": strategies.HYBRID,
+}
+
+CLUSTERS = {
+    "stic": lambda: presets.stic(),
+    "stic22": lambda: presets.stic((2, 2)),
+    "dco": lambda: presets.dco(),
+    "tiny": lambda: presets.tiny(4),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rcmp-repro",
+        description="Reproduction of RCMP (Dinu & Ng, IPDPS 2014)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the reproducible figures")
+
+    for name in ALL_FIGURES:
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("--scale", default="bench",
+                       choices=("ci", "bench", "paper"))
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--plot", action="store_true",
+                       help="also render an ASCII plot when the figure "
+                            "exposes raw series (fig2, fig10)")
+
+    p = sub.add_parser("all", help="regenerate every figure")
+    p.add_argument("--scale", default="bench",
+                   choices=("ci", "bench", "paper"))
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("run", help="run one chain execution")
+    p.add_argument("--cluster", default="tiny", choices=sorted(CLUSTERS))
+    p.add_argument("--strategy", default="rcmp", choices=sorted(STRATEGIES))
+    p.add_argument("--jobs", type=int, default=7)
+    p.add_argument("--failures", default=None,
+                   help='FAIL spec, e.g. "2" or "7,14"')
+    p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _maybe_plot(name, module, args) -> None:
+    from repro.analysis.plotting import line_plot
+
+    if name == "fig2" and hasattr(module, "series"):
+        series = module.series(args.scale, args.seed)
+        print()
+        print(line_plot(series, title="Fig. 2: CDF of new failures/day",
+                        x_label="new failures per day"))
+    elif name == "fig10" and hasattr(module, "curves"):
+        curves = module.curves(args.scale, args.seed)
+        from repro.experiments.fig10 import CHAIN_LENGTHS
+        series = {k: (list(CHAIN_LENGTHS), list(v))
+                  for k, v in curves.items()}
+        print()
+        print(line_plot(series, title="Fig. 10: slowdown vs chain length",
+                        x_label="chain length (jobs)"))
+    else:
+        print("(no raw series exposed for this figure)")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, module in sorted(ALL_FIGURES.items()):
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        return 0
+    if args.command in ALL_FIGURES:
+        module = ALL_FIGURES[args.command]
+        report = module.run(scale=args.scale, seed=args.seed)
+        print(report.render())
+        if getattr(args, "plot", False):
+            _maybe_plot(args.command, module, args)
+        return 0
+    if args.command == "all":
+        for name in sorted(ALL_FIGURES):
+            report = ALL_FIGURES[name].run(scale=args.scale, seed=args.seed)
+            print(report.render())
+            print()
+        return 0
+    if args.command == "run":
+        cluster = CLUSTERS[args.cluster]()
+        if args.cluster == "tiny":
+            chain = build_chain(n_jobs=args.jobs,
+                                per_node_input=256 * (1 << 20),
+                                block_size=64 * (1 << 20))
+        else:
+            chain = build_chain(n_jobs=args.jobs)
+        result = run_chain(cluster, STRATEGIES[args.strategy], chain=chain,
+                           failures=args.failures, seed=args.seed)
+        print(result)
+        for job in result.metrics.jobs:
+            print(f"  job #{job.ordinal:<3d} {job.name:<14s} "
+                  f"kind={job.kind:<9s} outcome={job.outcome:<8s} "
+                  f"duration={job.duration:8.1f}s")
+        return 0
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Cluster model: nodes, racks, disks, network fabric, failures, traces."""
+
+from repro.cluster import presets
+from repro.cluster.failures import FailureEvent, FailureInjector, FailurePlan
+from repro.cluster.spec import ClusterSpec, NodeSpec
+from repro.cluster.topology import Cluster, Node
+from repro.cluster.traces import AvailabilityTrace, TraceConfig, generate_trace
+
+__all__ = [
+    "AvailabilityTrace",
+    "Cluster",
+    "ClusterSpec",
+    "FailureEvent",
+    "FailureInjector",
+    "FailurePlan",
+    "Node",
+    "NodeSpec",
+    "TraceConfig",
+    "generate_trace",
+    "presets",
+]

@@ -1,0 +1,82 @@
+"""Cluster presets matching the paper's evaluation environments (§V-A).
+
+* **STIC** (Rice University): 10 nodes used for the 40 GB experiments; 8-core
+  2.76 GHz Xeons, 24 GB RAM, one 100 GB S-ATA HDD per node, 10 GbE.  Each
+  node processes 4 GB (16 mappers of 256 MB).
+* **DCO** (Zurich): 60 nodes used for the 1.2 TB experiments; 16-core Opteron
+  6212, 128 GB RAM, a dedicated 2 TB S-ATA HDD, 10 GbE, 3 racks.  Each node
+  processes 20 GB (~80 mappers).  JVM reuse is enabled (lower task overhead).
+* **SLOW SHUFFLE** (§V-D): STIC with a 10 s delay appended to every shuffle
+  transfer to emulate a bottlenecked network.
+
+Absolute bandwidths are calibrated, not copied from spec sheets: the paper
+itself stresses that applications obtain far less than raw disk throughput
+(§III, [22], [21]).  What matters for the reproduction is that jobs are
+disk-bound on both clusters, which these numbers guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.spec import GB, MB, ClusterSpec, NodeSpec
+
+#: HDFS block size used throughout the paper's evaluation.
+BLOCK_SIZE = 256 * MB
+
+#: Per-node job input sizes (§V-A).
+STIC_PER_NODE_INPUT = 4 * GB     # 16 mappers of 256 MB
+DCO_PER_NODE_INPUT = 20 * GB     # ~80 mappers of 256 MB
+
+
+def stic(slots: tuple[int, int] = (1, 1), n_nodes: int = 10) -> ClusterSpec:
+    """The STIC testbed (paper SLOTS 1-1 / SLOTS 2-2, 10 nodes, 40 GB)."""
+    node = NodeSpec(
+        disk_bandwidth=90.0 * MB,
+        disk_concurrency_penalty=0.5,
+        nic_bandwidth=1.25 * GB,
+        cpu_map_bandwidth=400.0 * MB,
+        cpu_reduce_bandwidth=500.0 * MB,
+        mapper_slots=slots[0],
+        reducer_slots=slots[1],
+        task_overhead=1.0,
+    )
+    return ClusterSpec(name=f"STIC-{slots[0]}-{slots[1]}", n_nodes=n_nodes,
+                       node=node, n_racks=1)
+
+
+def dco(slots: tuple[int, int] = (1, 1), n_nodes: int = 60) -> ClusterSpec:
+    """The DCO testbed (60 nodes, 3 racks, 1.2 TB, JVM reuse enabled)."""
+    node = NodeSpec(
+        disk_bandwidth=120.0 * MB,   # dedicated 2 TB drive, newer than STIC
+        disk_concurrency_penalty=0.5,
+        nic_bandwidth=1.25 * GB,
+        cpu_map_bandwidth=700.0 * MB,  # 16 cores; still disk-bound
+        cpu_reduce_bandwidth=800.0 * MB,
+        mapper_slots=slots[0],
+        reducer_slots=slots[1],
+        task_overhead=0.2,           # JVM reuse
+    )
+    return ClusterSpec(name=f"DCO-{slots[0]}-{slots[1]}", n_nodes=n_nodes,
+                       node=node, n_racks=3, oversubscription=1.0,
+                       shuffle_chunk_limit=5)
+
+
+def stic_slow_shuffle(slots: tuple[int, int] = (1, 1),
+                      n_nodes: int = 10) -> ClusterSpec:
+    """STIC with the paper's 10 s per-shuffle-transfer delay (§V-D)."""
+    return stic(slots, n_nodes).with_slow_shuffle(10.0)
+
+
+def tiny(n_nodes: int = 4, slots: tuple[int, int] = (1, 1),
+         disk_mb_s: float = 100.0) -> ClusterSpec:
+    """A small, fast cluster for unit tests and CI-scale experiments."""
+    node = NodeSpec(
+        disk_bandwidth=disk_mb_s * MB,
+        disk_concurrency_penalty=0.5,
+        nic_bandwidth=1.25 * GB,
+        cpu_map_bandwidth=400.0 * MB,
+        cpu_reduce_bandwidth=500.0 * MB,
+        mapper_slots=slots[0],
+        reducer_slots=slots[1],
+        task_overhead=0.5,
+    )
+    return ClusterSpec(name=f"tiny-{n_nodes}", n_nodes=n_nodes, node=node)

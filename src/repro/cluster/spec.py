@@ -1,0 +1,150 @@
+"""Declarative hardware/configuration specs for simulated clusters.
+
+All sizes are bytes, all bandwidths bytes/second, all times seconds.
+The presets in :mod:`repro.cluster.presets` instantiate these specs for the
+paper's two testbeds (STIC and DCO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+MB = 1 << 20
+GB = 1 << 30
+TB = 1 << 40
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Per-node hardware and Hadoop configuration.
+
+    Attributes
+    ----------
+    disk_bandwidth:
+        Sequential throughput of the node's (single) data disk.
+    disk_concurrency_penalty / disk_penalty_floor:
+        Seek-penalty model parameters: the aggregate disk bandwidth under
+        ``n`` concurrent streams decays hyperbolically (rate ``alpha``)
+        from 100 % toward ``floor`` of the sequential bandwidth (see
+        :class:`repro.simcore.resources.Capacity`).
+    nic_bandwidth:
+        Full-duplex NIC speed (applied independently to each direction).
+    cpu_map_bandwidth / cpu_reduce_bandwidth:
+        Bytes/second a map (reduce) UDF can process; models the MD5 +
+        byte-sum record computation of the paper's chain job.  Chosen well
+        above disk bandwidth so jobs stay I/O-bound, as in the paper.
+    mapper_slots / reducer_slots:
+        Hadoop slot configuration (the paper uses 1-1 and 2-2).
+    task_overhead:
+        Fixed per-task start-up/tear-down cost (JVM launch etc.).  The paper
+        enables JVM reuse on DCO, lowering this.
+    """
+
+    disk_bandwidth: float = 90.0 * MB
+    disk_concurrency_penalty: float = 0.5
+    disk_penalty_floor: float = 0.4
+    nic_bandwidth: float = 1.25 * GB  # 10GbE
+    cpu_map_bandwidth: float = 400.0 * MB
+    cpu_reduce_bandwidth: float = 500.0 * MB
+    mapper_slots: int = 1
+    reducer_slots: int = 1
+    task_overhead: float = 1.0
+    #: concurrent copier threads per reducer (Hadoop's
+    #: mapred.reduce.parallel.copies); with a per-transfer shuffle latency
+    #: (SLOW SHUFFLE) a reduce task pays latency * n_transfers / copiers
+    reduce_parallel_copies: int = 5
+
+    def validate(self) -> None:
+        if self.disk_bandwidth <= 0 or self.nic_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.mapper_slots < 1 or self.reducer_slots < 1:
+            raise ValueError("slot counts must be >= 1")
+        if self.task_overhead < 0:
+            raise ValueError("task_overhead must be >= 0")
+        if self.reduce_parallel_copies < 1:
+            raise ValueError("reduce_parallel_copies must be >= 1")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A cluster: homogeneous nodes spread over racks.
+
+    Attributes
+    ----------
+    n_nodes:
+        Number of (collocated compute + storage) nodes.
+    n_racks:
+        Racks; nodes are assigned round-robin.
+    oversubscription:
+        Core network oversubscription factor; a rack's uplink capacity is
+        ``rack_size * nic_bandwidth / oversubscription``.  1.0 means full
+        bisection bandwidth (both paper clusters use 10GbE fabrics).
+    shuffle_transfer_latency:
+        Fixed delay appended to every shuffle transfer; the paper's SLOW
+        SHUFFLE emulation sets this to 10 s (§V-D).
+    failure_detection_timeout:
+        Delay between a node dying and the master declaring it dead (the
+        paper configures 30 s; failures injected 15 s into a job are thus
+        detected ~45 s after job start).
+    rate_model:
+        Fluid-network rate model (see :mod:`repro.simcore.resources`).
+    """
+
+    name: str
+    n_nodes: int
+    node: NodeSpec = field(default_factory=NodeSpec)
+    n_racks: int = 1
+    oversubscription: float = 1.0
+    shuffle_transfer_latency: float = 0.0
+    failure_detection_timeout: float = 30.0
+    rate_model: str = "equal_share"
+    #: cap on per-source shuffle chunks (0 = one chunk per map wave, up to
+    #: the flow budget).  Pinning this keeps shuffle/map overlap identical
+    #: across cluster sizes, which node-count sweeps (Fig. 11) require.
+    shuffle_chunk_limit: int = 0
+    #: Hadoop-style speculative execution of straggler mappers.  Off by
+    #: default: the paper argues (and our hot-spot experiments confirm)
+    #: that most speculated tasks bring no benefit when the slowness is
+    #: caused by the data's location rather than the task's node (§III-A).
+    speculative_execution: bool = False
+    #: a running mapper is a straggler once it exceeds this multiple of the
+    #: median completed mapper duration
+    speculation_slowdown: float = 1.5
+    #: how often the JobTracker scans for stragglers (seconds)
+    speculation_interval: float = 10.0
+    #: never speculate before a task has run this long
+    speculation_min_runtime: float = 15.0
+
+    def validate(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError("need at least 2 nodes")
+        if not 1 <= self.n_racks <= self.n_nodes:
+            raise ValueError("n_racks must be in [1, n_nodes]")
+        if self.oversubscription < 1.0:
+            raise ValueError("oversubscription must be >= 1.0")
+        if self.shuffle_transfer_latency < 0:
+            raise ValueError("shuffle_transfer_latency must be >= 0")
+        if self.failure_detection_timeout < 0:
+            raise ValueError("failure_detection_timeout must be >= 0")
+        if self.speculation_slowdown <= 1.0:
+            raise ValueError("speculation_slowdown must exceed 1.0")
+        if self.speculation_interval <= 0 or self.speculation_min_runtime < 0:
+            raise ValueError("invalid speculation timing parameters")
+        if self.shuffle_chunk_limit < 0:
+            raise ValueError("shuffle_chunk_limit must be >= 0")
+        self.node.validate()
+
+    # Convenience builders -------------------------------------------------
+    def with_slots(self, mapper_slots: int, reducer_slots: int) -> "ClusterSpec":
+        """Return a copy with different slot counts (paper's SLOTS X-Y)."""
+        return replace(self, node=replace(self.node,
+                                          mapper_slots=mapper_slots,
+                                          reducer_slots=reducer_slots))
+
+    def with_nodes(self, n_nodes: int) -> "ClusterSpec":
+        return replace(self, n_nodes=n_nodes,
+                       n_racks=min(self.n_racks, n_nodes))
+
+    def with_slow_shuffle(self, latency: float = 10.0) -> "ClusterSpec":
+        """Paper §V-D: emulate a bottlenecked network by delaying transfers."""
+        return replace(self, shuffle_transfer_latency=latency)

@@ -1,0 +1,148 @@
+"""Instantiated cluster topology bound to a simulator.
+
+A :class:`Node` owns a disk capacity, two NIC directions (in/out), mapper and
+reducer slot pools, and a registry of the task processes currently running on
+it (so a failure can interrupt them).  The :class:`Cluster` owns the fluid
+network and computes the capacity path for remote transfers, including
+oversubscribed inter-rack links.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.cluster.spec import ClusterSpec
+from repro.simcore import Capacity, FluidNetwork, SeedSequenceRegistry, Simulator, SlotPool
+from repro.simcore.engine import Process
+
+
+class Node:
+    """A collocated compute + storage node."""
+
+    def __init__(self, sim: Simulator, node_id: int, rack: int,
+                 spec: ClusterSpec):
+        ns = spec.node
+        self.sim = sim
+        self.node_id = node_id
+        self.rack = rack
+        self.alive = True
+        self.disk = Capacity(f"n{node_id}.disk", ns.disk_bandwidth,
+                             ns.disk_concurrency_penalty,
+                             ns.disk_penalty_floor)
+        self.nic_in = Capacity(f"n{node_id}.nic_in", ns.nic_bandwidth)
+        self.nic_out = Capacity(f"n{node_id}.nic_out", ns.nic_bandwidth)
+        self.mapper_slots = SlotPool(sim, ns.mapper_slots,
+                                     f"n{node_id}.mslots")
+        self.reducer_slots = SlotPool(sim, ns.reducer_slots,
+                                      f"n{node_id}.rslots")
+        self._tasks: set[Process] = set()
+        self._death_watchers: list = []
+
+    # -- task registry (for failure injection) -------------------------
+    def register_task(self, proc: Process) -> None:
+        self._tasks.add(proc)
+        proc.add_callback(lambda _ev: self._tasks.discard(proc))
+
+    def on_death(self, callback) -> None:
+        """Register ``callback(node)`` to run the instant the node dies."""
+        self._death_watchers.append(callback)
+
+    def remove_death_watcher(self, callback) -> None:
+        """Unregister a previously added death callback (no-op if absent)."""
+        try:
+            self._death_watchers.remove(callback)
+        except ValueError:
+            pass
+
+    def kill(self, network: FluidNetwork) -> None:
+        """Fail the node: stop flows through it and interrupt its tasks."""
+        if not self.alive:
+            return
+        self.alive = False
+        for cap in (self.disk, self.nic_in, self.nic_out):
+            network.fail_capacity(cap)
+        for proc in list(self._tasks):
+            proc.interrupt(self)
+        self._tasks.clear()
+        for cb in list(self._death_watchers):
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "up" if self.alive else "DOWN"
+        return f"<Node {self.node_id} rack={self.rack} {state}>"
+
+
+class Cluster:
+    """A simulated cluster bound to one :class:`Simulator`."""
+
+    def __init__(self, sim: Simulator, spec: ClusterSpec,
+                 seeds: Optional[SeedSequenceRegistry] = None):
+        spec.validate()
+        self.sim = sim
+        self.spec = spec
+        self.seeds = seeds or SeedSequenceRegistry(0)
+        self.network = FluidNetwork(sim, spec.rate_model)
+        self.nodes = [Node(sim, i, i % spec.n_racks, spec)
+                      for i in range(spec.n_nodes)]
+        self._rack_uplinks: list[Optional[Capacity]] = []
+        if spec.n_racks > 1 and spec.oversubscription > 1.0:
+            for r in range(spec.n_racks):
+                size = sum(1 for n in self.nodes if n.rack == r)
+                bw = size * spec.node.nic_bandwidth / spec.oversubscription
+                self._rack_uplinks.append(Capacity(f"rack{r}.uplink", bw))
+        else:
+            self._rack_uplinks = [None] * spec.n_racks
+
+    # -- views ----------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def alive_nodes(self) -> list[Node]:
+        return [n for n in self.nodes if n.alive]
+
+    def alive_ids(self) -> list[int]:
+        return [n.node_id for n in self.nodes if n.alive]
+
+    # -- transfer paths ---------------------------------------------------
+    def network_path(self, src: int, dst: int) -> list[Capacity]:
+        """NIC (and inter-rack) capacities crossed by a src->dst transfer."""
+        if src == dst:
+            return []
+        a, b = self.nodes[src], self.nodes[dst]
+        path = [a.nic_out, b.nic_in]
+        if a.rack != b.rack:
+            for uplink in (self._rack_uplinks[a.rack],
+                           self._rack_uplinks[b.rack]):
+                if uplink is not None:
+                    path.append(uplink)
+        return path
+
+    def read_path(self, storage: int, reader: int) -> list[Capacity]:
+        """Capacities for reading data stored on ``storage`` into RAM of
+        ``reader`` (no destination disk write)."""
+        path = [self.nodes[storage].disk]
+        path.extend(self.network_path(storage, reader))
+        return path
+
+    def shuffle_path(self, src: int, dst: int) -> list[Capacity]:
+        """Read map output from ``src`` disk, ship it, spill on ``dst``."""
+        path = [self.nodes[src].disk]
+        path.extend(self.network_path(src, dst))
+        path.append(self.nodes[dst].disk)
+        return path
+
+    def write_path(self, writer: int, target: int) -> list[Capacity]:
+        """Write data materialized in ``writer``'s RAM onto ``target`` disk."""
+        path = list(self.network_path(writer, target))
+        path.append(self.nodes[target].disk)
+        return path
+
+    # -- failures ---------------------------------------------------------
+    def kill_node(self, node_id: int) -> Node:
+        node = self.nodes[node_id]
+        node.kill(self.network)
+        return node

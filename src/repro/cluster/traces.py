@@ -1,0 +1,111 @@
+"""Synthetic cluster availability traces (paper Fig. 2).
+
+The original Rice traces (STIC, SUG@R) were published on a now-defunct site;
+we generate synthetic day-level traces calibrated to the statistics the paper
+quotes (§III-A):
+
+* STIC: 218 nodes, trace Sept 2009 - Sept 2012 (~1100 days), 17 % of days
+  show new failures.
+* SUG@R: 121 nodes, trace Jan 2009 - Sept 2012 (~1350 days), 12 % of days
+  show new failures.
+* Most failure days are hardware issues affecting one or two nodes; a few
+  days show many nodes becoming unavailable at once (scheduler or file
+  system outages) — the CDF's long tail reaches ~35-40 failures/day.
+
+The generator draws, for each day, a Bernoulli "is a failure day" indicator
+and then a mixture of a geometric count (hardware issues) and a rare
+uniform-burst count (outages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Calibration knobs for one cluster's availability trace."""
+
+    name: str
+    n_nodes: int
+    n_days: int
+    failure_day_fraction: float      # P(day has >= 1 new failure)
+    geometric_p: float = 0.6         # hardware-issue failure count ~ Geom(p)
+    outage_day_fraction: float = 0.004  # P(day is a mass-outage day)
+    outage_max: int = 40             # outages affect Uniform[5, outage_max]
+
+    def __post_init__(self) -> None:
+        if not 0 < self.failure_day_fraction < 1:
+            raise ValueError("failure_day_fraction must be in (0,1)")
+        if not 0 < self.geometric_p <= 1:
+            raise ValueError("geometric_p must be in (0,1]")
+        if self.outage_day_fraction < 0 or \
+                self.outage_day_fraction > self.failure_day_fraction:
+            raise ValueError("outage_day_fraction out of range")
+        if self.n_days < 1 or self.n_nodes < 1:
+            raise ValueError("n_days and n_nodes must be >= 1")
+
+
+#: Calibrations for the two Rice clusters of paper Fig. 2.
+STIC_TRACE = TraceConfig(name="STIC", n_nodes=218, n_days=1100,
+                         failure_day_fraction=0.17)
+SUGAR_TRACE = TraceConfig(name="SUG@R", n_nodes=121, n_days=1350,
+                          failure_day_fraction=0.12)
+
+
+@dataclass
+class AvailabilityTrace:
+    """Day-indexed counts of newly failed nodes."""
+
+    config: TraceConfig
+    new_failures_per_day: np.ndarray  # int array, one entry per day
+
+    @property
+    def failure_day_fraction(self) -> float:
+        return float(np.mean(self.new_failures_per_day > 0))
+
+    def cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(x, F)``: P(new failures per day <= x), like Fig. 2.
+
+        ``x`` spans 0..max observed; ``F`` is in percent (the paper's y-axis
+        runs 80-100 %).
+        """
+        counts = self.new_failures_per_day
+        x = np.arange(0, counts.max() + 1)
+        f = np.array([np.mean(counts <= v) for v in x]) * 100.0
+        return x, f
+
+    def percentile_days(self, pct: float) -> int:
+        """Smallest per-day failure count covering ``pct`` percent of days."""
+        return int(np.percentile(self.new_failures_per_day, pct,
+                                 method="inverted_cdf"))
+
+    def mean_time_between_failure_days(self) -> float:
+        """Average days between days with at least one new failure."""
+        frac = self.failure_day_fraction
+        return float("inf") if frac == 0 else 1.0 / frac
+
+
+def generate_trace(config: TraceConfig,
+                   rng: np.random.Generator) -> AvailabilityTrace:
+    """Sample one synthetic availability trace.
+
+    Vectorized: draws all per-day indicators and counts in one shot
+    (see the hpc guide's advice to prefer array operations over loops).
+    """
+    n = config.n_days
+    is_failure_day = rng.random(n) < config.failure_day_fraction
+    # Among failure days, a small fraction are mass outages.
+    outage_given_failure = config.outage_day_fraction / \
+        config.failure_day_fraction
+    is_outage = is_failure_day & (rng.random(n) < outage_given_failure)
+    counts = np.zeros(n, dtype=np.int64)
+    hardware_days = is_failure_day & ~is_outage
+    counts[hardware_days] = rng.geometric(config.geometric_p,
+                                          hardware_days.sum())
+    counts[is_outage] = rng.integers(5, config.outage_max + 1,
+                                     is_outage.sum())
+    np.minimum(counts, config.n_nodes, out=counts)
+    return AvailabilityTrace(config, counts)

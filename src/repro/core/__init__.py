@@ -1,0 +1,19 @@
+"""RCMP: persisted outputs, cascade planning, reducer splitting, middleware."""
+
+from repro.core import strategies
+from repro.core.middleware import ChainResult, Middleware, run_chain
+from repro.core.persistence import LossReport, MapOutputMeta, PersistedStore
+from repro.core.splitting import plan_reduce_recomputation
+from repro.core.strategies import Strategy
+
+__all__ = [
+    "ChainResult",
+    "LossReport",
+    "MapOutputMeta",
+    "Middleware",
+    "PersistedStore",
+    "Strategy",
+    "plan_reduce_recomputation",
+    "run_chain",
+    "strategies",
+]

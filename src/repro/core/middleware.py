@@ -1,0 +1,308 @@
+"""The multi-job middleware (paper §IV-A, Fig. 3).
+
+The middleware knows the job dependencies and submits jobs to the Master
+(our :class:`~repro.mapreduce.jobtracker.JobTracker`) one at a time.  Its
+failure behaviour depends on the strategy:
+
+* **RCMP**: when the Master reports irreversible data loss, the running job
+  is cancelled; the middleware infers from the dependency information which
+  jobs must be recomputed and in which order, tags each recomputation run
+  with the reducer outputs damaged *by all failures so far* (so one
+  recomputation run can service any number of data-loss events, including
+  nested failures), then restarts the interrupted job from scratch.
+* **Hadoop REPL-k**: failures are absorbed inside the job by task
+  re-execution; the chain simply continues.  If replication turns out to be
+  insufficient (all replicas of some block lost) the computation fails.
+* **OPTIMISTIC**: any data loss discards everything and restarts the chain
+  from job 1.
+* **Hybrid** (§IV-C): RCMP plus replication of every k-th job output, which
+  bounds the cascade at the last replication point and optionally lets the
+  middleware reclaim persisted outputs behind it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional, Union
+
+from repro.cluster.failures import FailureInjector, FailurePlan
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.topology import Cluster, Node
+from repro.core.lineage import ChainState
+from repro.core.persistence import PersistedStore
+from repro.core.strategies import Strategy
+from repro.dfs import DistributedFileSystem
+from repro.mapreduce.jobtracker import JobAborted, JobFailed, JobTracker
+from repro.mapreduce.metrics import RunMetrics
+from repro.simcore import AllOf, SeedSequenceRegistry, SimulationError, Simulator
+from repro.workloads.chain import ChainSpec, build_chain
+
+
+@dataclass
+class ChainResult:
+    """Outcome of one chain execution."""
+
+    strategy: Strategy
+    chain: ChainSpec
+    cluster_name: str
+    metrics: RunMetrics
+    completed: bool
+    failure_reason: Optional[str] = None
+    killed_nodes: list[int] = field(default_factory=list)
+    persisted_bytes: float = 0.0
+    dfs_bytes: float = 0.0
+
+    @property
+    def total_runtime(self) -> float:
+        return self.metrics.total_runtime
+
+    @property
+    def jobs_started(self) -> int:
+        return self.metrics.n_jobs_started
+
+    def __repr__(self) -> str:  # pragma: no cover
+        status = "ok" if self.completed else f"FAILED({self.failure_reason})"
+        return (f"<ChainResult {self.strategy.name} on {self.cluster_name}: "
+                f"{self.total_runtime:.1f}s, {self.jobs_started} jobs, "
+                f"{status}>")
+
+
+class Middleware:
+    """Drives one chain execution on an instantiated cluster."""
+
+    def __init__(self, cluster: Cluster, dfs: DistributedFileSystem,
+                 chain: ChainSpec, strategy: Strategy,
+                 failure_plan: Optional[FailurePlan] = None,
+                 min_rerun_mappers: int = 0):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.dfs = dfs
+        self.chain = chain
+        self.strategy = strategy
+        self.min_rerun_mappers = min_rerun_mappers
+        self.metrics = RunMetrics()
+        self.store = PersistedStore()
+        self.state = ChainState(chain, cluster, dfs, self.store, strategy)
+        self.jt = JobTracker(cluster, dfs, self.metrics)
+        plan = failure_plan or FailurePlan()
+        if strategy.recovery_mode == "hadoop":
+            # Hadoop starts exactly n_jobs jobs; the paper injects its
+            # Hadoop failures at jobs 2 or 7 (§V-A).
+            plan = plan.clamp_to(chain.n_jobs)
+        self.injector = FailureInjector(cluster, plan, on_kill=self._on_kill)
+        self.failure_reason: Optional[str] = None
+        self._done = False
+
+    # --------------------------------------------------------------- events
+    def _on_kill(self, node: Node) -> None:
+        self.metrics.record_failure(self.sim.now, node.node_id)
+        self.state.note_node_death(node.node_id)
+        if self.strategy.re_replicate_after_failure:
+            self.sim.process(self._re_replicate(),
+                             name=f"re-replicate-{node.node_id}")
+
+    def _re_replicate(self) -> Generator:
+        """HDFS-style background restoration of lost replicas, starting
+        once the namenode has detected the failure."""
+        yield self.sim.timeout(self.cluster.spec.failure_detection_timeout)
+        try:
+            yield self.dfs.restore_replication()
+        except SimulationError:
+            pass  # a target died mid-restore; the next kill retriggers us
+
+    def _notify_job_start(self) -> None:
+        self.injector.notify_job_start(self.jt.peek_ordinal())
+
+    # ----------------------------------------------------------------- run
+    def run(self) -> Generator:
+        """Simulation process body for the whole chain."""
+        self.state.seed_input()
+        idx = 1
+        rerun = False
+        while idx <= self.chain.n_jobs:
+            # Service any damage the next job transitively depends on.
+            if self.state.needed_cascade(idx):
+                if self.strategy.recompute:
+                    yield from self._recover(idx)
+                    if self.failure_reason:
+                        break  # recovery itself is impossible (input lost)
+                elif self.strategy.optimistic:
+                    self.state.reset()
+                    idx, rerun = 1, False
+                else:
+                    self.failure_reason = ("irrecoverable data loss: "
+                                           "replication was insufficient")
+                    break
+            kind = "rerun" if rerun else "initial"
+            try:
+                plan = self.state.build_initial_plan(idx, kind=kind)
+            except RuntimeError as exc:
+                # e.g. the chain input itself lost all replicas: nothing
+                # any strategy can do (the paper assumes the computation's
+                # input is safely replicated)
+                self.failure_reason = str(exc)
+                break
+            self._notify_job_start()
+            try:
+                completion = yield from self.jt.run_job(plan)
+            except JobAborted:
+                if self.strategy.optimistic:
+                    self.state.reset()
+                    idx, rerun = 1, False
+                else:
+                    rerun = True
+                continue
+            except JobFailed as exc:
+                self.failure_reason = str(exc)
+                break
+            self.state.apply_completion(completion, plan)
+            if self._is_hybrid_point(idx):
+                yield from self._replicate_output(idx)
+            idx += 1
+            rerun = False
+        self._done = True
+        return self._result(completed=self.failure_reason is None
+                            and idx > self.chain.n_jobs)
+
+    def _recover(self, current_job: int) -> Generator:
+        """Run the minimal recomputation cascade for ``current_job``
+        (§IV-A).  Each iteration re-reads the damage set, so failures that
+        land during recovery (nested failures, Fig. 7 case f) are folded
+        into the next recomputation run automatically."""
+        while True:
+            cascade = self.state.needed_cascade(current_job)
+            if not cascade:
+                return
+            j = cascade[0]
+            try:
+                plan = self.state.build_recompute_plan(
+                    j, min_rerun_mappers=self.min_rerun_mappers)
+            except RuntimeError as exc:
+                self.failure_reason = str(exc)
+                return
+            self._notify_job_start()
+            try:
+                completion = yield from self.jt.run_job(plan)
+            except JobAborted:
+                continue  # replan with the union of all damage
+            self.state.apply_completion(completion, plan)
+
+    # -------------------------------------------------------------- hybrid
+    def _is_hybrid_point(self, idx: int) -> bool:
+        k = self.strategy.hybrid_interval
+        return bool(k) and idx % k == 0 and idx < self.chain.n_jobs
+
+    def _replicate_output(self, idx: int) -> Generator:
+        """§IV-C: replicate job ``idx``'s output to bound the cascade."""
+        extra = self.strategy.hybrid_replication - 1
+        if extra <= 0:
+            return
+        while True:
+            files = [piece.file
+                     for pieces in self.state.jobs[idx].layout.values()
+                     for piece in pieces
+                     if self.dfs.exists(piece.file)]
+            try:
+                events = [self.dfs.replicate_file(f, extra) for f in files]
+                yield AllOf(self.sim, events)
+                break
+            except SimulationError:
+                # a target died mid-replication; recover then retry
+                if self.state.needed_cascade(idx + 1):
+                    yield from self._recover(idx + 1)
+        if self.strategy.hybrid_reclaim and idx >= 2:
+            self.store.reclaim_jobs(idx - 1)
+            self._reclaim_outputs(idx - 2)
+
+    def _reclaim_outputs(self, up_to_job: int) -> None:
+        """Delete reducer-output files of jobs <= ``up_to_job`` whose
+        consumers have all completed (their data sits safely behind the
+        replication point; in a DAG a later job may still need an early
+        output, so those are kept)."""
+        completed = {j for j in self.state.jobs
+                     if not self.state.jobs[j].has_damage}
+        for j in list(self.state.jobs):
+            if j > up_to_job:
+                continue
+            consumers = self.chain.consumers(j)
+            if any(c not in completed for c in consumers):
+                continue
+            state = self.state.jobs[j]
+            for pieces in state.layout.values():
+                for piece in pieces:
+                    if self.dfs.exists(piece.file):
+                        self.dfs.delete(piece.file)
+            del self.state.jobs[j]
+
+    # -------------------------------------------------------------- result
+    def _result(self, completed: bool) -> ChainResult:
+        return ChainResult(
+            strategy=self.strategy,
+            chain=self.chain,
+            cluster_name=self.cluster.spec.name,
+            metrics=self.metrics,
+            completed=completed,
+            failure_reason=self.failure_reason,
+            killed_nodes=[n for _, n in self.injector.killed],
+            persisted_bytes=self.store.total_bytes,
+            dfs_bytes=self.dfs.total_bytes(),
+        )
+
+
+FailureInput = Union[FailurePlan, str, list, None]
+
+
+def _coerce_failures(failures: FailureInput) -> FailurePlan:
+    if failures is None:
+        return FailurePlan()
+    if isinstance(failures, FailurePlan):
+        return failures
+    if isinstance(failures, str):
+        return FailurePlan.parse(failures)
+    # list of (job, offset) pairs
+    from repro.cluster.failures import FailureEvent
+    return FailurePlan([FailureEvent(job, offset)
+                        for job, offset in failures])
+
+
+def run_chain(cluster_spec: ClusterSpec,
+              strategy: Strategy,
+              chain: Optional[ChainSpec] = None,
+              n_jobs: int = 7,
+              failures: FailureInput = None,
+              seed: int = 0,
+              min_rerun_mappers: int = 0) -> ChainResult:
+    """Top-level entry point: simulate one chain execution.
+
+    Parameters
+    ----------
+    cluster_spec:
+        Hardware/configuration, e.g. ``presets.stic()`` or ``presets.dco()``.
+    strategy:
+        A :mod:`repro.core.strategies` preset or custom :class:`Strategy`.
+    chain:
+        The multi-job workload; defaults to the paper's uniform 1/1/1 chain
+        of ``n_jobs`` jobs.
+    failures:
+        ``None``, a ``FailurePlan``, a FAIL spec string ("2", "7,14"), or a
+        list of ``(job_ordinal, offset_seconds)`` pairs.
+    seed:
+        Root seed for all stochastic choices (placement, victim selection).
+    min_rerun_mappers:
+        Forces recomputation runs to re-execute at least this many mappers
+        (Fig. 14's wave-count sweep).
+    """
+    sim = Simulator()
+    cluster = Cluster(sim, cluster_spec, SeedSequenceRegistry(seed))
+    chain = chain or build_chain(n_jobs=n_jobs)
+    dfs = DistributedFileSystem(cluster, chain.block_size)
+    middleware = Middleware(cluster, dfs, chain, strategy,
+                            _coerce_failures(failures),
+                            min_rerun_mappers=min_rerun_mappers)
+    proc = sim.process(middleware.run(), name="middleware")
+    sim.run()
+    if not proc.triggered or not proc.ok:
+        raise RuntimeError(
+            f"chain execution did not finish cleanly: "
+            f"{proc.value if proc.triggered else 'deadlock'}")
+    return proc.value

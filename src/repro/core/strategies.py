@@ -1,0 +1,119 @@
+"""Failure-resilience strategies compared in the paper's evaluation (§V-A).
+
+* **RCMP** — replication factor 1 (one local HDFS replica); recovers by
+  recomputation with persisted-output reuse and reducer splitting.
+* **RCMP NO-SPLIT** — RCMP without the fine-grained recomputation
+  granularity (isolates the benefit of splitting, Figs. 8, 9, 11, 12).
+* **REPL-2 / REPL-3** — stock Hadoop with replicated intermediate outputs;
+  recovers within a job by task re-execution.
+* **OPTIMISTIC** — replication factor 1 and no recomputation support: on any
+  data-loss failure the whole multi-job computation restarts from scratch.
+* **HYBRID** — RCMP plus replication of every k-th job output, bounding the
+  recomputation cascade (§IV-C).
+* **RCMP SPREAD** — the §IV-B2 alternative to splitting: recomputed reducers
+  write their output spread over all nodes (ablation only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """Configuration of a failure-resilience strategy."""
+
+    name: str
+    #: replication factor for intermediate job outputs
+    replication: int = 1
+    #: recover by recomputation (RCMP) instead of in-job re-execution
+    recompute: bool = True
+    #: reducer split ratio for recomputation runs; None = auto (survivors-1,
+    #: the paper's choice: 8 on STIC, 59 on DCO); 1 disables splitting
+    split_ratio: Optional[int] = None
+    #: restart the entire chain on data loss (OPTIMISTIC)
+    optimistic: bool = False
+    #: replicate every k-th job output (0 disables the hybrid mode)
+    hybrid_interval: int = 0
+    #: replication factor applied at hybrid replication points
+    hybrid_replication: int = 2
+    #: reclaim persisted outputs behind hybrid replication points
+    hybrid_reclaim: bool = False
+    #: reuse persisted map outputs during recomputation (disabled only by
+    #: the Fig. 13 experiment, which recomputes all mappers)
+    reuse_map_outputs: bool = True
+    #: recomputed reducers spread their output over all nodes instead of
+    #: splitting (the §IV-B2 alternative; ablation only)
+    spread_reduce_output: bool = False
+    #: restore lost replicas in the background after a failure is detected
+    #: (HDFS behaviour; meaningful for the replication baselines)
+    re_replicate_after_failure: bool = False
+
+    def __post_init__(self) -> None:
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if self.split_ratio is not None and self.split_ratio < 1:
+            raise ValueError("split_ratio must be >= 1 (or None for auto)")
+        if self.optimistic and self.recompute:
+            raise ValueError("OPTIMISTIC cannot also recompute")
+        if self.hybrid_interval < 0:
+            raise ValueError("hybrid_interval must be >= 0")
+        if self.hybrid_interval and not self.recompute:
+            raise ValueError("hybrid mode requires recomputation")
+
+    # -- helpers ----------------------------------------------------------
+    @property
+    def recovery_mode(self) -> str:
+        """JobTracker recovery mode for this strategy's runs."""
+        return "hadoop" if (not self.recompute and not self.optimistic) \
+            else "abort"
+
+    def effective_split(self, survivors: int) -> int:
+        """Split ratio to use given the current number of alive nodes."""
+        if self.split_ratio is None:
+            return max(1, survivors - 1)
+        return self.split_ratio
+
+    def with_split(self, ratio: Optional[int]) -> "Strategy":
+        suffix = "SPLIT-auto" if ratio is None else f"SPLIT-{ratio}"
+        return replace(self, split_ratio=ratio,
+                       name=f"{self.name.split()[0]} {suffix}")
+
+
+# -- presets matching the paper -------------------------------------------
+RCMP = Strategy("RCMP", replication=1, recompute=True, split_ratio=None)
+RCMP_NOSPLIT = Strategy("RCMP NO-SPLIT", replication=1, recompute=True,
+                        split_ratio=1)
+RCMP_SPREAD = Strategy("RCMP SPREAD", replication=1, recompute=True,
+                       split_ratio=1, spread_reduce_output=True)
+REPL2 = Strategy("HADOOP REPL-2", replication=2, recompute=False,
+                 re_replicate_after_failure=True)
+REPL3 = Strategy("HADOOP REPL-3", replication=3, recompute=False,
+                 re_replicate_after_failure=True)
+OPTIMISTIC = Strategy("OPTIMISTIC", replication=1, recompute=False,
+                      optimistic=True)
+HYBRID = Strategy("RCMP HYBRID", replication=1, recompute=True,
+                  split_ratio=None, hybrid_interval=5, hybrid_replication=2)
+
+
+def repl(factor: int) -> Strategy:
+    """Hadoop with the given intermediate-output replication factor."""
+    if factor < 2:
+        raise ValueError("Hadoop needs replication >= 2 to survive failures")
+    return Strategy(f"HADOOP REPL-{factor}", replication=factor,
+                    recompute=False, re_replicate_after_failure=True)
+
+
+def rcmp(split_ratio: Optional[int] = None,
+         hybrid_interval: int = 0) -> Strategy:
+    """RCMP with an explicit split ratio and optional hybrid replication."""
+    name = "RCMP"
+    if split_ratio == 1:
+        name = "RCMP NO-SPLIT"
+    elif split_ratio is not None:
+        name = f"RCMP SPLIT-{split_ratio}"
+    if hybrid_interval:
+        name += f" HYBRID-{hybrid_interval}"
+    return Strategy(name, replication=1, recompute=True,
+                    split_ratio=split_ratio, hybrid_interval=hybrid_interval)

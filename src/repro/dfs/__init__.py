@@ -1,0 +1,15 @@
+"""An HDFS-like block-replicated distributed file system on the simulator."""
+
+from repro.dfs.block import Block, BlockId
+from repro.dfs.filesystem import DataLossError, DistributedFileSystem, FileMeta
+from repro.dfs.placement import PlacementPolicy, RackAwarePlacement
+
+__all__ = [
+    "Block",
+    "BlockId",
+    "DataLossError",
+    "DistributedFileSystem",
+    "FileMeta",
+    "PlacementPolicy",
+    "RackAwarePlacement",
+]

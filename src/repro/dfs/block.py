@@ -1,0 +1,38 @@
+"""Block-level metadata for the distributed file system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import NewType
+
+BlockId = NewType("BlockId", int)
+
+
+@dataclass
+class Block:
+    """One DFS block: a fixed-size chunk of a file with replica locations.
+
+    ``replicas`` is ordered: the first entry is the primary (usually the
+    writer's local replica, per HDFS write-path semantics).
+    """
+
+    block_id: BlockId
+    file_name: str
+    index: int              # position within the file
+    size: float             # bytes
+    replicas: list[int] = field(default_factory=list)  # node ids
+
+    @property
+    def available(self) -> bool:
+        return bool(self.replicas)
+
+    @property
+    def replication(self) -> int:
+        return len(self.replicas)
+
+    def drop_replica(self, node_id: int) -> bool:
+        """Remove ``node_id`` from the replica set; True if it was present."""
+        if node_id in self.replicas:
+            self.replicas.remove(node_id)
+            return True
+        return False

@@ -1,0 +1,312 @@
+"""The distributed file system facade.
+
+Combines namenode-style metadata (files -> blocks -> replica locations) with
+simulated I/O: a replicated write generates one local-disk flow plus one
+network+disk flow per remote replica; a read generates a flow from a chosen
+replica (local preferred).
+
+Data loss: when a node dies, every replica it held disappears.  Blocks whose
+replica set becomes empty are *lost*; :meth:`DistributedFileSystem.on_node_death`
+returns the affected files so the RCMP middleware can plan recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.cluster.topology import Cluster
+from repro.dfs.block import Block, BlockId
+from repro.dfs.placement import PlacementPolicy, RackAwarePlacement
+from repro.simcore.engine import AllOf, Event
+
+
+class DataLossError(RuntimeError):
+    """Raised when an operation touches a block with zero live replicas."""
+
+
+@dataclass
+class FileMeta:
+    """A DFS file: an ordered list of blocks plus free-form tags.
+
+    Tags let the MapReduce layer attach semantics (``job_index``,
+    ``partition``) without the DFS knowing about jobs.
+    ``target_replication`` is the replication factor the file was written
+    with; the namenode's re-replication restores blocks toward it after
+    replica loss (HDFS behaviour).
+    """
+
+    name: str
+    blocks: list[Block] = field(default_factory=list)
+    tags: dict = field(default_factory=dict)
+    target_replication: int = 1
+
+    @property
+    def size(self) -> float:
+        return sum(b.size for b in self.blocks)
+
+    @property
+    def available(self) -> bool:
+        return all(b.available for b in self.blocks)
+
+    @property
+    def lost_blocks(self) -> list[Block]:
+        return [b for b in self.blocks if not b.available]
+
+
+class DistributedFileSystem:
+    """Block-replicated file system bound to a simulated cluster."""
+
+    def __init__(self, cluster: Cluster, block_size: float,
+                 placement: Optional[PlacementPolicy] = None):
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.cluster = cluster
+        self.block_size = float(block_size)
+        self.placement = placement or RackAwarePlacement(
+            cluster.seeds.stream("dfs-placement"))
+        self.files: dict[str, FileMeta] = {}
+        self._next_block = 0
+        #: bytes stored per node (replica bytes), for storage accounting
+        self.bytes_on_node: dict[int, float] = {
+            n.node_id: 0.0 for n in cluster.nodes}
+
+    # ------------------------------------------------------------- metadata
+    def _new_block_id(self) -> BlockId:
+        self._next_block += 1
+        return BlockId(self._next_block)
+
+    def exists(self, name: str) -> bool:
+        return name in self.files
+
+    def meta(self, name: str) -> FileMeta:
+        try:
+            return self.files[name]
+        except KeyError:
+            raise FileNotFoundError(name) from None
+
+    def delete(self, name: str) -> None:
+        meta = self.files.pop(name, None)
+        if meta is None:
+            raise FileNotFoundError(name)
+        for block in meta.blocks:
+            for node_id in block.replicas:
+                self.bytes_on_node[node_id] -= block.size
+
+    def create_placed(self, name: str, size: float,
+                      locations: Iterable[int],
+                      tags: Optional[dict] = None) -> FileMeta:
+        """Register a file whose blocks already exist at given locations
+        (single-replica), without simulating any I/O.
+
+        Used to seed the chain's initial input data instantly — the paper's
+        runs start with the triple-replicated input already in HDFS.
+        Pass each block's location; block sizes are ``block_size`` except a
+        possibly-short tail.
+        """
+        if self.exists(name):
+            raise FileExistsError(name)
+        meta = FileMeta(name=name, tags=dict(tags or {}),
+                        target_replication=1)
+        locations = list(locations)
+        n_blocks = max(1, len(locations))
+        remaining = size
+        for i in range(n_blocks):
+            bsize = min(self.block_size, remaining) if i < n_blocks - 1 \
+                else remaining
+            block = Block(self._new_block_id(), name, i, bsize,
+                          replicas=[locations[i]])
+            self.bytes_on_node[locations[i]] += bsize
+            meta.blocks.append(block)
+            remaining -= bsize
+        self.files[name] = meta
+        return meta
+
+    def seed_replicated(self, name: str, size: float, replication: int,
+                        tags: Optional[dict] = None) -> FileMeta:
+        """Register a replicated file spread evenly over alive nodes, block
+        by block, without simulating I/O (pre-existing input data).
+
+        Primaries round-robin over the nodes (perfect locality for the
+        first job); the extra replicas are placed *randomly* like HDFS's,
+        so the blocks co-located on any one node have their other replicas
+        scattered across the whole cluster — losing a node never
+        concentrates the surviving copies on a couple of neighbours."""
+        if self.exists(name):
+            raise FileExistsError(name)
+        alive = self.cluster.alive_ids()
+        rng = self.cluster.seeds.stream("dfs-seed")
+        meta = FileMeta(name=name, tags=dict(tags or {}),
+                        target_replication=replication)
+        n_blocks = max(1, int(round(size / self.block_size)))
+        per_block = size / n_blocks
+        for i in range(n_blocks):
+            primary = alive[i % len(alive)]
+            replicas = [primary]
+            want = min(replication, len(alive))
+            while len(replicas) < want:
+                cand = int(alive[rng.integers(len(alive))])
+                if cand not in replicas:
+                    replicas.append(cand)
+            block = Block(self._new_block_id(), name, i, per_block,
+                          replicas=list(replicas))
+            for node_id in replicas:
+                self.bytes_on_node[node_id] += per_block
+            meta.blocks.append(block)
+        self.files[name] = meta
+        return meta
+
+    # ------------------------------------------------------------------ IO
+    def write(self, name: str, size: float, writer: int, replication: int,
+              tags: Optional[dict] = None, latency: float = 0.0,
+              placement: Optional[PlacementPolicy] = None,
+              flow_sink: Optional[list] = None) -> Event:
+        """Write a file of ``size`` bytes from ``writer``'s memory.
+
+        Returns an event firing when every replica of every block is
+        durable.  Replica flows run concurrently (HDFS pipelines the
+        transfer; modelling the pipeline stages as parallel flows matches
+        its steady-state throughput).  The file appears in the namespace
+        immediately; a crash of a target mid-write surfaces as a failed
+        event, mirroring a failed HDFS close().
+        """
+        if self.exists(name):
+            raise FileExistsError(name)
+        if size < 0:
+            raise ValueError("size must be >= 0")
+        replication = max(1, replication)
+        policy = placement or self.placement
+        meta = FileMeta(name=name, tags=dict(tags or {}),
+                        target_replication=replication)
+        self.files[name] = meta
+        flows = []
+        n_blocks = max(1, int(round(size / self.block_size)) or 1)
+        per_block = size / n_blocks
+        net = self.cluster.network
+        for i in range(n_blocks):
+            targets = policy.choose(self.cluster, writer, replication)
+            block = Block(self._new_block_id(), name, i, per_block,
+                          replicas=list(targets))
+            meta.blocks.append(block)
+            for target in targets:
+                self.bytes_on_node[target] += per_block
+                path = self.cluster.write_path(writer, target)
+                flows.append(net.transfer(per_block, path, latency=latency,
+                                          label=f"dfs-w:{name}#{i}->{target}"))
+        if flow_sink is not None:
+            flow_sink.extend(flows)
+        return AllOf(self.cluster.sim, [f.done for f in flows])
+
+    def read(self, name: str, reader: int, block_index: Optional[int] = None,
+             latency: float = 0.0) -> Event:
+        """Read a whole file (or one block) into ``reader``'s memory.
+
+        Chooses the local replica when one exists, otherwise the first live
+        replica.  Returns an event firing when the last byte arrives.
+        """
+        meta = self.meta(name)
+        blocks = meta.blocks if block_index is None \
+            else [meta.blocks[block_index]]
+        flows = []
+        net = self.cluster.network
+        for block in blocks:
+            if not block.available:
+                raise DataLossError(
+                    f"block {block.index} of {name!r} has no live replicas")
+            source = block.replicas[0]
+            for replica in block.replicas:
+                if replica == reader:
+                    source = replica
+                    break
+            path = self.cluster.read_path(source, reader)
+            flows.append(net.transfer(block.size, path, latency=latency,
+                                      label=f"dfs-r:{name}#{block.index}"))
+        return AllOf(self.cluster.sim, [f.done for f in flows])
+
+    def replicate_file(self, name: str, extra_replicas: int,
+                       reader: Optional[int] = None) -> Event:
+        """Add replicas to an existing file (RCMP's hybrid strategy, §IV-C).
+
+        Each block is copied from one of its current replicas to new nodes.
+        """
+        meta = self.meta(name)
+        flows = []
+        net = self.cluster.network
+        for block in meta.blocks:
+            if not block.available:
+                raise DataLossError(f"cannot replicate lost block of {name!r}")
+            source = block.replicas[0]
+            targets = self.placement.choose(self.cluster, source,
+                                            block.replication + extra_replicas)
+            new_targets = [t for t in targets if t not in block.replicas]
+            for target in new_targets[:extra_replicas]:
+                block.replicas.append(target)
+                self.bytes_on_node[target] += block.size
+                path = self.cluster.shuffle_path(source, target)
+                flows.append(net.transfer(
+                    block.size, path,
+                    label=f"dfs-repl:{name}#{block.index}->{target}"))
+        del reader
+        return AllOf(self.cluster.sim, [f.done for f in flows])
+
+    # ------------------------------------------------------- re-replication
+    def under_replicated(self) -> list[tuple[FileMeta, Block]]:
+        """Blocks with at least one live replica but fewer than the file's
+        target replication (candidates for HDFS-style restoration)."""
+        alive = len(self.cluster.alive_ids())
+        out = []
+        for meta in self.files.values():
+            want = min(meta.target_replication, alive)
+            for block in meta.blocks:
+                if 0 < block.replication < want:
+                    out.append((meta, block))
+        return out
+
+    def restore_replication(self) -> Event:
+        """Re-replicate every under-replicated block from a surviving
+        replica to fresh nodes (HDFS's post-failure background traffic).
+
+        Returns an event firing when all copies are durable; returns an
+        immediately-triggered event when nothing needs restoring."""
+        net = self.cluster.network
+        flows = []
+        for meta, block in self.under_replicated():
+            want = min(meta.target_replication,
+                       len(self.cluster.alive_ids()))
+            source = block.replicas[0]
+            targets = self.placement.choose(self.cluster, source, want)
+            new_targets = [t for t in targets if t not in block.replicas]
+            for target in new_targets[:want - block.replication]:
+                block.replicas.append(target)
+                self.bytes_on_node[target] += block.size
+                flows.append(net.transfer(
+                    block.size, self.cluster.shuffle_path(source, target),
+                    label=f"re-repl:{meta.name}#{block.index}->{target}"))
+        return AllOf(self.cluster.sim, [f.done for f in flows])
+
+    # -------------------------------------------------------------- failures
+    def on_node_death(self, node_id: int) -> list[FileMeta]:
+        """Drop all replicas held by ``node_id``; return files that lost
+        at least one *block* entirely (zero replicas remain)."""
+        damaged: list[FileMeta] = []
+        for meta in self.files.values():
+            lost_any = False
+            for block in meta.blocks:
+                if block.drop_replica(node_id):
+                    self.bytes_on_node[node_id] -= block.size
+                    if not block.available:
+                        lost_any = True
+            if lost_any:
+                damaged.append(meta)
+        return damaged
+
+    # ------------------------------------------------------------- queries
+    def files_with_tag(self, **tags) -> list[FileMeta]:
+        out = []
+        for meta in self.files.values():
+            if all(meta.tags.get(k) == v for k, v in tags.items()):
+                out.append(meta)
+        return out
+
+    def total_bytes(self) -> float:
+        return sum(self.bytes_on_node.values())

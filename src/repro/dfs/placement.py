@@ -1,0 +1,98 @@
+"""Replica placement policies.
+
+The default mirrors HDFS's write path: the first replica lands on the writer
+node, the second on a node in a different rack (when one exists), the third
+on a different node of the second replica's rack; further replicas go to
+random distinct nodes.  Dead nodes are never chosen.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.cluster.topology import Cluster
+
+
+class PlacementPolicy(Protocol):
+    """Chooses replica target nodes for a new block."""
+
+    def choose(self, cluster: Cluster, writer: int, replication: int) -> list[int]:
+        """Return ``replication`` distinct alive node ids, writer first if
+        alive."""
+        ...  # pragma: no cover
+
+
+class RackAwarePlacement:
+    """HDFS-style rack-aware placement (see module docstring)."""
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+
+    def choose(self, cluster: Cluster, writer: int,
+               replication: int) -> list[int]:
+        alive = cluster.alive_ids()
+        if not alive:
+            raise RuntimeError("no alive nodes to place replicas on")
+        replication = min(replication, len(alive))
+        chosen: list[int] = []
+        if cluster.nodes[writer].alive:
+            chosen.append(writer)
+        else:
+            chosen.append(int(alive[self._rng.integers(len(alive))]))
+        first_rack = cluster.nodes[chosen[0]].rack
+
+        def pick(candidates: Sequence[int]) -> int | None:
+            pool = [c for c in candidates if c not in chosen]
+            if not pool:
+                return None
+            return int(pool[self._rng.integers(len(pool))])
+
+        if len(chosen) < replication:
+            off_rack = [n for n in alive
+                        if cluster.nodes[n].rack != first_rack]
+            second = pick(off_rack)
+            if second is None:
+                second = pick(alive)
+            if second is not None:
+                chosen.append(second)
+        if len(chosen) < replication:
+            second_rack = cluster.nodes[chosen[-1]].rack
+            same_rack = [n for n in alive
+                         if cluster.nodes[n].rack == second_rack]
+            third = pick(same_rack)
+            if third is None:
+                third = pick(alive)
+            if third is not None:
+                chosen.append(third)
+        while len(chosen) < replication:
+            extra = pick(alive)
+            if extra is None:
+                break
+            chosen.append(extra)
+        return chosen
+
+
+class SpreadPlacement:
+    """Round-robin placement over alive nodes.
+
+    Used to distribute a chain's *input* file evenly (the paper distributes
+    input data evenly across all compute nodes, §III-A "data locality is
+    trivially obtained"), and by the §IV-B2 "spread reducer output"
+    alternative to splitting.
+    """
+
+    def __init__(self, start: int = 0):
+        self._next = start
+
+    def choose(self, cluster: Cluster, writer: int,
+               replication: int) -> list[int]:
+        alive = cluster.alive_ids()
+        replication = min(replication, len(alive))
+        chosen = []
+        primary_index = self._next % len(alive)
+        self._next += 1
+        for k in range(replication):
+            chosen.append(alive[(primary_index + k) % len(alive)])
+        return chosen

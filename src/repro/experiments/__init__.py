@@ -1,0 +1,38 @@
+"""Experiment harness: one module per evaluation figure (Figs. 2, 8-14).
+
+Each module exposes ``run(scale=...) -> ExperimentReport``.  Scales:
+
+* ``"ci"`` — tiny clusters/inputs, seconds of wall time; used by tests.
+* ``"bench"`` — STIC at full paper scale, DCO scaled down (the default for
+  the benchmark harness).
+* ``"paper"`` — both testbeds at the paper's full scale (minutes of wall
+  time for the DCO columns).
+"""
+
+from repro.experiments import (
+    common,
+    fig2,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    ratios,
+)
+
+ALL_FIGURES = {
+    "fig2": fig2,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "ratios": ratios,
+}
+
+__all__ = ["ALL_FIGURES", "common", "fig2", "fig8", "fig9", "fig10",
+           "fig11", "fig12", "fig13", "fig14", "ratios"]

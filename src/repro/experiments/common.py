@@ -1,0 +1,79 @@
+"""Shared experiment plumbing: scales, cluster/chain configs, run helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import presets
+from repro.cluster.presets import DCO_PER_NODE_INPUT, STIC_PER_NODE_INPUT
+from repro.cluster.spec import GB, MB, ClusterSpec
+from repro.core.middleware import ChainResult, run_chain
+from repro.core.strategies import Strategy
+from repro.workloads.chain import ChainSpec, build_chain
+
+SCALES = ("ci", "bench", "paper")
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """A (cluster, chain) pair at a chosen scale."""
+
+    label: str
+    cluster: ClusterSpec
+    chain: ChainSpec
+
+
+def check_scale(scale: str) -> None:
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+
+
+def stic_testbed(scale: str, slots: tuple[int, int] = (1, 1),
+                 n_jobs: int = 7) -> TestbedConfig:
+    """STIC: 10 nodes x 4 GB (40 GB total) at bench/paper scale."""
+    check_scale(scale)
+    if scale == "ci":
+        cluster = presets.tiny(4, slots)
+        chain = build_chain(n_jobs=min(n_jobs, 3),
+                            per_node_input=256 * MB, block_size=64 * MB)
+    else:
+        cluster = presets.stic(slots)
+        chain = build_chain(n_jobs=n_jobs,
+                            per_node_input=STIC_PER_NODE_INPUT)
+    return TestbedConfig(f"SLOTS {slots[0]}-{slots[1]}, STIC, 40GB",
+                         cluster, chain)
+
+
+def dco_testbed(scale: str, slots: tuple[int, int] = (1, 1),
+                n_jobs: int = 7, n_nodes: int = 60) -> TestbedConfig:
+    """DCO: 60 nodes x 20 GB (1.2 TB total) at paper scale; the bench scale
+    trims the node count and per-node input to bound wall time (the
+    strategy orderings are insensitive to both)."""
+    check_scale(scale)
+    if scale == "ci":
+        cluster = presets.tiny(5, slots)
+        chain = build_chain(n_jobs=min(n_jobs, 3),
+                            per_node_input=256 * MB, block_size=64 * MB)
+    elif scale == "bench":
+        cluster = presets.dco(slots, n_nodes=n_nodes)
+        chain = build_chain(n_jobs=n_jobs, per_node_input=5 * GB)
+    else:
+        cluster = presets.dco(slots, n_nodes=n_nodes)
+        chain = build_chain(n_jobs=n_jobs,
+                            per_node_input=DCO_PER_NODE_INPUT)
+    return TestbedConfig(f"SLOTS {slots[0]}-{slots[1]}, DCO, 1.2TB",
+                         cluster, chain)
+
+
+def execute(testbed: TestbedConfig, strategy: Strategy,
+            failures=None, seed: int = 0, **kw) -> ChainResult:
+    """Run one chain execution on a testbed."""
+    return run_chain(testbed.cluster, strategy, chain=testbed.chain,
+                     failures=failures, seed=seed, **kw)
+
+
+def slowdown_factors(results: dict[str, float]) -> dict[str, float]:
+    """Normalize runtimes to the fastest run (the paper's 'slowdown
+    factor' y-axis in Figs. 8-10)."""
+    fastest = min(results.values())
+    return {name: value / fastest for name, value in results.items()}

@@ -1,0 +1,75 @@
+"""Fig. 10: extrapolation to longer chains (numerical analysis).
+
+The paper extrapolates the 7-job STIC measurements (SLOTS 2-2, failure at
+job 2) to chains of 10-100 jobs, composing measured per-job averages:
+full-cluster jobs before the failure, recomputation with 9 nodes, and
+post-failure jobs with 9 nodes.  Finding: RCMP's relative benefit is
+essentially flat in chain length — the early-failure speed-up reduces to
+the ratio of a baseline's 9-node job time to RCMP's.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.extrapolation import extract_averages, extrapolate_chain_length
+from repro.analysis.reporting import ExperimentReport
+from repro.core import strategies
+from repro.core.strategies import rcmp
+from repro.experiments.common import check_scale, execute, stic_testbed
+
+CHAIN_LENGTHS = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+
+#: Fig. 10's roughly flat levels for SLOTS 2-2 STIC, failure at job 2
+PAPER_LEVEL = {"HADOOP REPL-2": 1.3, "HADOOP REPL-3": 1.9}
+
+
+def run(scale: str = "bench", seed: int = 0) -> ExperimentReport:
+    check_scale(scale)
+    report = ExperimentReport(
+        "Fig. 10", "Slowdown vs chain length (failure at job 2, "
+        "numerical analysis from measured 7-job averages)")
+    bed = stic_testbed(scale, (2, 2))
+    fail_at = 2
+    split_ratio = 8 if scale != "ci" else None
+    rcmp_result = execute(bed, rcmp(split_ratio=split_ratio),
+                          failures=str(fail_at), seed=seed)
+    baselines = {
+        "HADOOP REPL-2": execute(bed, strategies.REPL2,
+                                 failures=str(fail_at), seed=seed),
+        "HADOOP REPL-3": execute(bed, strategies.REPL3,
+                                 failures=str(fail_at), seed=seed),
+    }
+    rcmp_avgs = extract_averages(rcmp_result)
+    base_avgs = {name: extract_averages(res)
+                 for name, res in baselines.items()}
+    curves = extrapolate_chain_length(rcmp_avgs, base_avgs,
+                                      CHAIN_LENGTHS, fail_at=fail_at)
+    for name in ("HADOOP REPL-2", "HADOOP REPL-3"):
+        curve = curves[name]
+        report.add(f"{name} slowdown @ L=10", float(curve[0]),
+                   paper=PAPER_LEVEL[name])
+        report.add(f"{name} slowdown @ L=50", float(curve[4]),
+                   paper=PAPER_LEVEL[name])
+        report.add(f"{name} slowdown @ L=100", float(curve[-1]),
+                   paper=PAPER_LEVEL[name])
+        flatness = float(curve.max() - curve.min())
+        report.add(f"{name} spread over L (max-min)", flatness, paper=None,
+                   note="paper: curves are nearly flat in chain length")
+    return report
+
+
+def curves(scale: str = "bench", seed: int = 0):
+    """Raw {strategy: slowdown array} over CHAIN_LENGTHS, for plotting."""
+    bed = stic_testbed(scale, (2, 2))
+    split_ratio = 8 if scale != "ci" else None
+    rcmp_result = execute(bed, rcmp(split_ratio=split_ratio), failures="2",
+                          seed=seed)
+    baselines = {
+        "HADOOP REPL-2": execute(bed, strategies.REPL2, failures="2",
+                                 seed=seed),
+        "HADOOP REPL-3": execute(bed, strategies.REPL3, failures="2",
+                                 seed=seed),
+    }
+    return extrapolate_chain_length(
+        extract_averages(rcmp_result),
+        {k: extract_averages(v) for k, v in baselines.items()},
+        CHAIN_LENGTHS, fail_at=2)

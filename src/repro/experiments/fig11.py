@@ -1,0 +1,57 @@
+"""Fig. 11: recomputation speed-up vs number of nodes (DCO, 20 GB/node).
+
+The per-node work stays constant while the node count grows 12 -> 60; after
+a single failure the 20 GB that lived on the failed node is recomputed.
+"Speed-up" is the ratio of the initial run time of a job to the time of its
+recomputation run.  The paper's reducer split ratio is N-1.
+
+Findings: without splitting the speed-up is nearly flat (~2-3x, from map
+reuse and fewer map waves only — one node still recomputes the whole lost
+reducer); with splitting it grows strongly with N (~5x at 12 nodes to
+~15-20x at 60).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentReport
+from repro.core import strategies
+from repro.experiments.common import check_scale, dco_testbed, execute
+
+NODE_COUNTS = (12, 24, 36, 48, 60)
+
+#: approximate speed-ups read off the paper's figure
+PAPER_SPLIT = {12: 5.0, 24: 8.0, 36: 11.0, 48: 13.0, 60: 15.0}
+PAPER_NOSPLIT = {12: 2.0, 24: 2.5, 36: 2.5, 48: 3.0, 60: 3.0}
+
+
+def speedup(result) -> float:
+    """Initial-run duration over average recomputation-run duration."""
+    initial = result.metrics.job_durations("initial")
+    recomps = result.metrics.job_durations("recompute")
+    if recomps.size == 0:
+        raise RuntimeError("run had no recomputations")
+    return float(np.mean(initial) / np.mean(recomps))
+
+
+def run(scale: str = "bench", seed: int = 0,
+        node_counts=NODE_COUNTS) -> ExperimentReport:
+    check_scale(scale)
+    report = ExperimentReport(
+        "Fig. 11", "Recomputation speed-up vs cluster size (split = N-1)")
+    if scale == "ci":
+        node_counts = (4, 6)
+    for n in node_counts:
+        bed = dco_testbed(scale, (1, 1), n_jobs=3, n_nodes=n)
+        # fail late so recomputations exist; constant per-node work
+        split = execute(bed, strategies.RCMP, failures="3", seed=seed)
+        nosplit = execute(bed, strategies.RCMP_NOSPLIT, failures="3",
+                          seed=seed)
+        report.add(f"N={n} RCMP SPLIT", speedup(split),
+                   paper=PAPER_SPLIT.get(n))
+        report.add(f"N={n} RCMP NO-SPLIT", speedup(nosplit),
+                   paper=PAPER_NOSPLIT.get(n))
+    report.notes.append("speed-up = mean initial job time / mean "
+                        "recomputation run time, per-node work constant")
+    return report

@@ -1,0 +1,82 @@
+"""Fig. 13: speed-up from fewer reducer waves during recomputation (§V-D).
+
+To isolate the reduce side, no map outputs are reused (all mappers are
+recomputed) and splitting is off.  The initial run computes 10/20/40
+reducers with 1 reducer slot per node (1/2/4 waves); on recomputation only
+the failed node's reducers (1/2/4 of them) remain and all fit in one wave.
+
+FAST SHUFFLE is the plain STIC network; SLOW SHUFFLE adds a 10 s delay to
+the end of every shuffle transfer.  Paper findings: SLOW's speed-up grows
+linearly with the initial/recomputation wave ratio (every initial wave
+costs the same, shuffle-dominated); FAST grows sub-linearly because only
+the first initial wave overlaps the map phase and is the most expensive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentReport
+from repro.core.strategies import Strategy
+from repro.experiments.common import check_scale, execute, stic_testbed
+from repro.workloads.chain import build_chain
+from repro.cluster.presets import STIC_PER_NODE_INPUT
+from repro.cluster.spec import MB
+
+WAVE_RATIOS = (1, 2, 4)
+
+#: approximate paper values: speed-up at wave ratios 1:1 / 2:1 / 4:1
+PAPER = {
+    "FAST SHUFFLE": {1: 1.3, 2: 2.0, 4: 2.7},
+    "SLOW SHUFFLE": {1: 1.1, 2: 2.0, 4: 3.8},
+}
+
+#: RCMP without splitting and without map-output reuse (paper's isolation)
+NO_REUSE = Strategy("RCMP NO-SPLIT NO-REUSE", replication=1, recompute=True,
+                    split_ratio=1, reuse_map_outputs=False)
+
+
+def _testbed(scale: str, slow: bool, reducers_per_node: float):
+    if scale == "ci":
+        bed = stic_testbed(scale, (1, 1), n_jobs=2)
+        chain = build_chain(n_jobs=2, per_node_input=256 * MB,
+                            block_size=64 * MB,
+                            reducers_per_node=reducers_per_node)
+        cluster = bed.cluster
+    else:
+        bed = stic_testbed(scale, (1, 1), n_jobs=2)
+        chain = build_chain(n_jobs=2, per_node_input=STIC_PER_NODE_INPUT,
+                            reducers_per_node=reducers_per_node)
+        cluster = bed.cluster
+    if slow:
+        cluster = cluster.with_slow_shuffle(10.0)
+    return dataclasses.replace(bed, cluster=cluster, chain=chain)
+
+
+def job_speedup(result) -> float:
+    initial = result.metrics.job_durations("initial")
+    recomps = result.metrics.job_durations("recompute")
+    if recomps.size == 0:
+        raise RuntimeError("no recomputation occurred")
+    return float(np.mean(initial) / np.mean(recomps))
+
+
+def run(scale: str = "bench", seed: int = 0) -> ExperimentReport:
+    check_scale(scale)
+    report = ExperimentReport(
+        "Fig. 13", "Speed-up vs reducer waves (initial:recomputation)")
+    for label, slow in (("FAST SHUFFLE", False), ("SLOW SHUFFLE", True)):
+        for waves in WAVE_RATIOS:
+            bed = _testbed(scale, slow, reducers_per_node=float(waves))
+            # single failure during the last job; its predecessor is
+            # recomputed with all mappers re-executed (no reuse)
+            result = execute(bed, NO_REUSE, failures="2", seed=seed)
+            report.add(f"{label} waves {waves}:1", job_speedup(result),
+                       paper=PAPER[label].get(waves))
+    report.notes.append("no map-output reuse, no splitting; reducer slots "
+                        "= 1 per node; recomputed reducers fit in 1 wave")
+    report.notes.append("paper: SLOW scales linearly with the wave ratio; "
+                        "FAST sub-linearly (first wave overlaps the maps)")
+    return report

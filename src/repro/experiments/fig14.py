@@ -1,0 +1,84 @@
+"""Fig. 14: speed-up vs number of mapper waves during recomputation (§V-D).
+
+The reduce side is pinned to one wave in both the initial run and the
+recomputation; the number of mapper waves executed during recomputation is
+swept by forcing extra mapper re-execution beyond the minimum (the paper
+varies how much map-side work the recomputation performs).
+
+Findings: under SLOW SHUFFLE the speed-up barely moves with mapper waves —
+finishing the maps earlier cannot shrink the network-bottlenecked shuffle;
+under FAST SHUFFLE the shuffle ends shortly after the last map output, so
+fewer recomputed mapper waves translate near-linearly into speed-up.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentReport
+from repro.core.strategies import Strategy
+from repro.experiments.common import check_scale, stic_testbed, execute
+from repro.workloads.chain import build_chain
+from repro.cluster.presets import STIC_PER_NODE_INPUT
+from repro.cluster.spec import MB
+
+#: mapper waves to force during recomputation (paper x-axis: 2..18)
+WAVE_POINTS = (2, 6, 10, 14, 18)
+
+#: approximate paper speed-ups at those wave counts
+PAPER = {
+    "FAST SHUFFLE": {2: 2.2, 6: 1.8, 10: 1.5, 14: 1.25, 18: 1.1},
+    "SLOW SHUFFLE": {2: 1.15, 6: 1.1, 10: 1.05, 14: 1.0, 18: 1.0},
+}
+
+NOSPLIT = Strategy("RCMP NO-SPLIT", replication=1, recompute=True,
+                   split_ratio=1)
+
+
+def _testbed(scale: str, slow: bool):
+    bed = stic_testbed(scale, (1, 1), n_jobs=2)
+    if scale == "ci":
+        chain = build_chain(n_jobs=2, per_node_input=256 * MB,
+                            block_size=64 * MB, reducers_per_node=1.0)
+    else:
+        chain = build_chain(n_jobs=2, per_node_input=STIC_PER_NODE_INPUT,
+                            reducers_per_node=1.0)
+    cluster = bed.cluster.with_slow_shuffle(10.0) if slow else bed.cluster
+    return dataclasses.replace(bed, cluster=cluster, chain=chain)
+
+
+def job_speedup(result) -> float:
+    initial = result.metrics.job_durations("initial")
+    recomps = result.metrics.job_durations("recompute")
+    if recomps.size == 0:
+        raise RuntimeError("no recomputation occurred")
+    return float(np.mean(initial) / np.mean(recomps))
+
+
+def waves_to_mappers(bed, waves: int) -> int:
+    """Mapper count that occupies ``waves`` waves on the survivors."""
+    survivors = bed.cluster.n_nodes - 1
+    slots = bed.cluster.node.mapper_slots
+    return waves * survivors * slots
+
+
+def run(scale: str = "bench", seed: int = 0,
+        wave_points=WAVE_POINTS) -> ExperimentReport:
+    check_scale(scale)
+    report = ExperimentReport(
+        "Fig. 14", "Speed-up vs mapper waves during recomputation")
+    if scale == "ci":
+        wave_points = (1, 2)
+    for label, slow in (("FAST SHUFFLE", False), ("SLOW SHUFFLE", True)):
+        bed = _testbed(scale, slow)
+        for waves in wave_points:
+            forced = waves_to_mappers(bed, waves)
+            result = execute(bed, NOSPLIT, failures="2", seed=seed,
+                             min_rerun_mappers=forced)
+            report.add(f"{label} {waves} mapper waves", job_speedup(result),
+                       paper=PAPER[label].get(waves))
+    report.notes.append("1 reducer wave in both runs; mapper waves forced "
+                        "by re-executing extra mappers beyond the minimum")
+    return report

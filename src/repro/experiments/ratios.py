@@ -1,0 +1,52 @@
+"""Input:shuffle:output ratio sweep (paper §V-A's prediction).
+
+The paper evaluates the sort-like 1/1/1 ratio and predicts that "the
+relative benefits of RCMP vs Hadoop are expected to increase when the job
+output is relatively larger compared to the input and shuffle (i.e. ratios
+of the form x:y:z where z > y and/or z > x, encountered in jobs like Pig
+Cogroup or creating a web index)".  Replication cost scales with *output*
+bytes, so output-heavy jobs pay it hardest.  This experiment sweeps the
+ratio and measures REPL-3's failure-free slowdown over RCMP.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ExperimentReport
+from repro.cluster.presets import STIC_PER_NODE_INPUT
+from repro.cluster.spec import MB
+from repro.core import strategies
+from repro.core.middleware import run_chain
+from repro.experiments.common import check_scale, stic_testbed
+from repro.workloads.chain import build_chain
+
+#: (label, map_output_ratio, reduce_output_ratio): shuffle = x*input,
+#: output = z*shuffle
+RATIOS = (
+    ("1:1:0.5 (filter-like)", 1.0, 0.5),
+    ("1:1:1 (sort, the paper's job)", 1.0, 1.0),
+    ("1:1:2 (cogroup-like)", 1.0, 2.0),
+    ("1:1:4 (index-building-like)", 1.0, 4.0),
+)
+
+
+def run(scale: str = "bench", seed: int = 0) -> ExperimentReport:
+    check_scale(scale)
+    report = ExperimentReport(
+        "Ratio sweep", "REPL-3 failure-free slowdown vs output weight "
+        "(§V-A prediction; no paper figure)")
+    bed = stic_testbed(scale, (1, 1), n_jobs=3)
+    per_node = 256 * MB if scale == "ci" else STIC_PER_NODE_INPUT
+    block = 64 * MB if scale == "ci" else bed.chain.block_size
+    for label, x, z in RATIOS:
+        chain = build_chain(n_jobs=3, per_node_input=per_node,
+                            block_size=block, ratios=(x, z))
+        rcmp = run_chain(bed.cluster, strategies.RCMP, chain=chain,
+                         seed=seed)
+        repl3 = run_chain(bed.cluster, strategies.REPL3, chain=chain,
+                          seed=seed)
+        report.add(f"{label}: REPL-3 / RCMP",
+                   repl3.total_runtime / rcmp.total_runtime)
+    report.notes.append("the paper predicts this slowdown grows with the "
+                        "output weight z; replication cost is per output "
+                        "byte")
+    return report

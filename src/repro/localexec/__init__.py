@@ -1,0 +1,25 @@
+"""Record-level in-process MapReduce with the paper's actual UDFs.
+
+The performance simulator (`repro.mapreduce` + `repro.core`) reproduces the
+paper's *timing* results; this package reproduces its *semantics*: it runs
+the 7-job chain on real key-value records, with the MD5-hash and byte-sum
+correctness checks the paper's custom job performs on every record (§V-A),
+persists task outputs, injects failures by dropping a node's storage, and
+recovers with the same minimal-recomputation + reducer-splitting logic —
+so tests can assert byte-for-byte output equality between failure-free and
+failure-recovered executions, including the subtle Fig. 5 hazard.
+"""
+
+from repro.localexec.engine import LocalCluster, LocalJobConfig
+from repro.localexec.records import Record, generate_records, map_udf, reduce_udf
+from repro.localexec.recovery import recover_and_finish
+
+__all__ = [
+    "LocalCluster",
+    "LocalJobConfig",
+    "Record",
+    "generate_records",
+    "map_udf",
+    "recover_and_finish",
+    "reduce_udf",
+]

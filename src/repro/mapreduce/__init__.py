@@ -1,0 +1,27 @@
+"""A slot/wave-based MapReduce engine running on the cluster simulator."""
+
+from repro.mapreduce.jobtracker import JobAborted, JobCompletion, JobTracker
+from repro.mapreduce.metrics import JobRecord, RunMetrics, TaskRecord
+from repro.mapreduce.types import (
+    JobPlan,
+    MapInput,
+    MapTaskSpec,
+    PartitionRef,
+    ReduceTaskSpec,
+    ReusedMapOutput,
+)
+
+__all__ = [
+    "JobAborted",
+    "JobCompletion",
+    "JobPlan",
+    "JobRecord",
+    "JobTracker",
+    "MapInput",
+    "MapTaskSpec",
+    "PartitionRef",
+    "ReduceTaskSpec",
+    "ReusedMapOutput",
+    "RunMetrics",
+    "TaskRecord",
+]

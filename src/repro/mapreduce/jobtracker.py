@@ -1,0 +1,754 @@
+"""The JobTracker: runs one MapReduce job run to completion (or abort).
+
+Execution model
+---------------
+* Every map/reduce task is a simulation process that first acquires a slot on
+  its assigned node, then performs its I/O as fluid flows.
+* Map task: read input block (local disk, or remote disk + network), apply
+  the UDF (CPU), write the map output to the local disk.  Completion feeds
+  the :class:`~repro.mapreduce.shuffle.ShuffleBoard` so reducers can fetch
+  progressively (the first reducer wave's shuffle overlaps the map phase,
+  paper §IV-B1).
+* Reduce task: fetch its key-range slice from every source node (shuffle),
+  merge-read the spilled data, apply the UDF, write the output partition to
+  the DFS with the configured replication factor.
+
+Failure semantics
+-----------------
+``recovery_mode="hadoop"`` (the replication baselines): tasks on a dead node
+are re-executed on survivors once the failure is *detected*
+(``failure_detection_timeout`` after the kill, §V-A); reducers that lose a
+shuffle source wait for the source's maps to be re-executed and re-fetch.
+If an input block has no surviving replica the run fails permanently with
+:class:`JobFailed` (REPL-2 under a double failure).
+
+``recovery_mode="abort"`` (RCMP and OPTIMISTIC): upon detection the job is
+cancelled — all task processes are interrupted, their in-flight flows
+aborted, partially written outputs deleted — and :class:`JobAborted` is
+raised to the middleware, which plans recomputation (§IV-A).  The paper
+notes the ~45 s from injection to cancellation is pure overhead for RCMP
+because partial results are discarded.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.cluster.topology import Cluster, Node
+from repro.dfs import DistributedFileSystem
+from repro.dfs.placement import SpreadPlacement
+from repro.mapreduce.metrics import JobRecord, RunMetrics, TaskRecord
+from repro.mapreduce.scheduler import assign_tasks
+from repro.mapreduce.shuffle import ShuffleBoard, pick_chunk_count
+from repro.mapreduce.types import JobPlan, MapTaskSpec, ReduceTaskSpec
+from repro.simcore import AllOf, Event, Interrupt, SimulationError
+
+
+class JobAborted(Exception):
+    """The run was cancelled (node failure under recovery_mode='abort')."""
+
+    def __init__(self, plan: JobPlan, dead_nodes: list[int]):
+        super().__init__(f"job {plan.name} aborted; dead nodes {dead_nodes}")
+        self.plan = plan
+        self.dead_nodes = dead_nodes
+
+
+class JobFailed(Exception):
+    """Unrecoverable data loss in recovery_mode='hadoop' (insufficient
+    replication for the failure pattern, e.g. REPL-2 + a double failure)."""
+
+
+@dataclass
+class JobCompletion:
+    """What the middleware needs to know after a successful run."""
+
+    logical_index: int
+    ordinal: int
+    #: partition -> ordered (node, bytes) pieces of the (re)generated output
+    partition_pieces: dict[int, list[tuple[int, float]]]
+    #: partition -> DFS file names holding those pieces
+    partition_files: dict[int, list[str]]
+    #: map task id -> node where its (persisted) output lives
+    map_output_nodes: dict[int, int]
+    duration: float
+
+
+@dataclass
+class _TaskState:
+    spec: object
+    node: int
+    proc: object = None
+    status: str = "pending"    # pending | running | done | dead
+    record: Optional[TaskRecord] = None
+    is_redo: bool = False
+    redo_origins: set = field(default_factory=set)
+    flows: list = field(default_factory=list)
+    output_pieces: Optional[list[tuple[int, float]]] = None
+    output_file: Optional[str] = None
+
+
+class JobTracker:
+    """Runs job plans on a cluster; one instance per chain execution."""
+
+    def __init__(self, cluster: Cluster, dfs: DistributedFileSystem,
+                 metrics: RunMetrics, shuffle_flow_budget: int = 20_000):
+        self.cluster = cluster
+        self.dfs = dfs
+        self.metrics = metrics
+        self.shuffle_flow_budget = shuffle_flow_budget
+        self._ordinal = 0
+
+    def next_ordinal(self) -> int:
+        self._ordinal += 1
+        return self._ordinal
+
+    def peek_ordinal(self) -> int:
+        """The ordinal the next run_job call will receive (paper job IDs)."""
+        return self._ordinal + 1
+
+    def run_job(self, plan: JobPlan) -> Generator:
+        """Simulation process body: run ``plan`` to completion.
+
+        Returns a :class:`JobCompletion`; raises :class:`JobAborted` or
+        :class:`JobFailed` per the plan's recovery mode.
+        """
+        ordinal = self.next_ordinal()
+        record = self.metrics.open_job(ordinal, plan.logical_index,
+                                       plan.name, plan.kind,
+                                       self.cluster.sim.now)
+        run = _JobRun(self, plan, ordinal, record)
+        try:
+            completion = yield from run.execute()
+        finally:
+            record.end = self.cluster.sim.now
+            if record.outcome == "running":
+                record.outcome = "aborted"
+        record.outcome = "done"
+        return completion
+
+
+class _JobRun:
+    """Mutable state of one in-flight job run."""
+
+    def __init__(self, jt: JobTracker, plan: JobPlan, ordinal: int,
+                 record: JobRecord):
+        self.jt = jt
+        self.cluster = jt.cluster
+        self.sim = jt.cluster.sim
+        self.dfs = jt.dfs
+        self.plan = plan
+        self.ordinal = ordinal
+        self.record = record
+        self.completion_event = Event(self.sim)
+        self.dead_nodes: list[int] = []
+        self.finished = False
+
+        spec = self.cluster.spec
+        self.shuffle_latency = spec.shuffle_transfer_latency
+        self.detection_timeout = spec.failure_detection_timeout
+        self.task_overhead = spec.node.task_overhead
+        self.cpu_map = spec.node.cpu_map_bandwidth
+        self.cpu_reduce = spec.node.cpu_reduce_bandwidth
+
+        self.maps: dict[int, _TaskState] = {}
+        self.reduces: dict[int, _TaskState] = {}
+        self.maps_left = len(plan.map_tasks)
+        self.reduces_left = len(plan.reduce_tasks)
+        #: speculative duplicate attempts, by primary task id
+        self._spec_attempts: dict[int, _TaskState] = {}
+        #: dead source node -> event succeeding with {new_node: fraction}
+        self._redo_events: dict[int, Event] = {}
+        #: dead source node -> outstanding redo map task ids
+        self._redo_pending: dict[int, set[int]] = {}
+        self._death_watched: list[Node] = []
+
+    # ------------------------------------------------------------ lifecycle
+    def execute(self) -> Generator:
+        plan = self.plan
+        placement = assign_tasks(self.cluster, plan)
+
+        map_waves = self._estimate_map_waves(placement)
+        limit = self.cluster.spec.shuffle_chunk_limit
+        if limit:
+            map_waves = min(map_waves, limit)
+        chunks = pick_chunk_count(
+            len(placement.nodes_running_maps()
+                | {r.node for r in plan.reused_map_outputs}),
+            len(plan.reduce_tasks), map_waves,
+            self.jt.shuffle_flow_budget)
+        self.board = ShuffleBoard(self.sim, chunks)
+        per_node = Counter(placement.mappers.values())
+        for node, count in per_node.items():
+            self.board.register_source(node, count)
+        for reused in plan.reused_map_outputs:
+            self.board.register_reused_source(reused.node)
+
+        for task in plan.map_tasks:
+            state = _TaskState(task, placement.mappers[task.task_id])
+            self.maps[task.task_id] = state
+            self._launch(state, is_map=True)
+        for task in plan.reduce_tasks:
+            state = _TaskState(task, placement.reducers[task.task_id])
+            self.reduces[task.task_id] = state
+            self._launch(state, is_map=False)
+        self._watch_deaths()
+        if self.cluster.spec.speculative_execution:
+            self.sim.process(self._speculator(), name="speculator")
+
+        self._check_completion()
+        try:
+            yield self.completion_event
+        finally:
+            self._unwatch_deaths()
+        self.finished = True
+        return self._build_completion(plan)
+
+    def _estimate_map_waves(self, placement) -> int:
+        per_node = Counter(placement.mappers.values())
+        slots = max(1, self.cluster.spec.node.mapper_slots)
+        return max((-(-c // slots) for c in per_node.values()), default=1)
+
+    def _build_completion(self, plan: JobPlan) -> JobCompletion:
+        pieces: dict[int, list[tuple[int, float]]] = {}
+        files: dict[int, list[str]] = {}
+        for state in self.reduces.values():
+            spec: ReduceTaskSpec = state.spec
+            entry = pieces.setdefault(spec.partition, [])
+            if state.output_pieces:
+                entry.extend(state.output_pieces)
+            else:
+                entry.append((state.node, plan.reduce_output_size(spec)))
+            if state.output_file:
+                files.setdefault(spec.partition, []).append(state.output_file)
+        map_nodes = {tid: st.node for tid, st in self.maps.items()}
+        return JobCompletion(
+            logical_index=plan.logical_index,
+            ordinal=self.ordinal,
+            partition_pieces=pieces,
+            partition_files=files,
+            map_output_nodes=map_nodes,
+            duration=self.sim.now - self.record.start,
+        )
+
+    # ------------------------------------------------------------ launching
+    def _launch(self, state: _TaskState, is_map: bool) -> None:
+        body = self._map_task(state) if is_map else self._reduce_task(state)
+        kind = "map" if is_map else "reduce"
+        proc = self.sim.process(body, name=f"{kind}-{state.spec.task_id}")
+        state.proc = proc
+        self.cluster.nodes[state.node].register_task(proc)
+
+    @staticmethod
+    def _acquire_slot(pool) -> Generator:
+        """Acquire a slot, never leaking it if the task is interrupted
+        while queued (or between grant and resume)."""
+        req = pool.request()
+        try:
+            yield req
+        except Interrupt:
+            if req.triggered and req.ok:
+                pool.release()
+            elif not req.triggered:
+                pool.cancel(req)
+            raise
+
+    def _transfer(self, state: _TaskState, size: float, links,
+                  latency: float = 0.0, label: str = ""):
+        """Start a flow owned by ``state`` (aborted if the task is killed)."""
+        flow = self.cluster.network.transfer(size, links, latency=latency,
+                                             label=label)
+        state.flows.append(flow)
+        return flow
+
+    def _abort_task_flows(self, state: _TaskState) -> None:
+        for flow in state.flows:
+            if not flow.finished:
+                self.cluster.network.abort(flow)
+        state.flows.clear()
+
+    # -------------------------------------------------------------- mappers
+    def _map_task(self, state: _TaskState) -> Generator:
+        node = self.cluster.nodes[state.node]
+        slot_held = False
+        try:
+            yield from self._acquire_slot(node.mapper_slots)
+            slot_held = True
+            while True:  # retry loop for input-source deaths
+                try:
+                    yield from self._map_attempt(state)
+                    return
+                except SimulationError:
+                    if self._abortive():
+                        self._task_stalled(state)
+                        return
+                    # Remote input source died mid-read: retry from another
+                    # replica immediately, as Hadoop's read path does.
+                    if state.record is not None and state.record.end is None:
+                        state.record.end = self.sim.now
+                        state.record.outcome = "failed"
+        except Interrupt:
+            self._task_killed(state)
+        except JobFailed as exc:
+            self._fatal(exc)
+        finally:
+            if slot_held and node.alive:
+                node.mapper_slots.release()
+
+    def _map_attempt(self, state: _TaskState) -> Generator:
+        task: MapTaskSpec = state.spec
+        node = self.cluster.nodes[state.node]
+        state.status = "running"
+        state.record = TaskRecord(self.ordinal, self.plan.kind, "map",
+                                  task.task_id, state.node, self.sim.now,
+                                  bytes_in=task.input.size,
+                                  bytes_out=task.output_size)
+        self.record.tasks.append(state.record)
+        yield self.sim.timeout(self.task_overhead)
+        source = self._pick_input_source(task, state.node)
+        if source is None:
+            raise JobFailed(f"map {task.task_id}: no live replica of input")
+        read = self._transfer(state, task.input.size,
+                              self.cluster.read_path(source, state.node),
+                              label=f"m{task.task_id}.read")
+        yield read.done
+        yield self.sim.timeout(task.input.size / self.cpu_map)
+        write = self._transfer(state, task.output_size, [node.disk],
+                               label=f"m{task.task_id}.out")
+        yield write.done
+        self._map_done(state)
+
+    def _pick_input_source(self, task: MapTaskSpec,
+                           node_id: int) -> Optional[int]:
+        """Prefer the local replica, else the first live holder (replica
+        placement is randomized, so first-holder reads spread naturally
+        like HDFS's closest-replica policy does)."""
+        alive = [loc for loc in task.input.locations
+                 if self.cluster.nodes[loc].alive]
+        if not alive:
+            return None
+        return node_id if node_id in alive else alive[0]
+
+    def _map_done(self, state: _TaskState) -> None:
+        state.status = "done"
+        state.record.end = self.sim.now
+        state.record.outcome = "done"
+        # a straggler finishing after its speculative duplicate won: the
+        # task was already accounted for, just retire the loser attempt
+        attempt = self._spec_attempts.get(state.spec.task_id)
+        if attempt is not None and attempt is not state:
+            if attempt.proc is not None and attempt.proc.is_alive:
+                attempt.proc.interrupt("original attempt won")
+            self._abort_task_flows(attempt)
+        if state.is_redo:
+            self._redo_map_done(state)
+        else:
+            self.board.map_completed(state.node)
+        self.maps_left -= 1
+        self._check_completion()
+
+    # ------------------------------------------------------- speculation
+    def _speculator(self) -> Generator:
+        """Hadoop-style straggler detection for mappers (§II).
+
+        Periodically compares running mappers to the median completed
+        mapper duration; stragglers get a duplicate attempt on another
+        node.  The duplicate reads a *different* input replica when one
+        exists — the paper's §III-A point: when none exists (replication
+        factor 1, or the slowness comes from the data's location), the
+        duplicate hits the same bottleneck and brings no benefit.
+        Completion-time bookkeeping only: the winning duplicate marks the
+        original task done early; shuffle placement keeps the original
+        node."""
+        spec = self.cluster.spec
+        while not self.completion_event.triggered:
+            yield self.sim.timeout(spec.speculation_interval)
+            if self.completion_event.triggered or self.dead_nodes:
+                return
+            done = [st.record.duration for st in self.maps.values()
+                    if st.status == "done" and st.record is not None]
+            if not done:
+                continue
+            done.sort()
+            median = done[len(done) // 2]
+            threshold = max(spec.speculation_slowdown * median,
+                            spec.speculation_min_runtime)
+            for tid, state in self.maps.items():
+                if state.status != "running" or state.record is None:
+                    continue
+                if tid in self._spec_attempts:
+                    continue
+                if self.sim.now - state.record.start > threshold:
+                    self._launch_speculative(state)
+
+    def _launch_speculative(self, primary: _TaskState) -> None:
+        # Hadoop hands speculative tasks to nodes asking for work: only
+        # launch when another node has a free mapper slot (otherwise the
+        # next speculator scan retries).
+        candidates = [n for n in self.cluster.alive_ids()
+                      if n != primary.node
+                      and self.cluster.nodes[n].mapper_slots.available > 0]
+        if not candidates:
+            return
+        node = min(candidates,
+                   key=lambda n: (self.cluster.nodes[n].mapper_slots.in_use,
+                                  n))
+        attempt = _TaskState(primary.spec, node)
+        attempt.is_redo = primary.is_redo
+        attempt.redo_origins = set(primary.redo_origins)
+        self._spec_attempts[primary.spec.task_id] = attempt
+        proc = self.sim.process(self._speculative_map(primary, attempt),
+                                name=f"spec-map-{primary.spec.task_id}")
+        attempt.proc = proc
+        self.cluster.nodes[node].register_task(proc)
+
+    def _speculative_map(self, primary: _TaskState,
+                         attempt: _TaskState) -> Generator:
+        task: MapTaskSpec = primary.spec
+        node = self.cluster.nodes[attempt.node]
+        slot_held = False
+        try:
+            yield from self._acquire_slot(node.mapper_slots)
+            slot_held = True
+            if primary.status == "done":
+                return  # raced: original finished while we queued
+            attempt.status = "running"
+            attempt.record = TaskRecord(self.ordinal, self.plan.kind,
+                                        "map-speculative", task.task_id,
+                                        attempt.node, self.sim.now,
+                                        bytes_in=task.input.size,
+                                        bytes_out=task.output_size)
+            self.record.tasks.append(attempt.record)
+            yield self.sim.timeout(self.task_overhead)
+            source = self._pick_speculative_source(task, primary,
+                                                   attempt.node)
+            if source is None:
+                self._task_stalled(attempt)
+                return
+            read = self._transfer(attempt, task.input.size,
+                                  self.cluster.read_path(source,
+                                                         attempt.node),
+                                  label=f"m{task.task_id}.spec.read")
+            yield read.done
+            yield self.sim.timeout(task.input.size / self.cpu_map)
+            write = self._transfer(attempt, task.output_size, [node.disk],
+                                   label=f"m{task.task_id}.spec.out")
+            yield write.done
+            if primary.status != "running":
+                # lost the race, or the original is being re-executed by
+                # failure recovery — never double-complete the task
+                self._task_stalled(attempt)
+                return
+            # the duplicate won: retire the straggler and complete the task
+            attempt.record.end = self.sim.now
+            attempt.record.outcome = "done"
+            if primary.proc is not None and primary.proc.is_alive:
+                primary.proc.interrupt("speculative attempt won")
+            self._abort_task_flows(primary)
+            primary.status = "done"
+            if primary.record is not None and primary.record.end is None:
+                primary.record.end = self.sim.now
+                primary.record.outcome = "killed"
+            if primary.is_redo:
+                self._redo_map_done(primary)
+            else:
+                self.board.map_completed(primary.node)
+            self.maps_left -= 1
+            self._check_completion()
+        except (Interrupt, SimulationError):
+            self._task_killed(attempt)
+        finally:
+            if slot_held and node.alive:
+                node.mapper_slots.release()
+
+    def _pick_speculative_source(self, task: MapTaskSpec,
+                                 primary: _TaskState,
+                                 node_id: int) -> Optional[int]:
+        """Prefer a replica the straggler is NOT reading from."""
+        alive = [loc for loc in task.input.locations
+                 if self.cluster.nodes[loc].alive]
+        if not alive:
+            return None
+        straggler_source = self._pick_input_source(task, primary.node)
+        others = [loc for loc in alive if loc != straggler_source]
+        pool = others or alive
+        return node_id if node_id in pool else pool[0]
+
+    # -------------------------------------------------------------- reducers
+    def _reduce_task(self, state: _TaskState) -> Generator:
+        task: ReduceTaskSpec = state.spec
+        node = self.cluster.nodes[state.node]
+        plan = self.plan
+        slot_held = False
+        try:
+            yield from self._acquire_slot(node.reducer_slots)
+            slot_held = True
+            state.status = "running"
+            input_size = plan.reduce_input_size(task)
+            output_size = plan.reduce_output_size(task)
+            state.record = TaskRecord(self.ordinal, plan.kind, "reduce",
+                                      task.task_id, state.node, self.sim.now,
+                                      bytes_in=input_size,
+                                      bytes_out=output_size)
+            self.record.tasks.append(state.record)
+            yield self.sim.timeout(self.task_overhead)
+
+            # -- shuffle ------------------------------------------------
+            # A reduce task copies every map's output slice; with a
+            # per-transfer latency (SLOW SHUFFLE, §V-D) the copies
+            # serialize over the reducer's copier-thread pool.
+            waits = [self.sim.process(
+                self._fetch(state, src, nbytes),
+                name=f"r{task.task_id}.fetch{src}")
+                for src, nbytes in self._source_bytes(task).items()]
+            if self.shuffle_latency > 0:
+                transfers = (len(plan.map_tasks)
+                             + len(plan.reused_map_outputs))
+                copiers = self.cluster.spec.node.reduce_parallel_copies
+                waits.append(self.sim.timeout(
+                    self.shuffle_latency * transfers / copiers))
+            yield AllOf(self.sim, waits)
+
+            # -- merge + UDF ---------------------------------------------
+            if input_size > 0:
+                merge = self._transfer(state, input_size, [node.disk],
+                                       label=f"r{task.task_id}.merge")
+                yield merge.done
+            yield self.sim.timeout(input_size / self.cpu_reduce)
+
+            # -- output write (retried on replica-target death) -----------
+            while True:
+                try:
+                    yield from self._write_output(state, output_size)
+                    break
+                except SimulationError:
+                    if self._abortive():
+                        self._task_stalled(state)
+                        return
+            self._reduce_done(state)
+        except Interrupt:
+            self._task_killed(state)
+        except JobFailed as exc:
+            self._fatal(exc)
+        finally:
+            if slot_held and node.alive:
+                node.reducer_slots.release()
+
+    def _output_file_name(self, task: ReduceTaskSpec) -> str:
+        return (f"job{self.plan.logical_index}"
+                f"/part-{task.partition:05d}"
+                f".{task.split_index}of{task.n_splits}"
+                f".run{self.ordinal}")
+
+    def _write_output(self, state: _TaskState, output_size: float
+                      ) -> Generator:
+        task: ReduceTaskSpec = state.spec
+        name = self._output_file_name(task)
+        tags = {"job_index": self.plan.logical_index,
+                "partition": task.partition, "kind": "reduce-output"}
+        if self.dfs.exists(name):  # leftover from a failed attempt
+            self.dfs.delete(name)
+        placement = SpreadPlacement() if self.plan.spread_output else None
+        state.output_file = name
+        done = self.dfs.write(name, output_size, writer=state.node,
+                              replication=self.plan.output_replication,
+                              tags=tags, placement=placement,
+                              flow_sink=state.flows)
+        yield done
+        if self.plan.spread_output:
+            meta = self.dfs.meta(name)
+            state.output_pieces = [(b.replicas[0], b.size)
+                                   for b in meta.blocks]
+
+    def _source_bytes(self, task: ReduceTaskSpec) -> dict[int, float]:
+        """Bytes this reduce task fetches from each source node."""
+        plan = self.plan
+        per_source: dict[int, float] = {}
+        for state in self.maps.values():
+            spec: MapTaskSpec = state.spec
+            per_source[state.node] = per_source.get(state.node, 0.0) + \
+                spec.slice_size(plan.n_partitions, task.fraction)
+        for reused in plan.reused_map_outputs:
+            per_source[reused.node] = per_source.get(reused.node, 0.0) + \
+                reused.slice_size(plan.n_partitions, task.fraction)
+        return {s: b for s, b in per_source.items() if b > 0}
+
+    def _fetch(self, owner: _TaskState, src: int,
+               nbytes: float) -> Generator:
+        """Fetch ``nbytes`` of map output from source node ``src``.
+
+        Survives source death by waiting for the source's maps to be
+        re-executed and re-fetching from their new homes (recursively, so
+        chained failures during recovery are handled too)."""
+        dst = owner.node
+        chunks = self.board.chunks
+        per_chunk = nbytes / chunks
+        chunk = 0
+        while chunk < chunks:
+            try:
+                yield self.board.ready(src, chunk)
+                flow = self._transfer(
+                    owner, per_chunk, self.cluster.shuffle_path(src, dst),
+                    label=f"shuf:{src}->{dst}.{chunk}")
+                yield flow.done
+                chunk += 1
+            except SimulationError:
+                if self._abortive() or not self.cluster.nodes[dst].alive:
+                    return  # job cancelled / we ourselves died; park quietly
+                mapping = yield self._redo_mapping(src)
+                remaining = nbytes - chunk * per_chunk
+                subfetch = [self.sim.process(
+                    self._fetch(owner, new_src, remaining * frac),
+                    name=f"refetch:{new_src}->{dst}")
+                    for new_src, frac in mapping.items()]
+                yield AllOf(self.sim, subfetch)
+                return
+
+    def _reduce_done(self, state: _TaskState) -> None:
+        state.status = "done"
+        state.record.end = self.sim.now
+        state.record.outcome = "done"
+        self.reduces_left -= 1
+        self._check_completion()
+
+    # ------------------------------------------------------------- failures
+    def _abortive(self) -> bool:
+        return self.plan.recovery_mode == "abort" and bool(self.dead_nodes)
+
+    def _task_killed(self, state: _TaskState) -> None:
+        state.status = "dead"
+        self._abort_task_flows(state)
+        if state.record is not None and state.record.end is None:
+            state.record.end = self.sim.now
+            state.record.outcome = "killed"
+
+    def _task_stalled(self, state: _TaskState) -> None:
+        """Abort mode: the task saw an I/O failure; the whole job is about
+        to be cancelled, so just park the task."""
+        state.status = "dead"
+        self._abort_task_flows(state)
+        if state.record is not None and state.record.end is None:
+            state.record.end = self.sim.now
+            state.record.outcome = "failed"
+
+    def _fatal(self, exc: Exception) -> None:
+        if not self.completion_event.triggered:
+            self.completion_event.fail(exc)
+
+    def _check_completion(self) -> None:
+        if self.maps_left == 0 and self.reduces_left == 0 \
+                and not self.completion_event.triggered:
+            self.completion_event.succeed()
+
+    def _watch_deaths(self) -> None:
+        for node in self.cluster.nodes:
+            if node.alive:
+                node.on_death(self._on_node_death)
+                self._death_watched.append(node)
+
+    def _unwatch_deaths(self) -> None:
+        for node in self._death_watched:
+            node.remove_death_watcher(self._on_node_death)
+        self._death_watched.clear()
+
+    def _on_node_death(self, node: Node) -> None:
+        self.dead_nodes.append(node.node_id)
+        self.sim.process(self._handle_death(node.node_id),
+                         name=f"death-handler-{node.node_id}")
+
+    def _handle_death(self, node_id: int) -> Generator:
+        yield self.sim.timeout(self.detection_timeout)
+        if self.finished or self.completion_event.triggered:
+            return
+        if self.plan.recovery_mode == "abort":
+            self._cancel_all(node_id)
+            return
+        self._recover_hadoop(node_id)
+
+    def _cancel_all(self, node_id: int) -> None:
+        """Abort mode: tear the whole run down and discard partial output."""
+        for state in (list(self.maps.values()) + list(self.reduces.values())
+                      + list(self._spec_attempts.values())):
+            if state.proc is not None and state.proc.is_alive:
+                state.proc.interrupt("job aborted")
+            self._abort_task_flows(state)
+        for state in self.reduces.values():
+            if state.output_file and self.dfs.exists(state.output_file):
+                self.dfs.delete(state.output_file)
+                state.output_file = None
+        self._fatal(JobAborted(self.plan, list(self.dead_nodes)))
+
+    def _recover_hadoop(self, node_id: int) -> None:
+        """Hadoop-style within-job recovery after failure detection."""
+        self.board.fail_source(node_id)
+        # 1. Re-execute every map task that was assigned to the dead node
+        #    (completed outputs lived on its local disk and are gone).
+        redo_ids: set[int] = set()
+        for tid, state in self.maps.items():
+            if state.node != node_id:
+                continue
+            if state.status == "done":
+                self.maps_left += 1  # it must complete again
+            if state.proc is not None and state.proc.is_alive:
+                state.proc.interrupt("node died")
+            self._abort_task_flows(state)
+            redo_ids.add(tid)
+        if redo_ids:
+            event = self._redo_events.get(node_id)
+            if event is None or event.triggered:
+                event = self._redo_events[node_id] = Event(self.sim)
+            self._redo_pending[node_id] = set(redo_ids)
+            alive = self.cluster.alive_ids()
+            for i, tid in enumerate(sorted(redo_ids)):
+                state = self.maps[tid]
+                task: MapTaskSpec = state.spec
+                local = [n for n in task.input.locations
+                         if self.cluster.nodes[n].alive]
+                state.node = local[0] if local else alive[i % len(alive)]
+                state.status = "pending"
+                state.is_redo = True
+                state.redo_origins.add(node_id)
+                self._launch(state, is_map=True)
+
+        # 2. Restart unfinished reduce tasks that sat on the dead node.
+        alive = self.cluster.alive_ids()
+        k = 0
+        for state in self.reduces.values():
+            if state.node != node_id or state.status == "done":
+                continue
+            if state.proc is not None and state.proc.is_alive:
+                state.proc.interrupt("node died")
+            self._abort_task_flows(state)
+            if state.record is not None and state.record.end is None:
+                state.record.end = self.sim.now
+                state.record.outcome = "killed"
+            state.node = alive[k % len(alive)]
+            k += 1
+            state.status = "pending"
+            self._launch(state, is_map=False)
+
+    def _redo_mapping(self, src: int) -> Event:
+        """Event succeeding with {new_node: fraction} once the dead source's
+        maps have been re-executed."""
+        event = self._redo_events.get(src)
+        if event is None:
+            event = self._redo_events[src] = Event(self.sim)
+        return event
+
+    def _redo_map_done(self, state: _TaskState) -> None:
+        tid = state.spec.task_id
+        for origin in list(self._redo_pending):
+            pending = self._redo_pending[origin]
+            pending.discard(tid)
+            if pending:
+                continue
+            ids = [t for t, st in self.maps.items()
+                   if origin in st.redo_origins]
+            nodes = Counter(self.maps[t].node for t in ids)
+            total = sum(nodes.values())
+            mapping = {n: c / total for n, c in nodes.items()}
+            event = self._redo_events.get(origin)
+            if event is not None and not event.triggered:
+                event.succeed(mapping)
+            del self._redo_pending[origin]

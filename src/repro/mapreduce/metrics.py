@@ -1,0 +1,137 @@
+"""Per-task and per-job timing collection.
+
+The evaluation figures need, beyond total chain runtimes: per-job durations
+(Figs. 10, 11, 13, 14 build speed-ups from them) and per-task duration
+distributions (Fig. 12 plots mapper running-time CDFs during recomputation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+@dataclass
+class TaskRecord:
+    """Execution record of one task attempt."""
+
+    job_ordinal: int
+    job_kind: str           # initial | recompute | rerun
+    task_type: str          # map | reduce
+    task_id: int
+    node: int
+    start: float
+    end: Optional[float] = None
+    bytes_in: float = 0.0
+    bytes_out: float = 0.0
+    outcome: str = "running"  # running | done | failed | killed
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError("task still running")
+        return self.end - self.start
+
+
+@dataclass
+class JobRecord:
+    """Execution record of one job run."""
+
+    ordinal: int            # start-order ID (paper's job numbering, §V-A)
+    logical_index: int
+    name: str
+    kind: str
+    start: float
+    end: Optional[float] = None
+    outcome: str = "running"  # running | done | aborted
+    tasks: list[TaskRecord] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError("job still running")
+        return self.end - self.start
+
+    def task_durations(self, task_type: str,
+                       outcome: str = "done") -> np.ndarray:
+        return np.array([t.duration for t in self.tasks
+                         if t.task_type == task_type and t.outcome == outcome])
+
+
+@dataclass
+class RunMetrics:
+    """All records of one multi-job chain execution."""
+
+    jobs: list[JobRecord] = field(default_factory=list)
+    failures: list[tuple[float, int]] = field(default_factory=list)
+
+    # -- recording -------------------------------------------------------
+    def open_job(self, ordinal: int, logical_index: int, name: str,
+                 kind: str, now: float) -> JobRecord:
+        record = JobRecord(ordinal, logical_index, name, kind, now)
+        self.jobs.append(record)
+        return record
+
+    def record_failure(self, now: float, node_id: int) -> None:
+        self.failures.append((now, node_id))
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def total_runtime(self) -> float:
+        """Wall-clock makespan of the whole chain."""
+        if not self.jobs:
+            return 0.0
+        start = min(j.start for j in self.jobs)
+        end = max(j.end for j in self.jobs if j.end is not None)
+        return end - start
+
+    @property
+    def n_jobs_started(self) -> int:
+        return len(self.jobs)
+
+    def completed_jobs(self) -> list[JobRecord]:
+        return [j for j in self.jobs if j.outcome == "done"]
+
+    def jobs_of_kind(self, kind: str) -> list[JobRecord]:
+        return [j for j in self.jobs if j.kind == kind]
+
+    def job_durations(self, kind: Optional[str] = None) -> np.ndarray:
+        jobs = self.jobs if kind is None else self.jobs_of_kind(kind)
+        return np.array([j.duration for j in jobs if j.outcome == "done"])
+
+    def mapper_durations(self, kinds: Iterable[str] = ("recompute",)
+                         ) -> np.ndarray:
+        """Pooled mapper durations over jobs of the given kinds (Fig. 12)."""
+        kinds = set(kinds)
+        out: list[float] = []
+        for job in self.jobs:
+            if job.kind in kinds:
+                out.extend(job.task_durations("map"))
+        return np.array(out)
+
+    def reducer_durations(self, kinds: Iterable[str] = ("recompute",)
+                          ) -> np.ndarray:
+        kinds = set(kinds)
+        out: list[float] = []
+        for job in self.jobs:
+            if job.kind in kinds:
+                out.extend(job.task_durations("reduce"))
+        return np.array(out)
+
+    def mean_initial_job_duration(self) -> float:
+        durations = self.job_durations("initial")
+        if durations.size == 0:
+            raise ValueError("no completed initial jobs")
+        return float(durations.mean())
+
+    def summary(self) -> dict:
+        """Compact dict for experiment reporting."""
+        return {
+            "total_runtime": self.total_runtime,
+            "jobs_started": self.n_jobs_started,
+            "jobs_completed": len(self.completed_jobs()),
+            "recomputations": len(self.jobs_of_kind("recompute")),
+            "failures": list(self.failures),
+        }

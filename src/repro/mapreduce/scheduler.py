@@ -1,0 +1,117 @@
+"""Task placement: data locality for mappers, round-robin for reducers.
+
+Initial runs get near-perfect locality because the chain distributes data
+evenly across the compute nodes (paper §III-A: "data locality is trivially
+obtained by distributing data evenly across exactly the same set of nodes").
+Recomputation runs deliberately spread tasks over all surviving nodes — for
+mappers this is what creates the paper's hot-spots (§IV-B2), since their
+input now lives on whichever node(s) recomputed the lost reducer output.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Sequence
+
+from repro.cluster.topology import Cluster
+from repro.mapreduce.types import JobPlan, MapTaskSpec, ReduceTaskSpec
+
+
+class Placement:
+    """Immutable result of task assignment for one job run."""
+
+    def __init__(self, mappers: dict[int, int], reducers: dict[int, int]):
+        self.mappers = mappers      # task_id -> node_id
+        self.reducers = reducers    # task_id -> node_id
+
+    def mappers_on(self, node: int) -> list[int]:
+        return [t for t, n in self.mappers.items() if n == node]
+
+    def nodes_running_maps(self) -> set[int]:
+        return set(self.mappers.values())
+
+
+def assign_tasks(cluster: Cluster, plan: JobPlan,
+                 alive: Optional[Sequence[int]] = None) -> Placement:
+    """Assign every task in ``plan`` to an alive node.
+
+    Honors explicit assignments in the plan (used by recomputation planners
+    and tests), then places mappers locality-first with load balancing, and
+    reducers round-robin starting from the least-loaded node.
+    """
+    alive = list(alive if alive is not None else cluster.alive_ids())
+    if not alive:
+        raise RuntimeError("no alive nodes to schedule on")
+    alive_set = set(alive)
+
+    load: Counter[int] = Counter({n: 0 for n in alive})
+    mappers: dict[int, int] = {}
+
+    def place(task_id: int, node: int) -> None:
+        mappers[task_id] = node
+        load[node] += 1
+
+    slots = max(1, cluster.spec.node.mapper_slots)
+    # Pass 1: explicit assignments.
+    remaining: list[MapTaskSpec] = []
+    for task in plan.map_tasks:
+        node = plan.mapper_assignment.get(task.task_id)
+        if node is not None and node in alive_set:
+            place(task.task_id, node)
+        else:
+            remaining.append(task)
+    # Pass 2: locality-first with per-node cap to keep waves balanced.
+    cap = _per_node_cap(len(plan.map_tasks), len(alive), slots)
+    deferred: list[MapTaskSpec] = []
+    for task in remaining:
+        local = [n for n in task.input.locations if n in alive_set]
+        local.sort(key=lambda n: load[n])
+        if local and load[local[0]] < cap:
+            place(task.task_id, local[0])
+        else:
+            deferred.append(task)
+    # Pass 3: anything left goes to the globally least-loaded node.
+    for task in deferred:
+        node = min(alive, key=lambda n: (load[n], n))
+        place(task.task_id, node)
+
+    reducers: dict[int, int] = {}
+    rload: Counter[int] = Counter({n: 0 for n in alive})
+    explicit = []
+    implicit = []
+    for task in plan.reduce_tasks:
+        node = plan.reducer_assignment.get(task.task_id)
+        if node is not None and node in alive_set:
+            reducers[task.task_id] = node
+            rload[node] += 1
+        else:
+            implicit.append(task)
+    del explicit
+    for task in implicit:
+        node = min(alive, key=lambda n: (rload[n], n))
+        reducers[task.task_id] = node
+        rload[node] += 1
+    return Placement(mappers, reducers)
+
+
+def _per_node_cap(n_tasks: int, n_nodes: int, slots: int) -> int:
+    """Locality cap: a node may take at most one extra wave beyond its fair
+    share, so a single over-popular location cannot serialize the map phase."""
+    fair = -(-n_tasks // n_nodes)  # ceil division
+    return max(slots, fair + slots)
+
+
+def spread_reducers(reduce_tasks: Sequence[ReduceTaskSpec],
+                    alive: Sequence[int],
+                    exclude: Optional[set[int]] = None) -> dict[int, int]:
+    """Round-robin reducer assignment over ``alive`` (minus ``exclude``).
+
+    Used by recomputation plans: with splitting enabled the splits land on
+    distinct nodes, maximizing use of the surviving compute nodes
+    (paper Fig. 4).
+    """
+    nodes = [n for n in alive if not exclude or n not in exclude]
+    if not nodes:
+        nodes = list(alive)
+    return {task.task_id: nodes[i % len(nodes)]
+            for i, task in enumerate(reduce_tasks)}

@@ -1,0 +1,188 @@
+"""Job and task model for the simulated MapReduce engine.
+
+A *logical job* occupies a fixed position in the multi-job chain (its
+``logical_index``).  Every *run* of a job — the initial run or a
+recomputation run — is described by a :class:`JobPlan` that lists exactly the
+map tasks to execute, the persisted map outputs to reuse, and the reduce
+tasks (whole partitions or splits of partitions) to produce.  This mirrors
+the paper's JobInit component (§IV-A), which "readies for execution only the
+minimum necessary number of mappers" and "only the reducers for which the
+outputs were affected".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import NamedTuple, Optional
+
+
+class PartitionRef(NamedTuple):
+    """Identifies one reducer-output partition of one logical job."""
+
+    job_index: int
+    partition: int
+
+
+@dataclass(frozen=True)
+class MapInput:
+    """The input of one map task: one block of data.
+
+    ``locations`` lists the nodes holding a replica of the block (the
+    scheduler prefers running the task on one of them — data locality).
+    ``origin`` names the upstream partition the block belongs to, or ``None``
+    for chain-input blocks read from the DFS; the lineage planner uses it to
+    apply the paper's Fig. 5 rule.
+    """
+
+    size: float
+    locations: tuple[int, ...]
+    origin: Optional[PartitionRef] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("input size must be >= 0")
+        if not self.locations:
+            raise ValueError("map input needs at least one location")
+
+
+@dataclass(frozen=True)
+class MapTaskSpec:
+    """One map task to execute in this run."""
+
+    task_id: int
+    input: MapInput
+    output_size: float
+
+    def slice_size(self, n_partitions: int, fraction: float = 1.0) -> float:
+        """Bytes this task's output contributes to (a fraction of) one
+        partition; key randomization makes slices uniform (§V-A)."""
+        return self.output_size / n_partitions * fraction
+
+
+@dataclass(frozen=True)
+class ReusedMapOutput:
+    """A persisted map output from a previous run, reused as-is (§IV-A)."""
+
+    task_id: int
+    node: int
+    output_size: float
+
+    def slice_size(self, n_partitions: int, fraction: float = 1.0) -> float:
+        return self.output_size / n_partitions * fraction
+
+
+@dataclass(frozen=True)
+class ReduceTaskSpec:
+    """One reduce task: a whole partition, or one split of a partition.
+
+    ``fraction`` is the share of the partition's keys this task owns
+    (1.0 for an unsplit reducer, 1/k for one of k splits — the paper's
+    reducer splitting, §IV-B1).
+    """
+
+    task_id: int
+    partition: int
+    fraction: float = 1.0
+    split_index: int = 0
+    n_splits: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if not 0 <= self.split_index < self.n_splits:
+            raise ValueError("split_index out of range")
+
+
+@dataclass
+class JobPlan:
+    """Everything the JobTracker needs to run one job run.
+
+    Attributes
+    ----------
+    logical_index:
+        1-based position of the job in the chain.
+    name:
+        Human-readable label, e.g. ``"job3"`` or ``"job3/recomp"``.
+    kind:
+        ``"initial"``, ``"recompute"`` or ``"rerun"`` (the restarted job that
+        was interrupted by the failure).
+    map_tasks / reused_map_outputs:
+        Work to do vs persisted outputs treated as already finished.
+    reduce_tasks:
+        Partitions (or splits) to produce.
+    n_partitions:
+        The job's original reducer count; slice arithmetic uses this even
+        when only a subset of partitions is recomputed.
+    reduce_output_ratio:
+        Reduce output bytes per byte of reduce input.
+    output_replication:
+        DFS replication factor for reducer outputs (1 for RCMP, 2/3 for the
+        Hadoop baselines).
+    recovery_mode:
+        ``"hadoop"`` — on node failure, re-execute affected tasks within the
+        job (possible because outputs are replicated);
+        ``"abort"`` — on node failure, cancel the job and let the middleware
+        plan recomputation (RCMP and OPTIMISTIC, §IV-A).
+    reducer_assignment:
+        Optional explicit task->node placement (used by recomputation plans
+        and tests); unset tasks are placed round-robin.
+    spread_output:
+        If True, reducer outputs are written spread block-by-block over all
+        alive nodes instead of locally — the §IV-B2 alternative to reducer
+        splitting, kept for the ablation study.
+    """
+
+    logical_index: int
+    name: str
+    kind: str
+    map_tasks: list[MapTaskSpec]
+    reduce_tasks: list[ReduceTaskSpec]
+    n_partitions: int
+    reused_map_outputs: list[ReusedMapOutput] = field(default_factory=list)
+    reduce_output_ratio: float = 1.0
+    output_replication: int = 1
+    recovery_mode: str = "abort"
+    reducer_assignment: dict[int, int] = field(default_factory=dict)
+    mapper_assignment: dict[int, int] = field(default_factory=dict)
+    spread_output: bool = False
+    #: partitions regenerated k-way split in this run: their block
+    #: boundaries change, which invalidates the next job's persisted map
+    #: outputs derived from them (the paper's Fig. 5 rule)
+    split_partitions: frozenset[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("initial", "recompute", "rerun"):
+            raise ValueError(f"bad job kind {self.kind!r}")
+        if self.recovery_mode not in ("hadoop", "abort"):
+            raise ValueError(f"bad recovery mode {self.recovery_mode!r}")
+        if self.n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1")
+        if self.output_replication < 1:
+            raise ValueError("output_replication must be >= 1")
+        seen = set()
+        for t in self.map_tasks:
+            if t.task_id in seen:
+                raise ValueError(f"duplicate map task id {t.task_id}")
+            seen.add(t.task_id)
+        for r in self.reused_map_outputs:
+            if r.task_id in seen:
+                raise ValueError(
+                    f"map task {r.task_id} both executed and reused")
+            seen.add(r.task_id)
+
+    # -- derived sizes ---------------------------------------------------
+    @property
+    def total_map_output(self) -> float:
+        return (sum(t.output_size for t in self.map_tasks)
+                + sum(r.output_size for r in self.reused_map_outputs))
+
+    def reduce_input_size(self, task: ReduceTaskSpec) -> float:
+        """Bytes task must shuffle: its key-fraction of its partition."""
+        return self.total_map_output / self.n_partitions * task.fraction
+
+    def reduce_output_size(self, task: ReduceTaskSpec) -> float:
+        return self.reduce_input_size(task) * self.reduce_output_ratio
+
+    @property
+    def total_input(self) -> float:
+        return sum(t.input.size for t in self.map_tasks)

@@ -1,0 +1,43 @@
+"""Discrete-event simulation core.
+
+A small, dependency-free DES engine in the style of SimPy, plus fluid
+bandwidth-shared resources (disks, NICs, core links) and counted slot pools.
+The engine is deterministic: events scheduled at the same timestamp fire in
+FIFO insertion order.
+"""
+
+from repro.simcore.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    ProcessCrashed,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.simcore.resources import (
+    Capacity,
+    Flow,
+    FluidNetwork,
+    SlotPool,
+)
+from repro.simcore.rng import SeedSequenceRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Capacity",
+    "Event",
+    "Flow",
+    "FluidNetwork",
+    "Interrupt",
+    "Process",
+    "ProcessCrashed",
+    "SeedSequenceRegistry",
+    "SimulationError",
+    "Simulator",
+    "SlotPool",
+    "Timeout",
+]

@@ -1,0 +1,362 @@
+"""Generator-based discrete-event simulation engine.
+
+Processes are Python generators that ``yield`` :class:`Event` objects; the
+engine resumes the generator when the yielded event triggers.  The design
+follows the classic SimPy model but is intentionally small: the rest of the
+package needs only timeouts, generic events, process composition
+(:class:`AllOf` / :class:`AnyOf`) and interrupts (for node-failure injection).
+
+Determinism: the event queue is ordered by ``(time, priority, sequence)``
+where ``sequence`` is a global insertion counter, so simultaneous events fire
+in FIFO order and repeated runs with the same seed are bit-identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+_UNSET = object()
+
+#: Priority for events scheduled by ``succeed``/``fail`` (fire before
+#: ordinary timeouts at the same timestamp so that state updates propagate
+#: ahead of time-driven work).
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation engine."""
+
+
+class ProcessCrashed(SimulationError):
+    """A process raised an exception that nobody was waiting on."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries an arbitrary payload describing why the
+    process was interrupted (for example the failed node).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *untriggered*; calling :meth:`succeed` or :meth:`fail`
+    schedules it to fire at the current simulation time.  Callbacks attached
+    with :meth:`add_callback` run when the event fires.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _UNSET
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        #: When True, a failure of this event does not crash the simulation
+        #: even if nobody handles it.
+        self.defused = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire (or has fired)."""
+        return self._value is not _UNSET
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """Payload of the event (the exception instance on failure)."""
+        if self._value is _UNSET:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        if self._value is not _UNSET:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, 0.0, PRIORITY_URGENT)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed, carrying ``exc`` as its value."""
+        if self._value is not _UNSET:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exc
+        self.sim._schedule(self, 0.0, PRIORITY_URGENT)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when this event fires.
+
+        If the event has already been processed the callback runs
+        immediately (synchronously).
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _fire(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for fn in callbacks:
+            fn(self)
+        if not self._ok and not self.defused:
+            self.sim._report_unhandled(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """Event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay, PRIORITY_NORMAL)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it terminates.
+
+    The generator may ``yield`` any :class:`Event`; it is resumed with the
+    event's value, or the event's exception is thrown into it if the event
+    failed.  The process event succeeds with the generator's return value.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "_resume_token", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any],
+                 name: str = ""):
+        super().__init__(sim)
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self._resume_token = 0
+        self.name = name or getattr(gen, "__name__", "process")
+        # Kick off at the current time (urgent priority keeps startup order
+        # deterministic with respect to creation order).
+        init = Event(sim)
+        init.succeed()
+        init.add_callback(self._make_resume(init))
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _UNSET
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if not self.is_alive:
+            return
+        self._resume_token += 1  # invalidate the pending resume
+        self._waiting_on = None
+        exc = Interrupt(cause)
+        wake = Event(self.sim)
+        wake.fail(exc)
+        wake.defused = True
+        wake.add_callback(self._make_resume(wake))
+
+    def _make_resume(self, event: Event) -> Callable[[Event], None]:
+        token = self._resume_token
+
+        def resume(ev: Event) -> None:
+            if token != self._resume_token or not self.is_alive:
+                return  # stale wakeup (process was interrupted meanwhile)
+            self._step(ev)
+
+        return resume
+
+    def _step(self, ev: Event) -> None:
+        self._waiting_on = None
+        try:
+            if ev._ok:
+                target = self._gen.send(ev._value)
+            else:
+                target = self._gen.throw(ev._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        if target.sim is not self.sim:
+            self.fail(SimulationError("yielded event from another simulator"))
+            return
+        self._waiting_on = target
+        self._resume_token += 1
+        # Failures of the awaited event are delivered into the generator,
+        # which counts as handling them.
+        target.defused = True
+        target.add_callback(self._make_resume(target))
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = len(self.events)
+        if self._pending == 0:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            ev.defused = True
+            ev.add_callback(self._child_fired)
+
+    def _collect(self) -> list[Any]:
+        return [ev._value for ev in self.events if ev.triggered]
+
+    def _child_fired(self, ev: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired; fails fast on child failure."""
+
+    __slots__ = ()
+
+    def _child_fired(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev._ok:
+            self.fail(ev._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires (success or failure)."""
+
+    __slots__ = ()
+
+    def _child_fired(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._ok:
+            self.succeed(ev._value)
+        else:
+            self.fail(ev._value)
+
+
+class Simulator:
+    """The event loop.
+
+    Usage::
+
+        sim = Simulator()
+
+        def hello():
+            yield sim.timeout(3.0)
+            return "done"
+
+        proc = sim.process(hello())
+        sim.run()
+        assert sim.now == 3.0 and proc.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._crashes: list[Event] = []
+
+    # -- factories ------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any],
+                name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int) -> None:
+        if event._scheduled:
+            raise SimulationError("event scheduled twice")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, priority, self._seq,
+                                     event))
+
+    def _report_unhandled(self, event: Event) -> None:
+        self._crashes.append(event)
+
+    # -- execution ------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self.now - 1e-9:
+            raise SimulationError("time went backwards")
+        self.now = max(self.now, when)
+        event._fire()
+        if self._crashes:
+            crashed = self._crashes[0]
+            exc = crashed._value
+            raise ProcessCrashed(
+                f"unhandled failure in simulation: {exc!r}") from exc
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or ``until`` is reached."""
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)

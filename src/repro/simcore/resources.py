@@ -1,0 +1,413 @@
+"""Shared resources: counted slot pools and fluid bandwidth-shared capacities.
+
+The fluid model treats every transfer (disk read/write, network transfer,
+replication stream) as a :class:`Flow` of a given size traversing one or more
+:class:`Capacity` objects.  Two rate models are provided:
+
+``equal_share`` (default)
+    A flow's rate is ``min over its links of eff_capacity(link) / n_flows``.
+    This is exact max-min fairness when the load is symmetric (which initial
+    MapReduce runs are) and a conservative approximation otherwise.  Rate
+    updates are *local*: finishing or starting a flow only touches flows that
+    share one of its links, which keeps large shuffles (thousands of flows)
+    tractable.
+
+``max_min``
+    Exact progressive-filling max-min fairness, recomputed globally on every
+    change.  Used by tests and small experiments to cross-check the default.
+
+Disks model the seek penalty of concurrent access: the *aggregate* effective
+bandwidth of a capacity with ``n`` concurrent flows is
+``base / (1 + alpha * (n - 1))``.  This term is what makes the paper's
+recomputation hot-spots (S*N concurrent mapper reads converging on a single
+node, §IV-B2) expensive, exactly as observed on real disks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Iterable, Optional
+
+from repro.simcore.engine import Event, SimulationError, Simulator
+
+_EPS = 1e-9
+
+
+class SlotPool:
+    """A counted FIFO resource (mapper slots / reducer slots on a node)."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "slots"):
+        if capacity < 0:
+            raise ValueError("slot capacity must be >= 0")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def request(self) -> Event:
+        """Return an event that fires when a slot has been acquired."""
+        ev = self.sim.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Release one previously acquired slot."""
+        if self.in_use <= 0:
+            raise SimulationError(f"release on empty pool {self.name!r}")
+        # Hand the slot directly to the next live waiter if any.
+        while self._waiters:
+            ev = self._waiters.popleft()
+            if not ev.triggered:
+                ev.succeed(self)
+                return
+        self.in_use -= 1
+
+    def cancel(self, ev: Event) -> None:
+        """Withdraw a pending request (the event must not have fired)."""
+        if ev.triggered:
+            raise SimulationError("cannot cancel a granted slot request")
+        ev.defused = True
+        ev.fail(SimulationError("slot request cancelled"))
+
+
+class Capacity:
+    """A bandwidth-limited resource (a disk, a NIC direction, a core link).
+
+    Parameters
+    ----------
+    bandwidth:
+        Base capacity in bytes/second.
+    concurrency_penalty:
+        The ``alpha`` of the seek-penalty model below; use 0 for network
+        links (which do not seek) and a positive value for spinning disks.
+    penalty_floor:
+        Asymptotic fraction of base bandwidth retained under unbounded
+        concurrency.  The aggregate effective bandwidth with ``n`` flows is::
+
+            eff(n) = bandwidth * (floor + (1 - floor) / (1 + alpha*(n-1)))
+
+        i.e. it degrades hyperbolically from 100 % toward ``floor``.  This
+        saturating form matches measured SATA behaviour better than an
+        unbounded ``1/(1+alpha*n)`` decay and is what makes the paper's
+        recomputation hot-spots (many concurrent readers on one disk,
+        §IV-B2) expensive without making them absurd.
+    """
+
+    __slots__ = ("name", "bandwidth", "concurrency_penalty", "penalty_floor",
+                 "flows", "_down", "armed_share", "_share_cache")
+
+    def __init__(self, name: str, bandwidth: float,
+                 concurrency_penalty: float = 0.0,
+                 penalty_floor: float = 0.4):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if concurrency_penalty < 0:
+            raise ValueError("concurrency_penalty must be >= 0")
+        if not 0 < penalty_floor <= 1:
+            raise ValueError("penalty_floor must be in (0, 1]")
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.concurrency_penalty = float(concurrency_penalty)
+        self.penalty_floor = float(penalty_floor)
+        self.flows: set["Flow"] = set()
+        self._down = False
+        #: per-flow fair share the last time this link's flows were
+        #: re-armed (FluidNetwork's link-level change gating)
+        self.armed_share = 0.0
+        self._share_cache = -1.0
+
+    @property
+    def n_flows(self) -> int:
+        return len(self.flows)
+
+    def fair_share(self) -> float:
+        """Current per-flow share of this link's effective bandwidth
+        (cached; the cache is invalidated whenever membership changes)."""
+        share = self._share_cache
+        if share < 0.0:
+            n = len(self.flows)
+            share = self.effective_bandwidth(n) / n if n else \
+                self.effective_bandwidth(1)
+            self._share_cache = share
+        return share
+
+    def invalidate_share(self) -> None:
+        self._share_cache = -1.0
+
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    def effective_bandwidth(self, n: Optional[int] = None) -> float:
+        """Aggregate bandwidth available when ``n`` flows share the link."""
+        if self._down:
+            return 0.0
+        n = self.n_flows if n is None else n
+        if n <= 1 or self.concurrency_penalty == 0.0:
+            return self.bandwidth
+        floor = self.penalty_floor
+        decay = (1.0 - floor) / (1.0 + self.concurrency_penalty * (n - 1))
+        return self.bandwidth * (floor + decay)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Capacity {self.name} {self.bandwidth:.3g}B/s n={self.n_flows}>"
+
+
+class Flow:
+    """A transfer of ``size`` bytes across a set of capacities."""
+
+    __slots__ = ("size", "links", "remaining", "rate", "last_update",
+                 "done", "latency", "generation", "finished", "label",
+                 "start_time", "seq")
+
+    def __init__(self, sim_event: Event, size: float,
+                 links: tuple[Capacity, ...], latency: float, label: str,
+                 seq: int = 0):
+        self.seq = seq
+        self.size = float(size)
+        self.links = links
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.last_update = 0.0
+        self.start_time = 0.0
+        self.done = sim_event
+        self.latency = float(latency)
+        self.generation = 0
+        self.finished = False
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Flow {self.label} {self.remaining:.3g}/{self.size:.3g}B "
+                f"@{self.rate:.3g}B/s>")
+
+
+class FluidNetwork:
+    """Event-driven fluid simulation of a set of flows over capacities."""
+
+    def __init__(self, sim: Simulator, rate_model: str = "equal_share",
+                 rate_tolerance: float = 0.02):
+        """``rate_tolerance`` bounds the event churn of large symmetric
+        shuffles: a flow is only re-armed when its fair-share rate moved by
+        more than this relative amount since it was last armed.  Timing
+        error is bounded by the tolerance (drift accumulates in the freshly
+        computed rate, so once the cumulative change exceeds the threshold
+        the flow is re-armed); 0 disables the optimization."""
+        if rate_model not in ("equal_share", "max_min"):
+            raise ValueError(f"unknown rate model {rate_model!r}")
+        if rate_tolerance < 0:
+            raise ValueError("rate_tolerance must be >= 0")
+        self.sim = sim
+        self.rate_model = rate_model
+        self.rate_tolerance = rate_tolerance
+        self.active: set[Flow] = set()
+        self._label_counter = itertools.count()
+
+    # -- public API ------------------------------------------------------
+    def transfer(self, size: float, links: Iterable[Capacity],
+                 latency: float = 0.0, label: str = "") -> Flow:
+        """Start a flow; ``flow.done`` fires when it completes.
+
+        ``latency`` is a fixed delay added after the last byte arrives (the
+        paper's SLOW SHUFFLE emulation adds 10s per shuffle transfer).
+        A zero-size flow with no links completes after ``latency`` alone.
+        """
+        if size < 0:
+            raise ValueError("flow size must be >= 0")
+        links = tuple(links)
+        seq = next(self._label_counter)
+        label = label or f"flow-{seq}"
+        flow = Flow(self.sim.event(), size, links, latency, label, seq)
+        flow.last_update = self.sim.now
+        flow.start_time = self.sim.now
+        for link in links:
+            if link.is_down:
+                flow.finished = True
+                flow.done.fail(SimulationError(
+                    f"flow {label} through down capacity {link.name}"))
+                return flow
+        if size <= _EPS or not links:
+            flow.finished = True
+            flow.remaining = 0.0
+            self._complete(flow)
+            return flow
+        self.active.add(flow)
+        for link in links:
+            link.flows.add(flow)
+            link.invalidate_share()
+        if self.rate_model == "equal_share":
+            self._rebalance(self._affected(links) | {flow})
+        else:
+            self._rebalance(self.active)
+        return flow
+
+    def abort(self, flow: Flow, cause: Optional[BaseException] = None) -> None:
+        """Cancel an in-progress flow; its ``done`` event fails."""
+        if flow.finished:
+            return
+        self._detach(flow)
+        flow.done.defused = True
+        flow.done.fail(cause or SimulationError(f"flow {flow.label} aborted"))
+
+    def fail_capacity(self, cap: Capacity) -> list[Flow]:
+        """Mark a capacity as failed and abort every flow crossing it."""
+        cap._down = True
+        victims = list(cap.flows)
+        for flow in victims:
+            self.abort(flow, SimulationError(
+                f"capacity {cap.name} failed under flow {flow.label}"))
+        return victims
+
+    # -- internals -------------------------------------------------------
+    def _affected(self, links: Iterable[Capacity]) -> set[Flow]:
+        """Flows needing a rate check: those on links whose per-flow fair
+        share moved by more than the tolerance since their flows were last
+        re-armed.  Skipping stable links keeps huge symmetric shuffles
+        (thousands of flows) near O(1) per completion; the timing error is
+        bounded because drift accumulates against the armed share."""
+        tolerance = self.rate_tolerance
+        out: set[Flow] = set()
+        for link in links:
+            share = link.fair_share()
+            armed = link.armed_share
+            if armed > 0 and abs(share - armed) <= tolerance * armed:
+                continue
+            link.armed_share = share
+            out |= link.flows
+        return out
+
+    def _detach(self, flow: Flow) -> None:
+        self._settle(flow)
+        flow.finished = True
+        flow.generation += 1
+        self.active.discard(flow)
+        for link in flow.links:
+            link.flows.discard(flow)
+            link.invalidate_share()
+        if self.rate_model == "equal_share":
+            self._rebalance(self._affected(flow.links))
+        else:
+            self._rebalance(self.active)
+
+    def _settle(self, flow: Flow) -> None:
+        """Advance ``remaining`` to the current time at the current rate."""
+        dt = self.sim.now - flow.last_update
+        if dt > 0:
+            flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+        flow.last_update = self.sim.now
+
+    def _compute_rate(self, flow: Flow) -> float:
+        rate = float("inf")
+        for link in flow.links:
+            share = link._share_cache
+            if share < 0.0:
+                share = link.fair_share()
+            if share < rate:
+                rate = share
+        return rate
+
+    def _rates_max_min(self) -> dict[Flow, float]:
+        """Progressive-filling max-min fair allocation over active flows."""
+        rates: dict[Flow, float] = {}
+        unfrozen = set(self.active)
+        ordered = sorted(self.active, key=lambda f: f.seq)
+        caps: list[Capacity] = []
+        seen: set[int] = set()
+        for f in ordered:
+            for link in f.links:
+                if id(link) not in seen:
+                    seen.add(id(link))
+                    caps.append(link)
+        remaining_cap = {link: link.effective_bandwidth() for link in caps}
+        link_unfrozen = {link: sum(1 for f in link.flows if f in unfrozen)
+                         for link in caps}
+        while unfrozen:
+            bottleneck = None
+            best = float("inf")
+            for link in caps:
+                n = link_unfrozen[link]
+                if n <= 0:
+                    continue
+                share = remaining_cap[link] / n
+                if share < best - _EPS:
+                    best = share
+                    bottleneck = link
+            if bottleneck is None:  # pragma: no cover - defensive
+                for f in unfrozen:
+                    rates[f] = float("inf")
+                break
+            frozen_now = sorted((f for f in bottleneck.flows
+                                 if f in unfrozen), key=lambda f: f.seq)
+            for f in frozen_now:
+                rates[f] = best
+                unfrozen.discard(f)
+                for link in f.links:
+                    remaining_cap[link] -= best
+                    link_unfrozen[link] -= 1
+        return rates
+
+    def _rebalance(self, flows: Iterable[Flow]) -> None:
+        if self.rate_model == "max_min":
+            rates = self._rates_max_min()
+            flows = rates
+        else:
+            rates = None
+        tolerance = self.rate_tolerance
+        # Deterministic order: flow sets hash by object identity, whose
+        # iteration order varies between runs; settle/arm in creation order
+        # so float accumulation and tie-breaking are reproducible.
+        for flow in sorted(flows, key=lambda f: f.seq):
+            if flow.finished:
+                continue
+            new_rate = rates[flow] if rates is not None \
+                else self._compute_rate(flow)
+            old = flow.rate
+            if old > 0 and abs(new_rate - old) <= tolerance * old:
+                continue  # negligible change; keep the armed wakeup
+            self._settle(flow)
+            flow.rate = new_rate
+            flow.generation += 1
+            self._arm(flow)
+
+    def _arm(self, flow: Flow) -> None:
+        """Schedule a wakeup at the flow's projected completion time."""
+        if flow.rate <= _EPS:
+            return  # stalled; will be rearmed when a rate change occurs
+        eta = flow.remaining / flow.rate
+        gen = flow.generation
+        wake = self.sim.timeout(eta)
+        wake.add_callback(lambda _ev, f=flow, g=gen: self._on_wake(f, g))
+
+    def _on_wake(self, flow: Flow, generation: int) -> None:
+        if flow.finished or flow.generation != generation:
+            return  # stale wakeup: the rate changed since this was armed
+        self._settle(flow)
+        # Scale-aware completion tolerance: flows are sized in bytes (often
+        # hundreds of MB), so an absolute epsilon would spin re-arming
+        # sub-nanosecond timeouts that float addition truncates to zero dt.
+        tolerance = max(_EPS, flow.size * 1e-9)
+        if flow.remaining > tolerance and flow.rate > _EPS:
+            eta = flow.remaining / flow.rate
+            if self.sim.now + eta > self.sim.now:  # representable advance
+                self._arm(flow)
+                return
+        flow.remaining = 0.0
+        self._detach(flow)
+        self._complete(flow)
+
+    def _complete(self, flow: Flow) -> None:
+        if flow.latency > 0:
+            wake = self.sim.timeout(flow.latency)
+            wake.add_callback(lambda _ev: flow.done.succeed(flow))
+        else:
+            flow.done.succeed(flow)

@@ -1,0 +1,12 @@
+"""Workloads: the paper's multi-job chain and its failure scenarios."""
+
+from repro.workloads.chain import ChainJobSpec, ChainSpec, build_chain
+from repro.workloads.scenarios import SCENARIOS, Scenario
+
+__all__ = [
+    "ChainJobSpec",
+    "ChainSpec",
+    "SCENARIOS",
+    "Scenario",
+    "build_chain",
+]

@@ -1,0 +1,89 @@
+"""DAG-shaped multi-job computations.
+
+The paper's evaluation uses a linear 7-job chain, but RCMP's recomputation
+model targets any DAG of jobs (§I: "our work should apply to any big data
+parallel processing computation model based on DAGs of tasks"; §IV-A's
+middleware is driven by user-supplied job dependencies).  These builders
+create common DAG shapes over the same per-job model:
+
+* ``diamond``  — 1 -> {2, 3} -> 4 (a fork/join, like a self-join);
+* ``fan_in``   — k independent source jobs feeding one combiner (a k-way
+  join: Pig Cogroup-style);
+* ``fan_out``  — one producer feeding k independent consumers (a shared
+  intermediate dataset, the Nectar-style reuse scenario of §VI);
+* ``binary_tree`` — a reduction tree of joins (depth d, 2^d leaves).
+
+A job with several upstreams maps over the union of their output blocks; a
+job with none reads the computation's input data.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.presets import BLOCK_SIZE, STIC_PER_NODE_INPUT
+from repro.workloads.chain import ChainJobSpec, ChainSpec
+
+
+def _spec(deps: tuple[int, ...], ratios=(1.0, 1.0)) -> ChainJobSpec:
+    return ChainJobSpec(map_output_ratio=ratios[0],
+                        reduce_output_ratio=ratios[1],
+                        depends_on=deps)
+
+
+def diamond(per_node_input: float = STIC_PER_NODE_INPUT,
+            block_size: float = BLOCK_SIZE) -> ChainSpec:
+    """1 -> {2, 3} -> 4.  Jobs 2 and 3 both read job 1; job 4 joins them."""
+    jobs = (
+        _spec(()),            # 1: reads the input
+        _spec((1,)),          # 2
+        _spec((1,)),          # 3
+        _spec((2, 3), ratios=(1.0, 0.5)),  # 4: join, halves the data
+    )
+    return ChainSpec(n_jobs=4, per_node_input=per_node_input,
+                     block_size=block_size, jobs=jobs)
+
+
+def fan_in(k: int = 3, per_node_input: float = STIC_PER_NODE_INPUT,
+           block_size: float = BLOCK_SIZE) -> ChainSpec:
+    """k independent source jobs, one combiner reading all of them."""
+    if k < 2:
+        raise ValueError("fan_in needs k >= 2 sources")
+    jobs = tuple(_spec(()) for _ in range(k)) + \
+        (_spec(tuple(range(1, k + 1)), ratios=(1.0, 1.0 / k)),)
+    return ChainSpec(n_jobs=k + 1, per_node_input=per_node_input,
+                     block_size=block_size, jobs=jobs)
+
+
+def fan_out(k: int = 3, per_node_input: float = STIC_PER_NODE_INPUT,
+            block_size: float = BLOCK_SIZE) -> ChainSpec:
+    """One producer whose output feeds k independent consumers."""
+    if k < 2:
+        raise ValueError("fan_out needs k >= 2 consumers")
+    jobs = (_spec(()),) + tuple(_spec((1,)) for _ in range(k))
+    return ChainSpec(n_jobs=k + 1, per_node_input=per_node_input,
+                     block_size=block_size, jobs=jobs)
+
+
+def binary_tree(depth: int = 2,
+                per_node_input: float = STIC_PER_NODE_INPUT,
+                block_size: float = BLOCK_SIZE) -> ChainSpec:
+    """A reduction tree: 2^depth leaf jobs pairwise joined level by level.
+
+    Jobs are numbered in submission (topological) order: leaves first, then
+    each join level.  Every join halves its data so the tree's total output
+    stays bounded.
+    """
+    if depth < 1:
+        raise ValueError("binary_tree needs depth >= 1")
+    jobs: list[ChainJobSpec] = []
+    level = []
+    for _ in range(2 ** depth):
+        jobs.append(_spec(()))
+        level.append(len(jobs))
+    while len(level) > 1:
+        nxt = []
+        for a, b in zip(level[::2], level[1::2]):
+            jobs.append(_spec((a, b), ratios=(1.0, 0.5)))
+            nxt.append(len(jobs))
+        level = nxt
+    return ChainSpec(n_jobs=len(jobs), per_node_input=per_node_input,
+                     block_size=block_size, jobs=tuple(jobs))

@@ -1,0 +1,80 @@
+"""The failure scenarios of the paper's evaluation (Fig. 7 and Fig. 9).
+
+Jobs are numbered by start order (every started job, including
+recomputations, gets the next integer ID), so a failure "at job 14" under
+RCMP with a 7-job chain lands on the restarted original job 7 (case c of
+Fig. 7: fail at 7 -> recompute jobs 1-6 as IDs 8-13 -> job 7 restarts as 14).
+
+Scenario letters follow Fig. 7:
+
+a) no failure;
+b) single failure early (job 2) — RCMP recomputes 1 job;
+c) single failure late (job 7) — RCMP recomputes 6 jobs;
+d) double failure early (jobs 2 and 4);
+e) double failure late (jobs 7 and 14);
+f) nested double failure (jobs 4 and 7): the second failure hits while
+   recomputation for the first is still running.
+
+Fig. 9 additionally uses FAIL 2,2 and FAIL 7,7 (two kills 15 s apart within
+one job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.failures import FailurePlan
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named failure scenario."""
+
+    key: str
+    label: str
+    spec: str                 # FailurePlan.parse input; "" = no failures
+    description: str = ""
+
+    def plan(self) -> FailurePlan:
+        if not self.spec:
+            return FailurePlan()
+        return FailurePlan.parse(self.spec)
+
+    @property
+    def n_failures(self) -> int:
+        return self.plan().n_failures
+
+
+#: Fig. 7's cases plus the extra Fig. 9 double-failure points.
+SCENARIOS: dict[str, Scenario] = {
+    "a": Scenario("a", "no failure", "",
+                  "baseline failure-free execution"),
+    "b": Scenario("b", "single failure early", "2",
+                  "fails during job 2; RCMP recomputes 1 job"),
+    "c": Scenario("c", "single failure late", "7",
+                  "fails during job 7; RCMP recomputes 6 jobs"),
+    "d": Scenario("d", "double failure early", "2,4",
+                  "fails during jobs 2 and 4"),
+    "e": Scenario("e", "double failure late", "7,14",
+                  "fails during job 7 and its restart"),
+    "f": Scenario("f", "nested double failure", "4,7",
+                  "second failure during recomputation for the first"),
+    "fail2,2": Scenario("fail2,2", "FAIL 2,2", "2,2",
+                        "two kills 15 s apart within job 2"),
+    "fail7,7": Scenario("fail7,7", "FAIL 7,7", "7,7",
+                        "two kills 15 s apart within job 7"),
+}
+
+
+def scenario(key: str) -> Scenario:
+    try:
+        return SCENARIOS[key]
+    except KeyError:
+        raise KeyError(f"unknown scenario {key!r}; have "
+                       f"{sorted(SCENARIOS)}") from None
+
+
+def custom(spec: str, label: Optional[str] = None) -> Scenario:
+    """Ad-hoc scenario from a FAIL spec string like "3" or "2,6"."""
+    return Scenario(spec, label or f"FAIL {spec}", spec)

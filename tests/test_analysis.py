@@ -1,0 +1,155 @@
+"""Tests for the closed-form model, CDF utilities and extrapolation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import cdf_at, empirical_cdf, percentile
+from repro.analysis.extrapolation import (
+    RunAverages,
+    extract_averages,
+    extrapolate_chain_length,
+    hadoop_runtime,
+    optimistic_runtime,
+    rcmp_runtime,
+)
+from repro.analysis.model import (
+    ideal_split_speedup,
+    recomputation_waves,
+    recomputed_fraction,
+    replication_disk_bytes,
+    storage_contention,
+    waves,
+)
+from repro.analysis.reporting import Comparison, ExperimentReport
+
+
+# ------------------------------------------------------------------ model
+def test_waves_arithmetic():
+    assert waves(16, 10, 1) == 2
+    assert waves(160, 10, 1) == 16
+    assert waves(160, 10, 2) == 8
+    assert waves(1, 10, 1) == 1
+    assert waves(0, 10, 1) == 0
+
+
+def test_recomputation_waves_matches_paper_formula():
+    # §IV-B: ceil(WM / (N-1))
+    assert recomputation_waves(16, 10) == 2
+    assert recomputation_waves(80, 60) == 2
+    assert recomputation_waves(1, 10) == 1
+    with pytest.raises(ValueError):
+        recomputation_waves(5, 1)
+
+
+def test_recomputed_fraction():
+    assert recomputed_fraction(10) == pytest.approx(0.1)
+    assert recomputed_fraction(60, 2) == pytest.approx(2 / 60)
+    with pytest.raises(ValueError):
+        recomputed_fraction(10, 11)
+
+
+def test_storage_contention_hotspot():
+    initial, recomp = storage_contention(slots=2, n_nodes=10, split=False)
+    assert initial == 2
+    assert recomp == 20  # S*N concurrent accesses on one node (§IV-B2)
+    _, split_recomp = storage_contention(2, 10, split=True)
+    assert split_recomp == 2
+
+
+def test_ideal_split_speedup():
+    assert ideal_split_speedup(10) == 9.0
+    assert ideal_split_speedup(60) == 59.0
+
+
+def test_replication_disk_bytes_monotone():
+    assert replication_disk_bytes(1) < replication_disk_bytes(2) \
+        < replication_disk_bytes(3)
+
+
+# -------------------------------------------------------------------- cdf
+def test_empirical_cdf_basic():
+    x, f = empirical_cdf([1.0, 2.0, 2.0, 4.0])
+    assert list(x) == [1.0, 2.0, 4.0]
+    assert list(f) == pytest.approx([25.0, 75.0, 100.0])
+
+
+def test_cdf_at_points():
+    values = [1, 2, 3, 4]
+    assert list(cdf_at(values, [0, 2.5, 10])) == pytest.approx(
+        [0.0, 50.0, 100.0])
+
+
+def test_percentile_median():
+    assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        empirical_cdf([])
+
+
+# ----------------------------------------------------------- extrapolation
+def avgs(before=100.0, after=110.0, recompute=30.0, wasted=45.0):
+    return RunAverages(before, after, recompute, 1, wasted)
+
+
+def test_optimistic_runtime_formula():
+    a = avgs()
+    # fail at job 2 of 7: 1 job before + waste + 7 jobs after
+    assert optimistic_runtime(a, 7, 2) == pytest.approx(
+        100.0 + 45.0 + 7 * 110.0)
+
+
+def test_rcmp_runtime_formula():
+    a = avgs()
+    # fail at 2 of 7: 1 before + waste + 1 recompute + 6 after
+    assert rcmp_runtime(a, 7, 2) == pytest.approx(
+        100.0 + 45.0 + 30.0 + 6 * 110.0)
+
+
+def test_late_failure_hurts_optimistic_more():
+    a = avgs()
+    early = optimistic_runtime(a, 7, 2) / rcmp_runtime(a, 7, 2)
+    late = optimistic_runtime(a, 7, 7) / rcmp_runtime(a, 7, 7)
+    assert late > early
+
+
+def test_extrapolation_flat_in_chain_length():
+    """Paper Fig. 10: RCMP's relative benefit is stable in chain length."""
+    rcmp_avgs = avgs(before=100, after=105, recompute=25, wasted=45)
+    repl3 = avgs(before=170, after=180, recompute=0.0, wasted=0.0)
+    curves = extrapolate_chain_length(rcmp_avgs, {"REPL3": repl3},
+                                      range(10, 101, 10), fail_at=2)
+    curve = curves["REPL3"]
+    assert np.all(curve > 1.3)
+    # flat: spread under 10% of the level
+    assert (curve.max() - curve.min()) / curve.mean() < 0.1
+
+
+def test_extract_averages_from_chain_result():
+    from repro.cluster import presets
+    from repro.core import strategies
+    from repro.core.middleware import run_chain
+    from repro.workloads.chain import build_chain
+    MB = 1 << 20
+    chain = build_chain(n_jobs=3, per_node_input=256 * MB,
+                        block_size=64 * MB)
+    result = run_chain(presets.tiny(4), strategies.RCMP, chain=chain,
+                       failures="2")
+    a = extract_averages(result)
+    assert a.job_before > 0
+    assert a.job_after > 0
+    assert a.recompute > 0
+    assert a.n_recomputes == 1
+    assert a.wasted > 40.0  # ~45 s detection overhead
+
+
+# -------------------------------------------------------------- reporting
+def test_comparison_ratio_and_rendering():
+    c = Comparison("x", measured=2.0, paper=1.6)
+    assert c.ratio == pytest.approx(1.25)
+    assert Comparison("y", 1.0).ratio is None
+    report = ExperimentReport("Fig. X", "demo")
+    report.add("row-1", 1.5, paper=1.4)
+    report.add("row-2", 2.0)
+    text = report.render()
+    assert "Fig. X" in text and "row-1" in text and "1.50" in text

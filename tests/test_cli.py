@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import CLUSTERS, STRATEGIES, build_parser, main
+
+
+def test_parser_has_all_figure_subcommands():
+    parser = build_parser()
+    for fig in ("fig2", "fig8", "fig9", "fig10", "fig11", "fig12",
+                "fig13", "fig14"):
+        args = parser.parse_args([fig, "--scale", "ci"])
+        assert args.command == fig
+        assert args.scale == "ci"
+
+
+def test_parser_run_defaults():
+    args = build_parser().parse_args(["run"])
+    assert args.cluster == "tiny"
+    assert args.strategy == "rcmp"
+    assert args.jobs == 7
+    assert args.failures is None
+
+
+def test_parser_rejects_bad_scale():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig8", "--scale", "huge"])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig8" in out and "fig2" in out
+
+
+def test_fig2_command_prints_table(capsys):
+    assert main(["fig2", "--scale", "ci"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 2" in out
+    assert "STIC" in out and "SUG@R" in out
+
+
+def test_run_command_executes_chain(capsys):
+    assert main(["run", "--cluster", "tiny", "--strategy", "rcmp",
+                 "--jobs", "2", "--failures", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "ChainResult" in out
+    assert "recompute" in out or "rerun" in out
+
+
+def test_run_command_every_strategy(capsys):
+    for name in STRATEGIES:
+        assert main(["run", "--cluster", "tiny", "--strategy", name,
+                     "--jobs", "2"]) == 0
+        assert "ChainResult" in capsys.readouterr().out
+
+
+def test_cluster_registry_instantiates():
+    for factory in CLUSTERS.values():
+        spec = factory()
+        spec.validate()

@@ -1,0 +1,216 @@
+"""Tests for cluster topology, specs, presets and failure injection."""
+
+import pytest
+
+from repro.cluster import presets
+from repro.cluster.failures import FailureEvent, FailureInjector, FailurePlan
+from repro.cluster.spec import MB, ClusterSpec, NodeSpec
+from repro.cluster.topology import Cluster
+from repro.simcore import Interrupt, SeedSequenceRegistry, Simulator
+
+
+def make_cluster(spec=None):
+    sim = Simulator()
+    spec = spec or presets.tiny(4)
+    return sim, Cluster(sim, spec, SeedSequenceRegistry(7))
+
+
+# ------------------------------------------------------------------ specs
+def test_spec_validation_rejects_bad_values():
+    with pytest.raises(ValueError):
+        ClusterSpec(name="x", n_nodes=1).validate()
+    with pytest.raises(ValueError):
+        ClusterSpec(name="x", n_nodes=4, oversubscription=0.5).validate()
+    with pytest.raises(ValueError):
+        ClusterSpec(name="x", n_nodes=4,
+                    node=NodeSpec(mapper_slots=0)).validate()
+    ClusterSpec(name="ok", n_nodes=4).validate()
+
+
+def test_with_slots_returns_modified_copy():
+    base = presets.stic()
+    two = base.with_slots(2, 2)
+    assert base.node.mapper_slots == 1
+    assert two.node.mapper_slots == 2 and two.node.reducer_slots == 2
+
+
+def test_slow_shuffle_preset():
+    spec = presets.stic_slow_shuffle()
+    assert spec.shuffle_transfer_latency == 10.0
+    assert presets.stic().shuffle_transfer_latency == 0.0
+
+
+def test_paper_presets_shape():
+    stic = presets.stic()
+    assert stic.n_nodes == 10 and stic.n_racks == 1
+    dco = presets.dco()
+    assert dco.n_nodes == 60 and dco.n_racks == 3
+    assert dco.node.task_overhead < stic.node.task_overhead  # JVM reuse
+
+
+# --------------------------------------------------------------- topology
+def test_paths_local_vs_remote():
+    _sim, cluster = make_cluster()
+    assert cluster.network_path(2, 2) == []
+    remote = cluster.network_path(0, 1)
+    assert cluster.nodes[0].nic_out in remote
+    assert cluster.nodes[1].nic_in in remote
+    read_local = cluster.read_path(3, 3)
+    assert read_local == [cluster.nodes[3].disk]
+    shuffle = cluster.shuffle_path(0, 1)
+    assert shuffle[0] is cluster.nodes[0].disk
+    assert shuffle[-1] is cluster.nodes[1].disk
+
+
+def test_oversubscribed_interrack_uplink():
+    spec = ClusterSpec(name="ov", n_nodes=6, n_racks=2, oversubscription=4.0,
+                       node=NodeSpec())
+    sim = Simulator()
+    cluster = Cluster(sim, spec)
+    same_rack = cluster.network_path(0, 2)   # both rack 0
+    cross_rack = cluster.network_path(0, 1)  # racks 0 and 1
+    assert len(cross_rack) == len(same_rack) + 2
+    uplink = cross_rack[2]
+    assert uplink.bandwidth == pytest.approx(3 * spec.node.nic_bandwidth / 4.0)
+
+
+def test_kill_node_interrupts_tasks_and_flows():
+    sim, cluster = make_cluster()
+    node = cluster.nodes[1]
+    interrupted = []
+
+    def task():
+        try:
+            yield sim.timeout(1000.0)
+        except Interrupt as intr:
+            interrupted.append(intr.cause.node_id)
+
+    proc = sim.process(task())
+    node.register_task(proc)
+    flow = cluster.network.transfer(1e9, [node.disk])
+
+    def killer():
+        yield sim.timeout(5.0)
+        cluster.kill_node(1)
+
+    def flow_watcher():
+        try:
+            yield flow.done
+        except Exception:
+            interrupted.append("flow-dead")
+
+    sim.process(killer())
+    sim.process(flow_watcher())
+    sim.run()
+    assert interrupted == ["flow-dead", 1] or interrupted == [1, "flow-dead"]
+    assert not node.alive
+    assert cluster.alive_ids() == [0, 2, 3]
+
+
+def test_on_death_callbacks_fire():
+    sim, cluster = make_cluster()
+    seen = []
+    cluster.nodes[2].on_death(lambda n: seen.append(n.node_id))
+    cluster.kill_node(2)
+    assert seen == [2]
+    cluster.kill_node(2)  # idempotent
+    assert seen == [2]
+
+
+# --------------------------------------------------------------- failures
+def test_failure_plan_parse():
+    plan = FailurePlan.parse("FAIL 2,4")
+    assert [(e.at_job, e.offset) for e in plan.events] == [(2, 15.0), (4, 15.0)]
+    same = FailurePlan.parse("7,7")
+    assert [(e.at_job, e.offset) for e in same.events] == [(7, 15.0), (7, 30.0)]
+    single = FailurePlan.parse("2")
+    assert single.n_failures == 1
+    with pytest.raises(ValueError):
+        FailurePlan.parse("1,2,3")
+
+
+def test_failure_plan_clamp():
+    plan = FailurePlan.double(7, 14).clamp_to(7)
+    assert [e.at_job for e in plan.events] == [7, 7]
+    assert plan.events[1].offset > plan.events[0].offset
+
+
+def test_failure_event_validation():
+    with pytest.raises(ValueError):
+        FailureEvent(at_job=0)
+    with pytest.raises(ValueError):
+        FailureEvent(at_job=1, offset=-1.0)
+
+
+def test_injector_kills_at_offset_after_job_start():
+    sim, cluster = make_cluster()
+    plan = FailurePlan.single(at_job=2, offset=15.0, node_id=3)
+    injector = FailureInjector(cluster, plan)
+
+    def driver():
+        injector.notify_job_start(1)
+        yield sim.timeout(100.0)
+        injector.notify_job_start(2)
+        yield sim.timeout(50.0)
+
+    sim.process(driver())
+    sim.run()
+    assert injector.killed == [(115.0, 3)]
+    assert not cluster.nodes[3].alive
+
+
+def test_injector_random_victim_is_alive_and_deterministic():
+    def run():
+        sim, cluster = make_cluster()
+        plan = FailurePlan.single(at_job=1, offset=1.0)
+        injector = FailureInjector(cluster, plan)
+
+        def driver():
+            injector.notify_job_start(1)
+            yield sim.timeout(10.0)
+
+        sim.process(driver())
+        sim.run()
+        return injector.killed
+
+    a, b = run(), run()
+    assert a == b
+    assert len(a) == 1
+
+
+def test_injector_double_failure_same_job():
+    sim, cluster = make_cluster()
+    plan = FailurePlan.double(1, 1)
+    injector = FailureInjector(cluster, plan)
+
+    def driver():
+        injector.notify_job_start(1)
+        yield sim.timeout(60.0)
+
+    sim.process(driver())
+    sim.run()
+    assert len(injector.killed) == 2
+    assert injector.killed[0][0] == 15.0
+    assert injector.killed[1][0] == 30.0
+    assert injector.killed[0][1] != injector.killed[1][1]
+    assert injector.outstanding == 0
+
+
+def test_injector_on_kill_callback():
+    sim, cluster = make_cluster()
+    seen = []
+    injector = FailureInjector(cluster, FailurePlan.single(1, 1.0, node_id=0),
+                               on_kill=lambda n: seen.append(n.node_id))
+
+    def driver():
+        injector.notify_job_start(1)
+        yield sim.timeout(5.0)
+
+    sim.process(driver())
+    sim.run()
+    assert seen == [0]
+
+
+def test_disk_bandwidth_from_preset_is_mb_scale():
+    spec = presets.tiny(disk_mb_s=50.0)
+    assert spec.node.disk_bandwidth == 50.0 * MB

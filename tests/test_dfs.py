@@ -1,0 +1,227 @@
+"""Tests for the distributed file system substrate."""
+
+import pytest
+
+from repro.cluster import presets
+from repro.cluster.topology import Cluster
+from repro.dfs import DataLossError, DistributedFileSystem
+from repro.dfs.placement import RackAwarePlacement, SpreadPlacement
+from repro.simcore import SeedSequenceRegistry, Simulator
+
+MB = 1 << 20
+
+
+def make_dfs(n_nodes=4, block_size=64 * MB, spec=None):
+    sim = Simulator()
+    cluster = Cluster(sim, spec or presets.tiny(n_nodes),
+                      SeedSequenceRegistry(3))
+    return sim, cluster, DistributedFileSystem(cluster, block_size)
+
+
+# -------------------------------------------------------------- metadata
+def test_seed_replicated_spreads_blocks():
+    _sim, cluster, dfs = make_dfs()
+    meta = dfs.seed_replicated("input", 256 * MB, replication=3)
+    assert len(meta.blocks) == 4
+    for block in meta.blocks:
+        assert block.replication == 3
+        assert len(set(block.replicas)) == 3
+    # evenly spread primaries
+    primaries = [b.replicas[0] for b in meta.blocks]
+    assert sorted(primaries) == [0, 1, 2, 3]
+
+
+def test_create_placed_registers_without_io():
+    sim, _cluster, dfs = make_dfs()
+    meta = dfs.create_placed("out", 128 * MB, locations=[1, 2],
+                             tags={"job_index": 3})
+    assert meta.size == pytest.approx(128 * MB)
+    assert [b.replicas for b in meta.blocks] == [[1], [2]]
+    assert sim.now == 0.0
+    assert dfs.files_with_tag(job_index=3) == [meta]
+
+
+def test_duplicate_create_rejected():
+    _sim, _cluster, dfs = make_dfs()
+    dfs.create_placed("f", MB, locations=[0])
+    with pytest.raises(FileExistsError):
+        dfs.create_placed("f", MB, locations=[1])
+
+
+def test_delete_updates_storage_accounting():
+    _sim, _cluster, dfs = make_dfs()
+    dfs.create_placed("f", 64 * MB, locations=[2])
+    assert dfs.bytes_on_node[2] == pytest.approx(64 * MB)
+    dfs.delete("f")
+    assert dfs.bytes_on_node[2] == pytest.approx(0.0)
+    with pytest.raises(FileNotFoundError):
+        dfs.delete("f")
+
+
+# -------------------------------------------------------------------- IO
+def test_write_replication_cost_scales_with_factor():
+    """With every node writing concurrently (a reduce phase), higher
+    replication strictly lengthens the write — the paper's core premise."""
+    def write_time(repl):
+        sim, cluster, dfs = make_dfs()
+
+        def proc(writer):
+            yield dfs.write(f"out-{writer}", 256 * MB, writer=writer,
+                            replication=repl)
+
+        for w in range(cluster.n_nodes):
+            sim.process(proc(w))
+        sim.run()
+        return sim.now
+
+    t1, t2, t3 = write_time(1), write_time(2), write_time(3)
+    assert t1 < t2 < t3
+    # Each disk writes r*256MB AND serves more concurrent streams, so the
+    # slowdown is super-linear in r — the paper's point that replication
+    # overhead exceeds raw byte counts (§III).
+    assert t3 / t1 >= 3.0
+
+
+def test_write_places_first_replica_on_writer():
+    sim, _cluster, dfs = make_dfs()
+
+    def proc():
+        yield dfs.write("out", 64 * MB, writer=2, replication=2)
+
+    sim.process(proc())
+    sim.run()
+    meta = dfs.meta("out")
+    for block in meta.blocks:
+        assert block.replicas[0] == 2
+        assert len(set(block.replicas)) == 2
+
+
+def test_read_prefers_local_replica():
+    sim, cluster, dfs = make_dfs()
+    dfs.create_placed("f", 64 * MB, locations=[1])
+
+    def local_read():
+        yield dfs.read("f", reader=1)
+
+    sim.process(local_read())
+    sim.run()
+    local_time = sim.now
+
+    sim2, cluster2, dfs2 = make_dfs()
+    dfs2.create_placed("f", 64 * MB, locations=[1])
+
+    def remote_read():
+        yield dfs2.read("f", reader=0)
+
+    sim2.process(remote_read())
+    sim2.run()
+    # remote read crosses NIC too but disk is the bottleneck: same duration
+    assert sim2.now == pytest.approx(local_time)
+    del cluster, cluster2
+
+
+def test_read_single_block():
+    sim, _cluster, dfs = make_dfs()
+    dfs.create_placed("f", 128 * MB, locations=[0, 1])
+
+    def proc():
+        yield dfs.read("f", reader=0, block_index=0)
+
+    sim.process(proc())
+    sim.run()
+    # one 64MB block at 100MB/s
+    assert sim.now == pytest.approx(64 / 100.0, rel=1e-3)
+
+
+# --------------------------------------------------------------- failures
+def test_node_death_loses_single_replicated_blocks():
+    _sim, cluster, dfs = make_dfs()
+    dfs.create_placed("single", 64 * MB, locations=[1])
+    dfs.seed_replicated("triple", 64 * MB, replication=3)
+    damaged = dfs.on_node_death(1)
+    cluster.kill_node(1)
+    assert [m.name for m in damaged] == ["single"]
+    assert not dfs.meta("single").available
+    assert dfs.meta("triple").available
+    with pytest.raises(DataLossError):
+        dfs.read("single", reader=0)
+
+
+def test_double_death_can_lose_triple_replicated():
+    _sim, _cluster, dfs = make_dfs(n_nodes=4)
+    dfs.seed_replicated("f", 64 * MB, replication=2)
+    meta = dfs.meta("f")
+    reps = list(meta.blocks[0].replicas)
+    dfs.on_node_death(reps[0])
+    assert meta.available
+    damaged = dfs.on_node_death(reps[1])
+    assert meta in damaged
+    assert not meta.available
+
+
+def test_replicate_file_adds_replicas():
+    sim, _cluster, dfs = make_dfs()
+    dfs.create_placed("out", 64 * MB, locations=[0])
+
+    def proc():
+        yield dfs.replicate_file("out", extra_replicas=1)
+
+    sim.process(proc())
+    sim.run()
+    assert dfs.meta("out").blocks[0].replication == 2
+    assert sim.now > 0  # real I/O happened
+
+
+def test_write_survives_after_death_of_nonreplica_node():
+    sim, cluster, dfs = make_dfs()
+
+    def proc():
+        yield dfs.write("out", 64 * MB, writer=0, replication=1)
+
+    sim.process(proc())
+    sim.run()
+    cluster.kill_node(3)
+    damaged = dfs.on_node_death(3)
+    assert dfs.meta("out").available
+    assert damaged == []
+
+
+# -------------------------------------------------------------- placement
+def test_rack_aware_second_replica_off_rack():
+    sim = Simulator()
+    from repro.cluster.spec import ClusterSpec, NodeSpec
+    spec = ClusterSpec(name="racks", n_nodes=6, n_racks=2, node=NodeSpec())
+    cluster = Cluster(sim, spec, SeedSequenceRegistry(1))
+    policy = RackAwarePlacement(cluster.seeds.stream("p"))
+    for writer in range(6):
+        chosen = policy.choose(cluster, writer, 3)
+        assert chosen[0] == writer
+        assert len(set(chosen)) == 3
+        racks = [cluster.nodes[c].rack for c in chosen]
+        assert racks[1] != racks[0]
+
+
+def test_placement_avoids_dead_nodes():
+    sim = Simulator()
+    cluster = Cluster(sim, presets.tiny(4), SeedSequenceRegistry(1))
+    cluster.kill_node(2)
+    policy = RackAwarePlacement(cluster.seeds.stream("p"))
+    for _ in range(20):
+        chosen = policy.choose(cluster, 0, 3)
+        assert 2 not in chosen
+
+
+def test_placement_caps_at_alive_count():
+    sim = Simulator()
+    cluster = Cluster(sim, presets.tiny(3), SeedSequenceRegistry(1))
+    policy = RackAwarePlacement(cluster.seeds.stream("p"))
+    chosen = policy.choose(cluster, 0, 10)
+    assert sorted(chosen) == [0, 1, 2]
+
+
+def test_spread_placement_round_robins():
+    sim = Simulator()
+    cluster = Cluster(sim, presets.tiny(4), SeedSequenceRegistry(1))
+    policy = SpreadPlacement()
+    primaries = [policy.choose(cluster, 0, 1)[0] for _ in range(8)]
+    assert primaries == [0, 1, 2, 3, 0, 1, 2, 3]

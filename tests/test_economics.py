@@ -1,0 +1,101 @@
+"""Tests for the replicate-vs-recompute economics (paper §III)."""
+
+import pytest
+
+from repro.analysis.economics import (
+    StrategyCosts,
+    break_even_failure_probability,
+    expected_slowdown_table,
+    provisioning_overhead,
+    runs_between_failures,
+)
+
+
+def costs(name="x", clean=100.0, failed=200.0):
+    return StrategyCosts(name, clean, failed)
+
+
+def test_expected_runtime_interpolates():
+    c = costs(clean=100.0, failed=300.0)
+    assert c.expected_runtime(0.0) == 100.0
+    assert c.expected_runtime(1.0) == 300.0
+    assert c.expected_runtime(0.25) == pytest.approx(150.0)
+    with pytest.raises(ValueError):
+        c.expected_runtime(1.5)
+
+
+def test_break_even_typical_case():
+    # recompute: cheap clean, big failure penalty; replicate: the reverse
+    rcmp = costs("rcmp", clean=100.0, failed=250.0)
+    repl = costs("repl", clean=170.0, failed=190.0)
+    p = break_even_failure_probability(rcmp, repl)
+    # E_rcmp(p) = 100 + 150p ; E_repl(p) = 170 + 20p ; p* = 70/130
+    assert p == pytest.approx(70.0 / 130.0)
+    assert rcmp.expected_runtime(p) == pytest.approx(repl.expected_runtime(p))
+    assert rcmp.expected_runtime(p / 2) < repl.expected_runtime(p / 2)
+    assert rcmp.expected_runtime(min(1.0, p * 1.2)) > \
+        repl.expected_runtime(min(1.0, p * 1.2))
+
+
+def test_break_even_recompute_dominates():
+    """RCMP faster clean AND under failure: replication never pays."""
+    rcmp = costs("rcmp", clean=100.0, failed=150.0)
+    repl = costs("repl", clean=170.0, failed=180.0)
+    assert break_even_failure_probability(rcmp, repl) == float("inf")
+
+
+def test_break_even_replication_dominates():
+    repl = costs("repl", clean=90.0, failed=95.0)
+    rcmp = costs("rcmp", clean=100.0, failed=300.0)
+    assert break_even_failure_probability(rcmp, repl) == 0.0
+
+
+def test_provisioning_overhead():
+    assert provisioning_overhead(165.0, 100.0) == pytest.approx(0.65)
+    assert provisioning_overhead(100.0, 100.0) == 0.0
+    with pytest.raises(ValueError):
+        provisioning_overhead(100.0, 0.0)
+
+
+def test_runs_between_failures():
+    # 17% failure days, 10 runs/day -> ~59 runs per failure day
+    assert runs_between_failures(0.17, 10.0) == pytest.approx(58.82, rel=1e-3)
+    with pytest.raises(ValueError):
+        runs_between_failures(0.0, 10.0)
+
+
+def test_expected_slowdown_table_normalized():
+    rcmp = costs("rcmp", clean=100.0, failed=250.0)
+    repl = costs("repl", clean=170.0, failed=190.0)
+    table = expected_slowdown_table([rcmp, repl], [0.0, 0.05, 1.0])
+    assert table["rcmp"][0] == 1.0          # failure-free: rcmp is the best
+    assert table["repl"][0] == pytest.approx(1.7)
+    assert table["rcmp"][1] == 1.0          # rare failures: still best
+    assert table["repl"][2] == 1.0          # certain failure: repl wins
+    assert table["rcmp"][2] > 1.0
+
+
+def test_paper_narrative_with_measured_numbers():
+    """End-to-end: measured simulator runtimes + Fig. 2 failure rates imply
+    recomputation is the right default at moderate scale."""
+    from repro.cluster import presets
+    from repro.core import strategies
+    from repro.core.middleware import run_chain
+    from repro.workloads.chain import build_chain
+    MB = 1 << 20
+    chain = build_chain(n_jobs=3, per_node_input=256 * MB,
+                        block_size=64 * MB)
+
+    def measure(strategy):
+        clean = run_chain(presets.tiny(4), strategy, chain=chain)
+        failed = run_chain(presets.tiny(4), strategy, chain=chain,
+                           failures="3")
+        return StrategyCosts(strategy.name, clean.total_runtime,
+                             failed.total_runtime)
+
+    rcmp = measure(strategies.RCMP)
+    repl3 = measure(strategies.REPL3)
+    p_star = break_even_failure_probability(rcmp, repl3)
+    # Fig. 2: at most ~17% of *days* see failures; per-run probability is
+    # far lower, and the break-even point must sit well above it
+    assert p_star > 0.17

@@ -1,0 +1,84 @@
+"""Tests for the experiment harness (CI scale)."""
+
+import pytest
+
+from repro.experiments import ALL_FIGURES, fig2, fig10, fig11
+from repro.experiments.common import (
+    check_scale,
+    dco_testbed,
+    slowdown_factors,
+    stic_testbed,
+)
+
+
+def test_scale_validation():
+    with pytest.raises(ValueError):
+        check_scale("huge")
+    with pytest.raises(ValueError):
+        stic_testbed("huge")
+
+
+def test_testbeds_shapes():
+    ci = stic_testbed("ci")
+    assert ci.cluster.n_nodes == 4
+    paper = stic_testbed("paper")
+    assert paper.cluster.n_nodes == 10
+    assert paper.chain.n_jobs == 7
+    dco = dco_testbed("paper")
+    assert dco.cluster.n_nodes == 60
+    bench_dco = dco_testbed("bench")
+    assert bench_dco.cluster.n_nodes == 60
+    assert bench_dco.chain.per_node_input < dco.chain.per_node_input
+
+
+def test_slowdown_factors_normalized_to_fastest():
+    f = slowdown_factors({"a": 100.0, "b": 150.0, "c": 200.0})
+    assert f["a"] == 1.0
+    assert f["b"] == pytest.approx(1.5)
+    assert f["c"] == pytest.approx(2.0)
+
+
+def test_all_figures_registry_complete():
+    assert sorted(ALL_FIGURES) == ["fig10", "fig11", "fig12", "fig13",
+                                   "fig14", "fig2", "fig8", "fig9",
+                                   "ratios"]
+    for module in ALL_FIGURES.values():
+        assert hasattr(module, "run")
+
+
+def test_fig2_statistics_close_to_calibration():
+    report = fig2.run("ci", seed=1)
+    rows = {c.label: c for c in report.rows}
+    stic = rows["STIC: CDF at 0 failures/day (%)"]
+    sugar = rows["SUG@R: CDF at 0 failures/day (%)"]
+    assert stic.measured == pytest.approx(83.0, abs=3.0)
+    assert sugar.measured == pytest.approx(88.0, abs=3.0)
+
+
+def test_fig2_series_are_valid_cdfs():
+    for _name, (x, f) in fig2.series("ci", seed=0).items():
+        assert (f[1:] >= f[:-1]).all()   # monotone
+        assert f[-1] == pytest.approx(100.0)
+        assert x[0] == 0
+
+
+def test_fig10_extrapolation_runs_and_is_flat():
+    report = fig10.run("ci")
+    rows = {c.label: c for c in report.rows}
+    spread = rows["HADOOP REPL-3 spread over L (max-min)"]
+    level = rows["HADOOP REPL-3 slowdown @ L=50"]
+    assert level.measured > 1.0
+    assert spread.measured < 0.3 * level.measured
+
+
+def test_fig11_split_beats_nosplit():
+    report = fig11.run("ci")
+    rows = {c.label: c.measured for c in report.rows}
+    for n in (4, 6):
+        assert rows[f"N={n} RCMP SPLIT"] > rows[f"N={n} RCMP NO-SPLIT"]
+
+
+def test_fig11_speedup_grows_with_nodes_for_split():
+    report = fig11.run("ci")
+    rows = {c.label: c.measured for c in report.rows}
+    assert rows["N=6 RCMP SPLIT"] >= rows["N=4 RCMP SPLIT"] * 0.9

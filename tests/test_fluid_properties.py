@@ -1,0 +1,139 @@
+"""Property-based tests for the fluid bandwidth-sharing model.
+
+These pin the invariants the evaluation's shapes rest on: byte
+conservation, capacity limits, work-conservation bounds, monotonicity of
+completion under added load, and determinism.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore import Capacity, FluidNetwork, Simulator
+
+
+def run_flows(flow_specs, rate_model="equal_share", n_links=3,
+              bandwidth=100.0, alpha=0.0, tolerance=0.02):
+    """flow_specs: list of (size, start_time, link_indexes)."""
+    sim = Simulator()
+    net = FluidNetwork(sim, rate_model, rate_tolerance=tolerance)
+    links = [Capacity(f"l{i}", bandwidth, concurrency_penalty=alpha)
+             for i in range(n_links)]
+    ends = {}
+
+    def proc(idx, size, start, link_ids):
+        yield sim.timeout(start)
+        flow = net.transfer(size, [links[i] for i in link_ids])
+        yield flow.done
+        ends[idx] = sim.now
+
+    for idx, (size, start, link_ids) in enumerate(flow_specs):
+        sim.process(proc(idx, size, start, link_ids))
+    sim.run()
+    return ends
+
+
+flow_spec = st.tuples(
+    st.floats(min_value=1.0, max_value=5000.0),       # size
+    st.floats(min_value=0.0, max_value=50.0),         # start
+    st.lists(st.integers(min_value=0, max_value=2),   # links
+             min_size=1, max_size=3, unique=True),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs=st.lists(flow_spec, min_size=1, max_size=8))
+def test_property_all_flows_complete(specs):
+    ends = run_flows(specs)
+    assert len(ends) == len(specs)
+    for idx, (size, start, _links) in enumerate(specs):
+        # can't finish faster than line rate over one link
+        assert ends[idx] >= start + size / 100.0 - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs=st.lists(flow_spec, min_size=1, max_size=8))
+def test_property_aggregate_respects_capacity(specs):
+    """Total bytes moved through any link can't exceed capacity * time."""
+    ends = run_flows(specs)
+    makespan = max(ends.values())
+    for link_id in range(3):
+        total = sum(size for (size, _s, links) in specs
+                    if link_id in links)
+        # equal-share never exceeds the link's base bandwidth
+        assert total <= 100.0 * makespan + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(specs=st.lists(flow_spec, min_size=1, max_size=6),
+       extra=flow_spec)
+def test_property_added_load_never_speeds_others_up(specs, extra):
+    """Work-conservation direction: adding a flow cannot make any existing
+    flow finish earlier (within the rate-update tolerance)."""
+    base = run_flows(specs, tolerance=0.0)
+    loaded = run_flows(specs + [extra], tolerance=0.0)
+    for idx in range(len(specs)):
+        assert loaded[idx] >= base[idx] - 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(specs=st.lists(flow_spec, min_size=1, max_size=8))
+def test_property_deterministic(specs):
+    assert run_flows(specs) == run_flows(specs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(specs=st.lists(flow_spec, min_size=1, max_size=6))
+def test_property_max_min_never_slower_than_equal_share(specs):
+    """Max-min redistributes headroom, so every flow finishes no later
+    than under the equal-share approximation."""
+    eq = run_flows(specs, "equal_share", tolerance=0.0)
+    mm = run_flows(specs, "max_min", tolerance=0.0)
+    assert max(mm.values()) <= max(eq.values()) + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(specs=st.lists(flow_spec, min_size=1, max_size=6),
+       tol=st.floats(min_value=0.0, max_value=0.05))
+def test_property_tolerance_error_bounded(specs, tol):
+    """The rate-update tolerance changes completion times by a bounded
+    relative amount."""
+    exact = run_flows(specs, tolerance=0.0)
+    approx = run_flows(specs, tolerance=tol)
+    for idx, (size, start, _links) in enumerate(specs):
+        duration_exact = exact[idx] - start
+        duration_approx = approx[idx] - start
+        if duration_exact <= 1e-9:
+            continue
+        rel = abs(duration_approx - duration_exact) / duration_exact
+        # generous bound: tolerance compounds across at most a handful of
+        # rate changes with <= 6 flows
+        assert rel <= 10 * tol + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(alpha=st.floats(min_value=0.0, max_value=2.0),
+       n=st.integers(min_value=1, max_value=64))
+def test_property_penalty_model_sane(alpha, n):
+    disk = Capacity("d", 100.0, concurrency_penalty=alpha,
+                    penalty_floor=0.4)
+    eff = disk.effective_bandwidth(n)
+    assert 40.0 - 1e-9 <= eff <= 100.0 + 1e-9
+    assert not math.isnan(eff)
+    # monotone non-increasing
+    assert disk.effective_bandwidth(n + 1) <= eff + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(sizes=st.lists(st.floats(min_value=10.0, max_value=1000.0),
+                      min_size=2, max_size=6))
+def test_property_symmetric_flows_finish_together(sizes):
+    """Identical flows starting together on one link finish together."""
+    size = sizes[0]
+    specs = [(size, 0.0, [0]) for _ in sizes]
+    ends = run_flows(specs)
+    values = list(ends.values())
+    assert max(values) - min(values) <= 1e-6 * max(values) + 1e-9
+    assert max(values) == pytest.approx(size * len(sizes) / 100.0, rel=1e-6)

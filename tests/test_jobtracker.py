@@ -1,0 +1,378 @@
+"""Integration tests for the JobTracker on small simulated clusters."""
+
+import pytest
+
+from repro.cluster import presets
+from repro.cluster.topology import Cluster
+from repro.dfs import DistributedFileSystem
+from repro.mapreduce import (
+    JobAborted,
+    JobPlan,
+    JobTracker,
+    MapInput,
+    MapTaskSpec,
+    ReduceTaskSpec,
+    ReusedMapOutput,
+)
+from repro.mapreduce.jobtracker import JobFailed
+from repro.mapreduce.metrics import RunMetrics
+from repro.simcore import SeedSequenceRegistry, Simulator
+
+MB = 1 << 20
+BLOCK = 64 * MB
+
+
+def make_env(n_nodes=4, slots=(1, 1), spec=None):
+    sim = Simulator()
+    spec = spec or presets.tiny(n_nodes, slots)
+    cluster = Cluster(sim, spec, SeedSequenceRegistry(11))
+    dfs = DistributedFileSystem(cluster, BLOCK)
+    metrics = RunMetrics()
+    jt = JobTracker(cluster, dfs, metrics)
+    return sim, cluster, dfs, metrics, jt
+
+
+def simple_plan(cluster, maps_per_node=2, n_reducers=None, kind="initial",
+                recovery_mode="abort", replication=1, ratio=1.0):
+    """A balanced job: each node runs ``maps_per_node`` local maps."""
+    n = cluster.n_nodes
+    n_reducers = n_reducers or n
+    tasks = []
+    tid = 0
+    for node in range(n):
+        for _ in range(maps_per_node):
+            tasks.append(MapTaskSpec(
+                tid, MapInput(BLOCK, (node,)), output_size=BLOCK * ratio))
+            tid += 1
+    reducers = [ReduceTaskSpec(i, i) for i in range(n_reducers)]
+    return JobPlan(1, "job1", kind, tasks, reducers, n_reducers,
+                   recovery_mode=recovery_mode,
+                   output_replication=replication)
+
+
+def run_to_completion(sim, jt, plan):
+    holder = {}
+
+    def driver():
+        holder["completion"] = yield from jt.run_job(plan)
+
+    sim.process(driver())
+    sim.run()
+    return holder.get("completion")
+
+
+# ----------------------------------------------------------------- basics
+def test_balanced_job_completes_with_expected_structure():
+    sim, cluster, dfs, metrics, jt = make_env()
+    plan = simple_plan(cluster)
+    completion = run_to_completion(sim, jt, plan)
+    assert completion is not None
+    assert completion.ordinal == 1
+    assert sorted(completion.partition_pieces) == [0, 1, 2, 3]
+    for partition, pieces in completion.partition_pieces.items():
+        assert len(pieces) == 1
+        node, size = pieces[0]
+        # 8 maps x 64MB over 4 partitions = 128MB per partition
+        assert size == pytest.approx(2 * BLOCK)
+        del node, partition
+    assert len(completion.map_output_nodes) == 8
+    job = metrics.jobs[0]
+    assert job.outcome == "done"
+    assert len(job.task_durations("map")) == 8
+    assert len(job.task_durations("reduce")) == 4
+
+
+def test_output_files_written_with_replication():
+    sim, cluster, dfs, metrics, jt = make_env()
+    plan = simple_plan(cluster, replication=2, recovery_mode="hadoop")
+    completion = run_to_completion(sim, jt, plan)
+    for files in completion.partition_files.values():
+        for name in files:
+            meta = dfs.meta(name)
+            for block in meta.blocks:
+                assert block.replication == 2
+
+
+def test_more_map_waves_longer_map_phase():
+    def map_phase(maps_per_node):
+        sim, cluster, dfs, metrics, jt = make_env()
+        plan = simple_plan(cluster, maps_per_node=maps_per_node)
+        run_to_completion(sim, jt, plan)
+        maps = [t for t in metrics.jobs[0].tasks if t.task_type == "map"]
+        return max(t.end for t in maps) - min(t.start for t in maps)
+
+    assert map_phase(4) > map_phase(2) * 1.5
+
+
+def test_slots_limit_concurrency_into_waves():
+    sim, cluster, dfs, metrics, jt = make_env(slots=(1, 1))
+    plan = simple_plan(cluster, maps_per_node=3)
+    run_to_completion(sim, jt, plan)
+    # With 1 mapper slot, a node's 3 maps never overlap.
+    job = metrics.jobs[0]
+    by_node = {}
+    for t in job.tasks:
+        if t.task_type == "map":
+            by_node.setdefault(t.node, []).append((t.start, t.end))
+    for intervals in by_node.values():
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1 - 1e-6
+            del s1, e2
+
+
+def test_replication_3_slower_than_1():
+    def total(replication):
+        sim, cluster, dfs, metrics, jt = make_env()
+        mode = "hadoop" if replication > 1 else "abort"
+        plan = simple_plan(cluster, replication=replication,
+                           recovery_mode=mode)
+        run_to_completion(sim, jt, plan)
+        return metrics.jobs[0].duration
+
+    assert total(3) > total(1) * 1.15
+
+
+def test_reused_map_outputs_skip_map_work():
+    """A recomputation reusing most map outputs is much faster."""
+    sim, cluster, dfs, metrics, jt = make_env()
+    full = simple_plan(cluster)
+    run_to_completion(sim, jt, full)
+    t_full = metrics.jobs[0].duration
+
+    sim2, cluster2, dfs2, metrics2, jt2 = make_env()
+    reused = [ReusedMapOutput(t.task_id, t.input.locations[0], t.output_size)
+              for t in full.map_tasks[2:]]
+    plan = JobPlan(1, "job1/recomp", "recompute",
+                   full.map_tasks[:2], [ReduceTaskSpec(0, 0)], 4,
+                   reused_map_outputs=reused)
+    run_to_completion(sim2, jt2, plan)
+    t_recomp = metrics2.jobs[0].duration
+    # Less map work and only 1 of 4 reducers -> strictly faster overall,
+    # and the executed map volume shrinks 4x.
+    assert t_recomp < t_full
+    full_map_time = metrics.jobs[0].task_durations("map").sum()
+    recomp_map_time = metrics2.jobs[0].task_durations("map").sum()
+    assert recomp_map_time < full_map_time / 2
+
+
+def test_split_reduce_tasks_cover_partition():
+    sim, cluster, dfs, metrics, jt = make_env()
+    n = cluster.n_nodes
+    splits = [ReduceTaskSpec(i, 0, fraction=1.0 / n, split_index=i,
+                             n_splits=n) for i in range(n)]
+    tasks = [MapTaskSpec(100 + i, MapInput(BLOCK, (i,)), BLOCK)
+             for i in range(n)]
+    plan = JobPlan(1, "j/split", "recompute", tasks, splits, n)
+    completion = run_to_completion(sim, jt, plan)
+    pieces = completion.partition_pieces[0]
+    assert len(pieces) == n
+    total = sum(b for _, b in pieces)
+    # whole partition = total map output / n_partitions
+    assert total == pytest.approx(n * BLOCK / n)
+    assert len({node for node, _ in pieces}) == n  # spread over all nodes
+
+
+def test_empty_plan_completes_instantly():
+    sim, cluster, dfs, metrics, jt = make_env()
+    plan = JobPlan(1, "noop", "recompute", [], [], 1)
+    completion = run_to_completion(sim, jt, plan)
+    assert completion.duration == pytest.approx(0.0)
+
+
+def test_slow_shuffle_latency_applied():
+    """SLOW SHUFFLE: each reduce task pays latency * transfers / copiers
+    (8 maps, 5 copier threads, 10 s -> at least +16 s on the critical
+    wave)."""
+    spec = presets.tiny(4).with_slow_shuffle(10.0)
+
+    def total(cluster_spec):
+        sim, cluster, dfs, metrics, jt = make_env(spec=cluster_spec)
+        plan = simple_plan(cluster)
+        run_to_completion(sim, jt, plan)
+        return metrics.jobs[0].duration
+
+    fast = total(presets.tiny(4))
+    slow = total(spec)
+    # the copier delays overlap the map phase (transfers happen as mappers
+    # finish), so the job can't end before the latency budget elapses, and
+    # must end later than the latency-free run
+    latency_budget = 10.0 * 8 / spec.node.reduce_parallel_copies
+    assert slow >= latency_budget
+    assert slow > fast + 0.5 * latency_budget
+
+
+# --------------------------------------------------------------- failures
+def test_abort_mode_raises_jobaborted_after_detection():
+    sim, cluster, dfs, metrics, jt = make_env()
+    plan = simple_plan(cluster, maps_per_node=8)
+    result = {}
+
+    def driver():
+        try:
+            yield from jt.run_job(plan)
+        except JobAborted as exc:
+            result["aborted_at"] = sim.now
+            result["dead"] = exc.dead_nodes
+
+    def killer():
+        yield sim.timeout(5.0)
+        cluster.kill_node(2)
+
+    sim.process(driver())
+    sim.process(killer())
+    sim.run()
+    detect = cluster.spec.failure_detection_timeout
+    assert result["aborted_at"] == pytest.approx(5.0 + detect)
+    assert result["dead"] == [2]
+    assert metrics.jobs[0].outcome == "aborted"
+
+
+def test_abort_discards_partial_outputs():
+    """Reducers that completed before the cancellation have their outputs
+    deleted: RCMP discards partial results of the aborted job (§V-A)."""
+    def build_plan():
+        tasks = [MapTaskSpec(i, MapInput(BLOCK, (i % 4,)), BLOCK)
+                 for i in range(4)]
+        reducers = [ReduceTaskSpec(i, i % 4) for i in range(8)]  # 2 waves
+        return JobPlan(1, "j", "initial", tasks, reducers, 8)
+
+    # Calibrate: kill between wave-1 completion and job completion, so some
+    # reducer outputs exist when the cancellation lands.
+    sim0, _cluster0, _dfs0, metrics0, jt0 = make_env()
+    run_to_completion(sim0, jt0, build_plan())
+    reduce_ends = sorted(t.end for t in metrics0.jobs[0].tasks
+                         if t.task_type == "reduce")
+    kill_at = (reduce_ends[3] + reduce_ends[-1]) / 2  # after wave 1
+
+    sim, cluster, dfs, metrics, jt = make_env()
+    plan = build_plan()
+    outcome = {}
+
+    def driver():
+        try:
+            yield from jt.run_job(plan)
+            outcome["done"] = True
+        except JobAborted:
+            outcome["aborted"] = True
+
+    def killer():
+        yield sim.timeout(kill_at)
+        cluster.kill_node(0)
+
+    sim.process(driver())
+    sim.process(killer())
+    sim.run()
+    assert outcome.get("aborted"), "job must have been cancelled"
+    completed_reduces = [t for t in metrics.jobs[0].tasks
+                         if t.task_type == "reduce" and t.outcome == "done"]
+    assert completed_reduces, "some reducers should finish before the abort"
+    leftovers = [f for f in dfs.files if f.startswith("job1/")]
+    assert leftovers == []
+
+
+def test_hadoop_mode_recovers_within_job():
+    sim, cluster, dfs, metrics, jt = make_env()
+    # Inputs double-replicated so the dead node's inputs survive elsewhere.
+    n = cluster.n_nodes
+    tasks = []
+    tid = 0
+    for node in range(n):
+        for _ in range(2):
+            locs = (node, (node + 1) % n)
+            tasks.append(MapTaskSpec(tid, MapInput(BLOCK, locs), BLOCK))
+            tid += 1
+    reducers = [ReduceTaskSpec(i, i) for i in range(n)]
+    plan = JobPlan(1, "j", "initial", tasks, reducers, n,
+                   recovery_mode="hadoop", output_replication=2)
+    holder = {}
+
+    def driver():
+        holder["completion"] = yield from jt.run_job(plan)
+
+    def killer():
+        yield sim.timeout(3.0)
+        cluster.kill_node(1)
+
+    sim.process(driver())
+    sim.process(killer())
+    sim.run()
+    completion = holder["completion"]
+    assert completion is not None
+    # All partitions produced, none on the dead node.
+    assert sorted(completion.partition_pieces) == list(range(n))
+    for pieces in completion.partition_pieces.values():
+        for node, _ in pieces:
+            assert node != 1
+    # Redone maps ran somewhere alive.
+    for node in completion.map_output_nodes.values():
+        assert node != 1
+    assert metrics.jobs[0].outcome == "done"
+
+
+def test_hadoop_mode_failure_costs_time():
+    def total(kill):
+        sim, cluster, dfs, metrics, jt = make_env()
+        n = cluster.n_nodes
+        tasks = [MapTaskSpec(i, MapInput(BLOCK, (i % n, (i + 1) % n)), BLOCK)
+                 for i in range(2 * n)]
+        reducers = [ReduceTaskSpec(i, i) for i in range(n)]
+        plan = JobPlan(1, "j", "initial", tasks, reducers, n,
+                       recovery_mode="hadoop", output_replication=2)
+
+        def driver():
+            yield from jt.run_job(plan)
+
+        sim.process(driver())
+        if kill:
+            def killer():
+                yield sim.timeout(3.0)
+                cluster.kill_node(1)
+
+            sim.process(killer())
+        sim.run()
+        return metrics.jobs[0].duration
+
+    assert total(kill=True) > total(kill=False)
+
+
+def test_hadoop_mode_unrecoverable_when_no_replica():
+    """Single-replicated input on the dead node: REPL-1-like data loss."""
+    sim, cluster, dfs, metrics, jt = make_env()
+    tasks = [MapTaskSpec(i, MapInput(BLOCK, (i,)), BLOCK) for i in range(4)]
+    reducers = [ReduceTaskSpec(0, 0)]
+    plan = JobPlan(1, "j", "initial", tasks, reducers, 1,
+                   recovery_mode="hadoop", output_replication=2)
+    result = {}
+
+    def driver():
+        try:
+            yield from jt.run_job(plan)
+        except JobFailed:
+            result["failed"] = True
+
+    def killer():
+        yield sim.timeout(1.0)
+        cluster.kill_node(3)
+
+    sim.process(driver())
+    sim.process(killer())
+    sim.run()
+    assert result.get("failed")
+
+
+def test_ordinals_increment_across_runs():
+    sim, cluster, dfs, metrics, jt = make_env()
+    plan1 = simple_plan(cluster, maps_per_node=1)
+
+    def driver():
+        yield from jt.run_job(plan1)
+        plan2 = JobPlan(2, "job2", "initial",
+                        [MapTaskSpec(0, MapInput(BLOCK, (0,)), BLOCK)],
+                        [ReduceTaskSpec(0, 0)], 1)
+        yield from jt.run_job(plan2)
+
+    sim.process(driver())
+    sim.run()
+    assert [j.ordinal for j in metrics.jobs] == [1, 2]
+    assert metrics.total_runtime == pytest.approx(sim.now)

@@ -1,0 +1,92 @@
+"""Tests for the job/task model."""
+
+import pytest
+
+from repro.mapreduce.types import (
+    JobPlan,
+    MapInput,
+    MapTaskSpec,
+    PartitionRef,
+    ReduceTaskSpec,
+    ReusedMapOutput,
+)
+
+MB = 1 << 20
+
+
+def mt(task_id, size=64 * MB, locations=(0,), origin=None):
+    return MapTaskSpec(task_id, MapInput(size, tuple(locations), origin),
+                       output_size=size)
+
+
+def test_map_input_validation():
+    with pytest.raises(ValueError):
+        MapInput(-1.0, (0,))
+    with pytest.raises(ValueError):
+        MapInput(10.0, ())
+
+
+def test_reduce_task_validation():
+    with pytest.raises(ValueError):
+        ReduceTaskSpec(0, 0, fraction=0.0)
+    with pytest.raises(ValueError):
+        ReduceTaskSpec(0, 0, fraction=1.5)
+    with pytest.raises(ValueError):
+        ReduceTaskSpec(0, 0, split_index=2, n_splits=2)
+    ReduceTaskSpec(0, 0, fraction=0.5, split_index=1, n_splits=2)
+
+
+def test_job_plan_rejects_duplicate_and_conflicting_ids():
+    with pytest.raises(ValueError):
+        JobPlan(1, "j", "initial", [mt(0), mt(0)], [ReduceTaskSpec(0, 0)], 2)
+    with pytest.raises(ValueError):
+        JobPlan(1, "j", "initial", [mt(0)], [ReduceTaskSpec(0, 0)], 2,
+                reused_map_outputs=[ReusedMapOutput(0, 1, 64 * MB)])
+
+
+def test_job_plan_kind_and_mode_validation():
+    with pytest.raises(ValueError):
+        JobPlan(1, "j", "bogus", [mt(0)], [], 1)
+    with pytest.raises(ValueError):
+        JobPlan(1, "j", "initial", [mt(0)], [], 1, recovery_mode="weird")
+    with pytest.raises(ValueError):
+        JobPlan(1, "j", "initial", [mt(0)], [], 0)
+
+
+def test_total_map_output_includes_reused():
+    plan = JobPlan(1, "j", "recompute", [mt(0, 10.0)],
+                   [ReduceTaskSpec(0, 0)], 2,
+                   reused_map_outputs=[ReusedMapOutput(1, 1, 30.0)])
+    assert plan.total_map_output == pytest.approx(40.0)
+
+
+def test_reduce_input_size_uses_fraction_and_partitions():
+    plan = JobPlan(1, "j", "recompute", [mt(0, 100.0)],
+                   [ReduceTaskSpec(0, 0, fraction=0.25, split_index=0,
+                                   n_splits=4)], 5)
+    task = plan.reduce_tasks[0]
+    # 100 output bytes over 5 partitions -> 20/partition; 1/4 split -> 5
+    assert plan.reduce_input_size(task) == pytest.approx(5.0)
+    assert plan.reduce_output_size(task) == pytest.approx(5.0)
+
+
+def test_reduce_output_ratio_scales_output():
+    plan = JobPlan(1, "j", "initial", [mt(0, 100.0)],
+                   [ReduceTaskSpec(0, 0)], 1, reduce_output_ratio=2.0)
+    task = plan.reduce_tasks[0]
+    assert plan.reduce_output_size(task) == pytest.approx(200.0)
+
+
+def test_slice_size_uniform():
+    spec = mt(0, size=100.0)
+    assert spec.slice_size(4) == pytest.approx(25.0)
+    assert spec.slice_size(4, fraction=0.5) == pytest.approx(12.5)
+    reused = ReusedMapOutput(9, 2, 100.0)
+    assert reused.slice_size(4) == pytest.approx(25.0)
+
+
+def test_partition_ref_is_hashable_tuple():
+    ref = PartitionRef(3, 7)
+    assert ref.job_index == 3 and ref.partition == 7
+    assert ref == (3, 7)
+    assert len({ref, PartitionRef(3, 7)}) == 1

@@ -1,0 +1,115 @@
+"""Tests for the metrics collection layer."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.metrics import JobRecord, RunMetrics, TaskRecord
+
+
+def make_job(metrics, ordinal, kind="initial", start=0.0, end=100.0,
+             outcome="done"):
+    job = metrics.open_job(ordinal, ordinal, f"job{ordinal}", kind, start)
+    job.end = end
+    job.outcome = outcome
+    return job
+
+
+def add_task(job, task_type="map", task_id=0, start=0.0, end=10.0,
+             outcome="done", node=0):
+    record = TaskRecord(job.ordinal, job.kind, task_type, task_id, node,
+                        start, end=end, outcome=outcome)
+    job.tasks.append(record)
+    return record
+
+
+def test_task_duration_and_guards():
+    record = TaskRecord(1, "initial", "map", 0, 0, 5.0, end=12.0)
+    assert record.duration == 7.0
+    with pytest.raises(ValueError):
+        TaskRecord(1, "initial", "map", 0, 0, 5.0).duration
+
+
+def test_job_duration_and_task_filtering():
+    metrics = RunMetrics()
+    job = make_job(metrics, 1, start=10.0, end=60.0)
+    add_task(job, "map", 0, end=8.0)
+    add_task(job, "map", 1, end=9.0, outcome="killed")
+    add_task(job, "reduce", 0, end=20.0)
+    assert job.duration == 50.0
+    assert list(job.task_durations("map")) == [8.0]
+    assert list(job.task_durations("map", outcome="killed")) == [9.0]
+    assert list(job.task_durations("reduce")) == [20.0]
+
+
+def test_total_runtime_spans_all_jobs():
+    metrics = RunMetrics()
+    make_job(metrics, 1, start=0.0, end=100.0)
+    make_job(metrics, 2, start=100.0, end=250.0)
+    assert metrics.total_runtime == 250.0
+    assert metrics.n_jobs_started == 2
+
+
+def test_kind_filters_and_durations():
+    metrics = RunMetrics()
+    make_job(metrics, 1, kind="initial", end=100.0)
+    make_job(metrics, 2, kind="initial", start=100.0, end=190.0,
+             outcome="aborted")
+    make_job(metrics, 3, kind="recompute", start=190.0, end=220.0)
+    make_job(metrics, 4, kind="rerun", start=220.0, end=330.0)
+    assert len(metrics.completed_jobs()) == 3
+    assert [j.ordinal for j in metrics.jobs_of_kind("recompute")] == [3]
+    assert list(metrics.job_durations("recompute")) == [30.0]
+    # aborted jobs excluded from duration stats
+    assert list(metrics.job_durations("initial")) == [100.0]
+    assert metrics.mean_initial_job_duration() == 100.0
+
+
+def test_mean_initial_requires_completed_jobs():
+    metrics = RunMetrics()
+    with pytest.raises(ValueError):
+        metrics.mean_initial_job_duration()
+
+
+def test_pooled_mapper_and_reducer_durations():
+    metrics = RunMetrics()
+    j1 = make_job(metrics, 1, kind="recompute")
+    add_task(j1, "map", 0, end=5.0)
+    add_task(j1, "reduce", 0, end=30.0)
+    j2 = make_job(metrics, 2, kind="rerun")
+    add_task(j2, "map", 0, end=7.0)
+    assert sorted(metrics.mapper_durations(("recompute",))) == [5.0]
+    assert sorted(metrics.mapper_durations(("recompute", "rerun"))) == \
+        [5.0, 7.0]
+    assert list(metrics.reducer_durations(("recompute",))) == [30.0]
+    assert metrics.mapper_durations(("initial",)).size == 0
+
+
+def test_failures_and_summary():
+    metrics = RunMetrics()
+    make_job(metrics, 1)
+    make_job(metrics, 2, kind="recompute", start=100.0, end=130.0)
+    metrics.record_failure(50.0, 3)
+    summary = metrics.summary()
+    assert summary["jobs_started"] == 2
+    assert summary["recomputations"] == 1
+    assert summary["failures"] == [(50.0, 3)]
+
+
+def test_empty_metrics_runtime_zero():
+    assert RunMetrics().total_runtime == 0.0
+
+
+def test_job_record_duration_guard():
+    job = JobRecord(1, 1, "j", "initial", 0.0)
+    with pytest.raises(ValueError):
+        job.duration
+    job.end = 10.0
+    assert job.duration == 10.0
+
+
+def test_durations_are_numpy_arrays():
+    metrics = RunMetrics()
+    job = make_job(metrics, 1)
+    add_task(job, "map", 0, end=5.0)
+    assert isinstance(metrics.job_durations(), np.ndarray)
+    assert isinstance(job.task_durations("map"), np.ndarray)

@@ -1,0 +1,175 @@
+"""End-to-end tests of the chain middleware under every strategy."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import presets
+from repro.core import strategies
+from repro.core.middleware import run_chain
+from repro.workloads.chain import build_chain
+
+MB = 1 << 20
+
+
+def small_chain(n_jobs=3):
+    return build_chain(n_jobs=n_jobs, per_node_input=256 * MB,
+                       block_size=64 * MB)
+
+
+def run(strategy, failures=None, n_jobs=3, n_nodes=4, seed=0, **kw):
+    return run_chain(presets.tiny(n_nodes), strategy,
+                     chain=small_chain(n_jobs), failures=failures,
+                     seed=seed, **kw)
+
+
+# ------------------------------------------------------------ failure-free
+def test_all_strategies_complete_without_failure():
+    for strat in (strategies.RCMP, strategies.RCMP_NOSPLIT,
+                  strategies.REPL2, strategies.REPL3,
+                  strategies.OPTIMISTIC, strategies.HYBRID):
+        result = run(strat, n_jobs=2)
+        assert result.completed, strat.name
+        assert result.jobs_started == 2
+
+
+def test_replication_ordering_failure_free():
+    """The paper's headline: REPL-2 and REPL-3 pay on every run (§V-B)."""
+    t_rcmp = run(strategies.RCMP).total_runtime
+    t_r2 = run(strategies.REPL2).total_runtime
+    t_r3 = run(strategies.REPL3).total_runtime
+    t_opt = run(strategies.OPTIMISTIC).total_runtime
+    assert t_rcmp < t_r2 < t_r3
+    assert t_opt == pytest.approx(t_rcmp, rel=0.02)  # both unreplicated
+
+
+def test_deterministic_given_seed():
+    a = run(strategies.RCMP, failures="2", seed=42)
+    b = run(strategies.RCMP, failures="2", seed=42)
+    assert a.total_runtime == b.total_runtime
+    assert a.killed_nodes == b.killed_nodes
+
+
+# -------------------------------------------------------------- RCMP single
+def test_rcmp_recovers_single_failure_with_recomputation():
+    result = run(strategies.RCMP, failures="2")
+    assert result.completed
+    # failure at job 2 -> recompute job 1, rerun job 2, then job 3:
+    # ordinals 1,2(aborted),3(recomp),4(rerun),5 = 5 started jobs
+    assert result.jobs_started == 5
+    kinds = [j.kind for j in result.metrics.jobs]
+    assert kinds == ["initial", "initial", "recompute", "rerun", "initial"]
+    outcomes = [j.outcome for j in result.metrics.jobs]
+    assert outcomes == ["done", "aborted", "done", "done", "done"]
+
+
+def test_rcmp_late_failure_recomputes_all_prior_jobs():
+    result = run(strategies.RCMP, failures="3")
+    assert result.completed
+    recomps = result.metrics.jobs_of_kind("recompute")
+    assert len(recomps) == 2  # jobs 1 and 2
+    assert [j.logical_index for j in recomps] == [1, 2]
+
+
+def test_rcmp_recomputation_cheaper_than_initial_run():
+    """Persisted-output reuse: a recomputation run moves ~1/N of the data."""
+    result = run(strategies.RCMP, failures="3", n_nodes=4)
+    initial = result.metrics.job_durations("initial").mean()
+    recomp = result.metrics.job_durations("recompute").mean()
+    assert recomp < initial
+
+
+def test_rcmp_split_beats_nosplit_under_late_failure():
+    t_split = run(strategies.RCMP, failures="3", n_nodes=6,
+                  n_jobs=4).total_runtime
+    t_nosplit = run(strategies.RCMP_NOSPLIT, failures="3", n_nodes=6,
+                    n_jobs=4).total_runtime
+    assert t_split < t_nosplit
+
+
+# ------------------------------------------------------------- double/nested
+@pytest.mark.parametrize("spec", ["2,2", "2,4", "3,5", "3,6"])
+def test_rcmp_survives_double_failures(spec):
+    result = run(strategies.RCMP, failures=spec, n_nodes=5)
+    assert result.completed
+    assert len(result.metrics.failures) == 2
+    assert len(set(result.killed_nodes)) == 2
+
+
+def test_repl3_survives_double_failure():
+    result = run(strategies.REPL3, failures="2,3", n_nodes=5)
+    assert result.completed
+    assert result.jobs_started == 3  # replication absorbs both in-job
+
+
+def test_repl2_can_fail_under_double_failure():
+    """REPL-2 cannot protect against all double failures (paper §V-B)."""
+    failed = 0
+    for seed in range(6):
+        result = run(strategies.REPL2, failures="2,2", n_nodes=4, seed=seed)
+        if not result.completed:
+            failed += 1
+            assert result.failure_reason
+    assert failed > 0
+
+
+# ---------------------------------------------------------------- OPTIMISTIC
+def test_optimistic_restarts_from_scratch():
+    result = run(strategies.OPTIMISTIC, failures="2")
+    assert result.completed
+    # 2 jobs before the failure + full 3-job restart
+    assert result.jobs_started == 5
+    kinds = [j.kind for j in result.metrics.jobs]
+    assert kinds.count("recompute") == 0
+    logical = [j.logical_index for j in result.metrics.jobs]
+    assert logical == [1, 2, 1, 2, 3]
+
+
+def test_optimistic_much_worse_when_failure_is_late():
+    t_early = run(strategies.OPTIMISTIC, failures="2",
+                  n_jobs=4).total_runtime
+    t_late = run(strategies.OPTIMISTIC, failures="4", n_jobs=4).total_runtime
+    assert t_late > t_early
+
+
+# ------------------------------------------------------------------- hybrid
+def test_hybrid_bounds_cascade_at_replication_point():
+    hybrid = strategies.rcmp(hybrid_interval=2)
+    plain = run(strategies.RCMP, failures="4", n_jobs=4, n_nodes=5)
+    bounded = run(hybrid, failures="4", n_jobs=4, n_nodes=5)
+    assert plain.completed and bounded.completed
+    # plain recomputes jobs 1-3; hybrid only job 3 (job 2 is replicated)
+    assert len(bounded.metrics.jobs_of_kind("recompute")) < \
+        len(plain.metrics.jobs_of_kind("recompute"))
+
+
+def test_hybrid_reclaim_frees_persisted_storage():
+    base = strategies.rcmp(hybrid_interval=2)
+    reclaiming = dataclasses.replace(base, hybrid_reclaim=True)
+    r_keep = run(base, n_jobs=4, n_nodes=5)
+    r_free = run(reclaiming, n_jobs=4, n_nodes=5)
+    assert r_free.persisted_bytes < r_keep.persisted_bytes
+
+
+# ------------------------------------------------------------ bookkeeping
+def test_job_ordinals_match_paper_numbering():
+    """Fig. 7 case c: failure at job 7 of 7 -> 14 jobs total."""
+    result = run(strategies.RCMP, failures="7", n_jobs=7, n_nodes=4)
+    assert result.completed
+    assert result.jobs_started == 14
+    assert [j.ordinal for j in result.metrics.jobs] == list(range(1, 15))
+
+
+def test_failure_during_job1_reruns_it_without_cascade():
+    """Job 1's input is triple-replicated; no completed job data exists,
+    so RCMP just restarts job 1."""
+    result = run(strategies.RCMP, failures="1")
+    assert result.completed
+    assert len(result.metrics.jobs_of_kind("recompute")) == 0
+    kinds = [j.kind for j in result.metrics.jobs]
+    assert kinds[0] == "initial" and kinds[1] == "rerun"
+
+
+def test_spread_output_strategy_completes():
+    result = run(strategies.RCMP_SPREAD, failures="3", n_nodes=5)
+    assert result.completed

@@ -1,0 +1,123 @@
+"""Edge-case tests for the middleware's failure handling."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import presets
+from repro.cluster.failures import FailureEvent, FailurePlan
+from repro.core import strategies
+from repro.core.middleware import run_chain
+from repro.workloads.chain import build_chain
+
+MB = 1 << 20
+
+
+def chain(n_jobs=3):
+    return build_chain(n_jobs=n_jobs, per_node_input=256 * MB,
+                       block_size=64 * MB)
+
+
+def test_failure_during_last_job_still_completes():
+    result = run_chain(presets.tiny(4), strategies.RCMP, chain=chain(3),
+                       failures="3")
+    assert result.completed
+    last = result.metrics.jobs[-1]
+    assert last.logical_index == 3 and last.outcome == "done"
+
+
+def test_back_to_back_kills_before_detection():
+    """Two kills 1 s apart: both are folded into one recovery plan (the
+    paper: a recomputation job can service any number of data loss
+    events)."""
+    plan = FailurePlan([FailureEvent(2, 15.0), FailureEvent(2, 16.0)])
+    result = run_chain(presets.tiny(5), strategies.RCMP, chain=chain(3),
+                       failures=plan)
+    assert result.completed
+    assert len(result.metrics.failures) == 2
+    # recovery happened once per damaged job, not once per failure
+    recomputed = [j.logical_index for j in
+                  result.metrics.jobs_of_kind("recompute")]
+    assert recomputed == sorted(set(recomputed))
+
+
+def test_failure_during_recompute_of_job1():
+    """Nested failure hitting the very first recomputation run."""
+    # job 3 fails -> recompute starts at ordinal 4; kill again during it
+    result = run_chain(presets.tiny(5), strategies.RCMP, chain=chain(3),
+                       failures="3,4")
+    assert result.completed
+    aborted = [j for j in result.metrics.jobs if j.outcome == "aborted"]
+    assert len(aborted) == 2  # the original job 3 and one recompute run
+
+
+def test_surviving_three_sequential_failures():
+    """Extreme shrinkage: 5 nodes, 3 sequential failures.  RCMP recovers
+    unless the triple-replicated *input* itself loses all replicas — in
+    which case the run must fail gracefully, not crash."""
+    result = run_chain(presets.tiny(5), strategies.RCMP, chain=chain(2),
+                       failures=[(1, 20.0), (3, 15.0), (5, 15.0)])
+    assert len(set(result.killed_nodes)) == 3
+    if not result.completed:
+        assert "input" in result.failure_reason
+    # a larger cluster keeps the input alive under the same failure count
+    big = run_chain(presets.tiny(8), strategies.RCMP, chain=chain(2),
+                    failures=[(1, 20.0), (3, 15.0), (5, 15.0)], seed=3)
+    assert big.completed
+
+
+def test_hybrid_replication_point_failure_mid_replicate():
+    """A kill landing while the hybrid strategy replicates an output."""
+    hybrid = strategies.rcmp(hybrid_interval=1)
+    # replication happens right after each job; failure at job 2's start
+    # can overlap job 1's replication traffic
+    result = run_chain(presets.tiny(5), hybrid, chain=chain(3),
+                       failures=[(2, 1.0)])
+    assert result.completed
+
+
+def test_zero_failures_plan_is_noop():
+    result = run_chain(presets.tiny(4), strategies.RCMP, chain=chain(2),
+                       failures=FailurePlan())
+    assert result.completed
+    assert result.metrics.failures == []
+
+
+def test_failures_list_coercion():
+    result = run_chain(presets.tiny(4), strategies.RCMP, chain=chain(2),
+                       failures=[(2, 10.0)])
+    assert result.completed
+    assert len(result.metrics.failures) == 1
+    assert result.metrics.failures[0][0] > 0
+
+
+def test_spread_output_with_second_failure():
+    """Spread recomputed outputs enlarge the blast radius of the next
+    failure (every piece has a block on many nodes) — recovery must still
+    converge."""
+    result = run_chain(presets.tiny(6), strategies.RCMP_SPREAD,
+                       chain=chain(4), failures="3,6")
+    assert result.completed
+
+
+def test_detection_timeout_zero():
+    spec = dataclasses.replace(presets.tiny(4),
+                               failure_detection_timeout=0.0)
+    result = run_chain(spec, strategies.RCMP, chain=chain(2), failures="2")
+    assert result.completed
+
+
+def test_rcmp_single_job_chain():
+    result = run_chain(presets.tiny(4), strategies.RCMP, chain=chain(1),
+                       failures="1")
+    assert result.completed
+    # input is triple-replicated: just rerun job 1, no recomputation
+    assert len(result.metrics.jobs_of_kind("recompute")) == 0
+
+
+@pytest.mark.parametrize("strategy", [strategies.RCMP, strategies.REPL2])
+def test_seed_changes_victim_not_correctness(strategy):
+    for seed in (0, 1, 2):
+        result = run_chain(presets.tiny(5), strategy, chain=chain(2),
+                           failures="2", seed=seed)
+        assert result.completed, (strategy.name, seed)

@@ -1,0 +1,58 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis.plotting import bar_chart, cdf_plot, line_plot
+
+
+def test_line_plot_renders_all_series():
+    text = line_plot({
+        "a": ([0, 1, 2], [1.0, 2.0, 3.0]),
+        "b": ([0, 1, 2], [3.0, 2.0, 1.0]),
+    }, title="demo", x_label="t")
+    assert "demo" in text
+    assert "o=a" in text and "x=b" in text
+    assert "o" in text and "x" in text
+    assert "[t]" in text
+    # axis labels carry the extremes
+    assert "3.00" in text and "1.00" in text
+
+
+def test_line_plot_requires_data():
+    with pytest.raises(ValueError):
+        line_plot({})
+
+
+def test_line_plot_constant_series():
+    text = line_plot({"flat": ([0, 1], [5.0, 5.0])})
+    assert "o" in text  # degenerate y-range handled
+
+
+def test_cdf_plot_monotone_axis():
+    text = cdf_plot({"d": [1.0, 2.0, 2.0, 5.0]}, title="cdf demo")
+    assert "CDF (%)" in text
+    assert "100.00" in text
+
+
+def test_bar_chart():
+    text = bar_chart({"RCMP": 1.0, "REPL-3": 1.75}, unit="x",
+                     title="slowdown")
+    lines = text.splitlines()
+    assert lines[0] == "slowdown"
+    rcmp_bar = lines[1].split("|")[1]
+    repl_bar = lines[2].split("|")[1]
+    assert len(repl_bar) > len(rcmp_bar)
+    with pytest.raises(ValueError):
+        bar_chart({})
+
+
+def test_bar_chart_rejects_nonpositive_peak():
+    with pytest.raises(ValueError):
+        bar_chart({"a": 0.0})
+
+
+def test_plots_from_real_experiment_series():
+    from repro.experiments import fig2
+    series = fig2.series("ci", seed=1)
+    text = line_plot(series, title="Fig. 2 CDF", x_label="failures/day")
+    assert "STIC" in text and "SUG@R" in text

@@ -1,0 +1,112 @@
+"""Tests for HDFS-style post-failure re-replication."""
+
+import pytest
+
+from repro.cluster import presets
+from repro.cluster.topology import Cluster
+from repro.core import strategies
+from repro.core.middleware import run_chain
+from repro.dfs import DistributedFileSystem
+from repro.simcore import SeedSequenceRegistry, Simulator
+from repro.workloads.chain import build_chain
+
+MB = 1 << 20
+
+
+def make_dfs(n=4):
+    sim = Simulator()
+    cluster = Cluster(sim, presets.tiny(n), SeedSequenceRegistry(2))
+    return sim, cluster, DistributedFileSystem(cluster, 64 * MB)
+
+
+def test_under_replicated_detection():
+    _sim, _cluster, dfs = make_dfs()
+    dfs.seed_replicated("f", 128 * MB, replication=3)
+    assert dfs.under_replicated() == []
+    victim = dfs.meta("f").blocks[0].replicas[0]
+    dfs.on_node_death(victim)
+    under = dfs.under_replicated()
+    assert under, "losing a replica must surface under-replication"
+    for _meta, block in under:
+        assert 0 < block.replication < 3
+
+
+def test_restore_replication_brings_blocks_back_to_target():
+    sim, cluster, dfs = make_dfs()
+    dfs.seed_replicated("f", 128 * MB, replication=2)
+    victim = dfs.meta("f").blocks[0].replicas[0]
+    cluster.kill_node(victim)
+    dfs.on_node_death(victim)
+
+    def proc():
+        yield dfs.restore_replication()
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now > 0  # real I/O happened
+    for block in dfs.meta("f").blocks:
+        assert block.replication == 2
+        assert victim not in block.replicas
+    assert dfs.under_replicated() == []
+
+
+def test_restore_noop_when_fully_replicated():
+    sim, _cluster, dfs = make_dfs()
+    dfs.seed_replicated("f", 128 * MB, replication=2)
+
+    def proc():
+        yield dfs.restore_replication()
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == 0.0
+
+
+def test_restore_capped_by_alive_nodes():
+    sim, cluster, dfs = make_dfs(n=3)
+    dfs.seed_replicated("f", 64 * MB, replication=3)
+    cluster.kill_node(0)
+    dfs.on_node_death(0)
+    # only 2 nodes remain: target is effectively 2
+    def proc():
+        yield dfs.restore_replication()
+
+    sim.process(proc())
+    sim.run()
+    for block in dfs.meta("f").blocks:
+        assert block.replication == 2
+
+
+def test_repl_baseline_recovers_replication_end_to_end():
+    """After a failure mid-chain, REPL-3 restores its intermediate outputs
+    to 3 live replicas in the background."""
+    chain = build_chain(n_jobs=3, per_node_input=256 * MB,
+                        block_size=64 * MB)
+    result = run_chain(presets.tiny(5), strategies.REPL3, chain=chain,
+                       failures="2")
+    assert result.completed
+    assert strategies.REPL3.re_replicate_after_failure
+    # dfs_bytes reflects restored replicas: final outputs at full factor
+    assert result.dfs_bytes > 0
+
+
+def test_rcmp_does_not_re_replicate():
+    assert not strategies.RCMP.re_replicate_after_failure
+    chain = build_chain(n_jobs=2, per_node_input=256 * MB,
+                        block_size=64 * MB)
+    result = run_chain(presets.tiny(4), strategies.RCMP, chain=chain,
+                       failures="2")
+    assert result.completed
+
+
+def test_rereplication_traffic_slows_post_failure_jobs():
+    """The paper-era HDFS restoration competes with the running chain."""
+    import dataclasses
+    chain = build_chain(n_jobs=4, per_node_input=512 * MB,
+                        block_size=64 * MB)
+    with_restore = run_chain(presets.tiny(5), strategies.REPL3, chain=chain,
+                             failures="2")
+    silent = dataclasses.replace(strategies.REPL3,
+                                 re_replicate_after_failure=False)
+    without = run_chain(presets.tiny(5), silent, chain=chain, failures="2")
+    assert with_restore.total_runtime >= without.total_runtime

@@ -1,0 +1,101 @@
+"""Tests for task placement (locality, balance, explicit assignment)."""
+
+import pytest
+
+from repro.cluster import presets
+from repro.cluster.topology import Cluster
+from repro.mapreduce.scheduler import assign_tasks, spread_reducers
+from repro.mapreduce.types import JobPlan, MapInput, MapTaskSpec, ReduceTaskSpec
+from repro.simcore import SeedSequenceRegistry, Simulator
+
+MB = 1 << 20
+BLOCK = 64 * MB
+
+
+def make_cluster(n=4, slots=(1, 1)):
+    sim = Simulator()
+    return Cluster(sim, presets.tiny(n, slots), SeedSequenceRegistry(5))
+
+
+def balanced_plan(n_nodes, maps_per_node=2, **kw):
+    tasks = []
+    tid = 0
+    for node in range(n_nodes):
+        for _ in range(maps_per_node):
+            tasks.append(MapTaskSpec(tid, MapInput(BLOCK, (node,)), BLOCK))
+            tid += 1
+    reducers = [ReduceTaskSpec(i, i) for i in range(n_nodes)]
+    return JobPlan(1, "j", "initial", tasks, reducers, n_nodes, **kw)
+
+
+def test_locality_honored_in_balanced_plan():
+    cluster = make_cluster(4)
+    plan = balanced_plan(4)
+    placement = assign_tasks(cluster, plan)
+    for task in plan.map_tasks:
+        assert placement.mappers[task.task_id] == task.input.locations[0]
+
+
+def test_reducers_balanced_round_robin():
+    cluster = make_cluster(4)
+    plan = balanced_plan(4)
+    placement = assign_tasks(cluster, plan)
+    nodes = sorted(placement.reducers.values())
+    assert nodes == [0, 1, 2, 3]
+
+
+def test_dead_node_excluded():
+    cluster = make_cluster(4)
+    cluster.kill_node(2)
+    plan = balanced_plan(4)
+    placement = assign_tasks(cluster, plan)
+    assert 2 not in placement.mappers.values()
+    assert 2 not in placement.reducers.values()
+
+
+def test_explicit_assignments_honored():
+    cluster = make_cluster(4)
+    plan = balanced_plan(4)
+    plan.mapper_assignment = {0: 3, 1: 3}
+    plan.reducer_assignment = {0: 1}
+    placement = assign_tasks(cluster, plan)
+    assert placement.mappers[0] == 3 and placement.mappers[1] == 3
+    assert placement.reducers[0] == 1
+
+
+def test_explicit_assignment_to_dead_node_falls_back():
+    cluster = make_cluster(4)
+    cluster.kill_node(3)
+    plan = balanced_plan(4)
+    plan.mapper_assignment = {0: 3}
+    placement = assign_tasks(cluster, plan)
+    assert placement.mappers[0] != 3
+
+
+def test_locality_cap_prevents_single_node_serialization():
+    """All inputs on one node: the scheduler must spill the excess to other
+    nodes instead of queueing 8 waves on the popular one."""
+    cluster = make_cluster(4, slots=(1, 1))
+    tasks = [MapTaskSpec(i, MapInput(BLOCK, (0,)), BLOCK) for i in range(8)]
+    plan = JobPlan(1, "j", "initial", tasks, [ReduceTaskSpec(0, 0)], 1)
+    placement = assign_tasks(cluster, plan)
+    on_zero = sum(1 for n in placement.mappers.values() if n == 0)
+    assert on_zero < 8
+    assert set(placement.mappers.values()) == {0, 1, 2, 3}
+
+
+def test_spread_reducers_round_robin_with_exclusion():
+    tasks = [ReduceTaskSpec(i, 0, fraction=0.25, split_index=i, n_splits=4)
+             for i in range(4)]
+    assignment = spread_reducers(tasks, alive=[0, 1, 2, 3], exclude={1})
+    assert set(assignment.values()) <= {0, 2, 3}
+    assert len(assignment) == 4
+
+
+def test_no_alive_nodes_raises():
+    cluster = make_cluster(2)
+    cluster.kill_node(0)
+    cluster.kill_node(1)
+    plan = balanced_plan(2)
+    with pytest.raises(RuntimeError):
+        assign_tasks(cluster, plan)

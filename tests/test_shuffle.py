@@ -1,0 +1,84 @@
+"""Tests for the shuffle board (progressive map-output availability)."""
+
+import pytest
+
+from repro.mapreduce.shuffle import ShuffleBoard, SourceLost, pick_chunk_count
+from repro.simcore import Simulator
+
+
+def test_chunks_fire_as_fractions_complete():
+    sim = Simulator()
+    board = ShuffleBoard(sim, chunks=2)
+    board.register_source(0, 4)
+    first = board.ready(0, 0)
+    second = board.ready(0, 1)
+    assert not first.triggered
+    board.map_completed(0)
+    assert not first.triggered
+    board.map_completed(0)
+    assert first.triggered      # 2/4 = first half ready
+    assert not second.triggered
+    board.map_completed(0)
+    board.map_completed(0)
+    assert second.triggered
+
+
+def test_reused_source_ready_immediately():
+    sim = Simulator()
+    board = ShuffleBoard(sim, chunks=3)
+    board.register_reused_source(5)
+    for chunk in range(3):
+        assert board.ready(5, chunk).triggered
+
+
+def test_source_with_zero_maps_ready():
+    sim = Simulator()
+    board = ShuffleBoard(sim, chunks=1)
+    board.register_source(1, 0)
+    assert board.ready(1, 0).triggered
+
+
+def test_additive_registration():
+    sim = Simulator()
+    board = ShuffleBoard(sim, chunks=1)
+    board.register_source(0, 2)
+    board.register_source(0, 2)  # 4 total
+    ev = board.ready(0, 0)
+    board.map_completed(0)
+    board.map_completed(0)
+    assert not ev.triggered
+    board.map_completed(0)
+    board.map_completed(0)
+    assert ev.triggered
+
+
+def test_fail_source_fails_pending_and_future():
+    sim = Simulator()
+    board = ShuffleBoard(sim, chunks=2)
+    board.register_source(0, 4)
+    pending = board.ready(0, 1)
+    board.fail_source(0)
+    assert pending.triggered and not pending.ok
+    assert isinstance(pending.value, SourceLost)
+    future = board.ready(0, 0)
+    assert future.triggered and not future.ok
+
+
+def test_chunk_range_validation():
+    sim = Simulator()
+    board = ShuffleBoard(sim, chunks=2)
+    with pytest.raises(ValueError):
+        board.ready(0, 2)
+    with pytest.raises(ValueError):
+        ShuffleBoard(sim, chunks=0)
+
+
+def test_pick_chunk_count_budgeted():
+    # small: one chunk per map wave
+    assert pick_chunk_count(10, 10, map_waves=16) == 16
+    # large: budget caps the pair*chunk product
+    assert pick_chunk_count(60, 60, map_waves=80,
+                            flow_budget=20_000) == 5
+    assert pick_chunk_count(60, 3540, map_waves=80,
+                            flow_budget=20_000) == 1
+    assert pick_chunk_count(4, 4, map_waves=0) == 1

@@ -1,0 +1,279 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simcore import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    ProcessCrashed,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    done = []
+
+    def proc():
+        yield sim.timeout(5.0)
+        done.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert done == [5.0]
+    assert sim.now == 5.0
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        v = yield sim.timeout(1.0, value="payload")
+        got.append(v)
+
+    sim.process(proc())
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2.0)
+        return 42
+
+    def parent(results):
+        value = yield sim.process(child())
+        results.append(value)
+
+    results = []
+    sim.process(parent(results))
+    sim.run()
+    assert results == [42]
+
+
+def test_fifo_order_same_timestamp():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.process(proc(tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_succeed_resumes_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    seen = []
+
+    def waiter():
+        v = yield ev
+        seen.append((sim.now, v))
+
+    def firer():
+        yield sim.timeout(3.0)
+        ev.succeed("hello")
+
+    sim.process(waiter())
+    sim.process(firer())
+    sim.run()
+    assert seen == [(3.0, "hello")]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def firer():
+        yield sim.timeout(1.0)
+        ev.fail(RuntimeError("boom"))
+
+    sim.process(waiter())
+    sim.process(firer())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_crashes_run():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("oops")
+
+    sim.process(bad())
+    with pytest.raises(ProcessCrashed):
+        sim.run()
+
+
+def test_allof_waits_for_all():
+    sim = Simulator()
+    times = []
+
+    def parent():
+        yield AllOf(sim, [sim.timeout(1.0), sim.timeout(5.0),
+                          sim.timeout(3.0)])
+        times.append(sim.now)
+
+    sim.process(parent())
+    sim.run()
+    assert times == [5.0]
+
+
+def test_allof_empty_fires_immediately():
+    sim = Simulator()
+    times = []
+
+    def parent():
+        yield AllOf(sim, [])
+        times.append(sim.now)
+
+    sim.process(parent())
+    sim.run()
+    assert times == [0.0]
+
+
+def test_anyof_fires_on_first():
+    sim = Simulator()
+    times = []
+
+    def parent():
+        yield AnyOf(sim, [sim.timeout(4.0), sim.timeout(2.0)])
+        times.append(sim.now)
+
+    sim.process(parent())
+    sim.run()
+    assert times == [2.0]
+
+
+def test_allof_fails_fast_on_child_failure():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def parent():
+        try:
+            yield AllOf(sim, [sim.timeout(100.0), ev])
+        except RuntimeError:
+            caught.append(sim.now)
+
+    def firer():
+        yield sim.timeout(1.0)
+        ev.fail(RuntimeError("child died"))
+
+    sim.process(parent())
+    sim.process(firer())
+    sim.run()
+    assert caught == [1.0]
+
+
+def test_interrupt_wakes_process_with_cause():
+    sim = Simulator()
+    record = []
+
+    def victim():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            record.append((sim.now, intr.cause))
+
+    def killer(proc):
+        yield sim.timeout(7.0)
+        proc.interrupt("node-3 failed")
+
+    proc = sim.process(victim())
+    sim.process(killer(proc))
+    sim.run()
+    assert record == [(7.0, "node-3 failed")]
+
+
+def test_interrupt_invalidates_stale_wakeup():
+    sim = Simulator()
+    record = []
+
+    def victim():
+        try:
+            yield sim.timeout(10.0)
+        except Interrupt:
+            yield sim.timeout(100.0)  # new wait; old timeout must not wake us
+            record.append(sim.now)
+
+    def killer(proc):
+        yield sim.timeout(5.0)
+        proc.interrupt()
+
+    proc = sim.process(victim())
+    sim.process(killer(proc))
+    sim.run()
+    assert record == [105.0]
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick())
+    sim.run()
+    proc.interrupt()  # must not raise
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(50.0)
+
+    sim.process(proc())
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+    sim.run()
+    assert sim.now == 50.0
+
+
+def test_deterministic_event_order_many_processes():
+    def build():
+        sim = Simulator()
+        order = []
+
+        def proc(tag, delay):
+            yield sim.timeout(delay)
+            order.append(tag)
+
+        for i in range(50):
+            sim.process(proc(i, (i * 7) % 13))
+        sim.run()
+        return order
+
+    assert build() == build()

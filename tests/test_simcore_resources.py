@@ -1,0 +1,317 @@
+"""Unit tests for slot pools and the fluid flow network."""
+
+import pytest
+
+from repro.simcore import Capacity, FluidNetwork, SimulationError, Simulator, SlotPool
+
+
+# ---------------------------------------------------------------- SlotPool
+def test_slotpool_grants_up_to_capacity():
+    sim = Simulator()
+    pool = SlotPool(sim, 2)
+    a, b, c = pool.request(), pool.request(), pool.request()
+    sim.run()
+    assert a.triggered and b.triggered
+    assert not c.triggered
+    pool.release()
+    sim.run()
+    assert c.triggered
+
+
+def test_slotpool_fifo_ordering():
+    sim = Simulator()
+    pool = SlotPool(sim, 1)
+    got = []
+
+    def worker(tag, hold):
+        yield pool.request()
+        yield sim.timeout(hold)
+        got.append((tag, sim.now))
+        pool.release()
+
+    for i in range(3):
+        sim.process(worker(i, 10.0))
+    sim.run()
+    assert [t for t, _ in got] == [0, 1, 2]
+    assert [w for _, w in got] == [10.0, 20.0, 30.0]
+
+
+def test_slotpool_release_without_acquire_raises():
+    sim = Simulator()
+    pool = SlotPool(sim, 1)
+    with pytest.raises(SimulationError):
+        pool.release()
+
+
+def test_slotpool_cancel_pending_request():
+    sim = Simulator()
+    pool = SlotPool(sim, 1)
+    pool.request()
+    pending = pool.request()
+    pool.cancel(pending)
+    pool.release()
+    sim.run()
+    assert pool.available == 1  # cancelled waiter did not consume the slot
+
+
+# ---------------------------------------------------------------- Flows
+@pytest.fixture(params=["equal_share", "max_min"])
+def rate_model(request):
+    return request.param
+
+
+def _run_transfer(sim, net, size, links, latency=0.0):
+    times = {}
+
+    def proc():
+        flow = net.transfer(size, links, latency=latency)
+        yield flow.done
+        times["end"] = sim.now
+
+    sim.process(proc())
+    sim.run()
+    return times["end"]
+
+
+def test_single_flow_full_bandwidth(rate_model):
+    sim = Simulator()
+    net = FluidNetwork(sim, rate_model)
+    disk = Capacity("disk", 100.0)
+    assert _run_transfer(sim, net, 1000.0, [disk]) == pytest.approx(10.0)
+
+
+def test_two_flows_share_equally(rate_model):
+    sim = Simulator()
+    net = FluidNetwork(sim, rate_model)
+    disk = Capacity("disk", 100.0)
+    ends = []
+
+    def proc():
+        flow = net.transfer(1000.0, [disk])
+        yield flow.done
+        ends.append(sim.now)
+
+    sim.process(proc())
+    sim.process(proc())
+    sim.run()
+    assert ends == pytest.approx([20.0, 20.0])
+
+
+def test_flow_rate_increases_when_sharer_finishes(rate_model):
+    sim = Simulator()
+    net = FluidNetwork(sim, rate_model)
+    disk = Capacity("disk", 100.0)
+    ends = []
+
+    def proc(size):
+        flow = net.transfer(size, [disk])
+        yield flow.done
+        ends.append(sim.now)
+
+    sim.process(proc(500.0))   # shares 50B/s until t=10, done
+    sim.process(proc(1500.0))  # 500B by t=10, then 1000B at 100B/s -> t=20
+    sim.run()
+    assert ends == pytest.approx([10.0, 20.0])
+
+
+def test_multi_link_flow_limited_by_slowest(rate_model):
+    sim = Simulator()
+    net = FluidNetwork(sim, rate_model)
+    fast = Capacity("nic", 1000.0)
+    slow = Capacity("disk", 50.0)
+    assert _run_transfer(sim, net, 500.0, [fast, slow]) == pytest.approx(10.0)
+
+
+def test_concurrency_penalty_degrades_aggregate():
+    sim = Simulator()
+    net = FluidNetwork(sim, "equal_share")
+    # alpha=1.0, floor=0.5: eff(2) = 100*(0.5 + 0.5/2) = 75, each flow 37.5.
+    disk = Capacity("disk", 100.0, concurrency_penalty=1.0,
+                    penalty_floor=0.5)
+    ends = []
+
+    def proc():
+        flow = net.transfer(375.0, [disk])
+        yield flow.done
+        ends.append(sim.now)
+
+    sim.process(proc())
+    sim.process(proc())
+    sim.run()
+    assert ends == pytest.approx([10.0, 10.0])
+
+
+def test_penalty_floor_bounds_degradation():
+    disk = Capacity("disk", 100.0, concurrency_penalty=1.0,
+                    penalty_floor=0.4)
+    assert disk.effective_bandwidth(1) == pytest.approx(100.0)
+    assert disk.effective_bandwidth(1000) == pytest.approx(40.0, rel=0.05)
+    # monotone non-increasing in n
+    values = [disk.effective_bandwidth(n) for n in range(1, 50)]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+def test_penalty_floor_validation():
+    with pytest.raises(ValueError):
+        Capacity("bad", 10.0, penalty_floor=0.0)
+    with pytest.raises(ValueError):
+        Capacity("bad", 10.0, penalty_floor=1.5)
+
+
+def test_latency_added_after_last_byte(rate_model):
+    sim = Simulator()
+    net = FluidNetwork(sim, rate_model)
+    disk = Capacity("disk", 100.0)
+    end = _run_transfer(sim, net, 1000.0, [disk], latency=10.0)
+    assert end == pytest.approx(20.0)
+
+
+def test_zero_size_flow_is_latency_only(rate_model):
+    sim = Simulator()
+    net = FluidNetwork(sim, rate_model)
+    end = _run_transfer(sim, net, 0.0, [], latency=3.0)
+    assert end == pytest.approx(3.0)
+
+
+def test_abort_fails_done_event(rate_model):
+    sim = Simulator()
+    net = FluidNetwork(sim, rate_model)
+    disk = Capacity("disk", 100.0)
+    outcome = []
+
+    def proc():
+        flow = net.transfer(1e6, [disk])
+        try:
+            yield flow.done
+        except SimulationError:
+            outcome.append(sim.now)
+
+    def aborter():
+        yield sim.timeout(5.0)
+        (flow,) = list(net.active)
+        net.abort(flow)
+
+    sim.process(proc())
+    sim.process(aborter())
+    sim.run()
+    assert outcome == [5.0]
+
+
+def test_fail_capacity_kills_crossing_flows(rate_model):
+    sim = Simulator()
+    net = FluidNetwork(sim, rate_model)
+    disk = Capacity("disk", 100.0)
+    other = Capacity("other", 100.0)
+    outcome = []
+
+    def proc(links, tag):
+        flow = net.transfer(1e5, links)
+        try:
+            yield flow.done
+            outcome.append((tag, "ok", sim.now))
+        except SimulationError:
+            outcome.append((tag, "fail", sim.now))
+
+    def killer():
+        yield sim.timeout(1.0)
+        net.fail_capacity(disk)
+
+    sim.process(proc([disk], "a"))
+    sim.process(proc([other], "b"))
+    sim.process(killer())
+    sim.run()
+    assert ("a", "fail", 1.0) in outcome
+    assert outcome[-1] == ("b", "ok", 1000.0)
+
+
+def test_transfer_on_down_capacity_fails_immediately(rate_model):
+    sim = Simulator()
+    net = FluidNetwork(sim, rate_model)
+    disk = Capacity("disk", 100.0)
+    net.fail_capacity(disk)
+    outcome = []
+
+    def proc():
+        flow = net.transfer(10.0, [disk])
+        try:
+            yield flow.done
+        except SimulationError:
+            outcome.append("failed")
+
+    sim.process(proc())
+    sim.run()
+    assert outcome == ["failed"]
+
+
+def test_max_min_redistributes_headroom():
+    """A flow bottlenecked elsewhere leaves bandwidth to its sharers."""
+    sim = Simulator()
+    net = FluidNetwork(sim, "max_min")
+    shared = Capacity("shared", 100.0)
+    thin = Capacity("thin", 10.0)
+    ends = {}
+
+    def proc(tag, size, links):
+        flow = net.transfer(size, links)
+        yield flow.done
+        ends[tag] = sim.now
+
+    # Flow a is capped at 10 by "thin"; max-min gives flow b the remaining 90.
+    sim.process(proc("a", 100.0, [shared, thin]))
+    sim.process(proc("b", 900.0, [shared]))
+    sim.run()
+    assert ends["a"] == pytest.approx(10.0)
+    assert ends["b"] == pytest.approx(10.0)
+
+
+def test_equal_share_is_conservative_vs_max_min():
+    """equal_share never finishes earlier than max_min for a symmetric pair."""
+    def total(model):
+        sim = Simulator()
+        net = FluidNetwork(sim, model)
+        shared = Capacity("shared", 100.0)
+        thin = Capacity("thin", 10.0)
+
+        def proc(size, links):
+            flow = net.transfer(size, links)
+            yield flow.done
+
+        sim.process(proc(100.0, [shared, thin]))
+        sim.process(proc(900.0, [shared]))
+        sim.run()
+        return sim.now
+
+    assert total("equal_share") >= total("max_min") - 1e-9
+
+
+def test_conservation_of_bytes():
+    """Total bytes delivered equals requested sizes under churn."""
+    sim = Simulator()
+    net = FluidNetwork(sim, "equal_share")
+    disk = Capacity("disk", 100.0)
+    delivered = []
+
+    def proc(size, start):
+        yield sim.timeout(start)
+        flow = net.transfer(size, [disk])
+        yield flow.done
+        delivered.append(flow.size - flow.remaining)
+
+    sizes = [100.0, 400.0, 250.0, 50.0, 999.0]
+    for i, s in enumerate(sizes):
+        sim.process(proc(s, i * 1.5))
+    sim.run()
+    assert sorted(delivered) == pytest.approx(sorted(sizes))
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        Capacity("bad", 0.0)
+    with pytest.raises(ValueError):
+        Capacity("bad", 10.0, concurrency_penalty=-1.0)
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    with pytest.raises(ValueError):
+        net.transfer(-1.0, [])
+    with pytest.raises(ValueError):
+        FluidNetwork(sim, "bogus")

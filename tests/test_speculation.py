@@ -1,0 +1,130 @@
+"""Tests for speculative execution of straggler mappers."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import presets
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.topology import Cluster
+from repro.dfs import DistributedFileSystem
+from repro.mapreduce import JobPlan, JobTracker, MapInput, MapTaskSpec, ReduceTaskSpec
+from repro.mapreduce.metrics import RunMetrics
+from repro.simcore import SeedSequenceRegistry, Simulator
+
+MB = 1 << 20
+BLOCK = 64 * MB
+
+
+def spec_cluster(n=4, **overrides):
+    base = presets.tiny(n)
+    return dataclasses.replace(base, speculative_execution=True,
+                               speculation_interval=1.0,
+                               speculation_min_runtime=2.5, **overrides)
+
+
+def make_env(spec):
+    sim = Simulator()
+    cluster = Cluster(sim, spec, SeedSequenceRegistry(9))
+    dfs = DistributedFileSystem(cluster, BLOCK)
+    metrics = RunMetrics()
+    return sim, cluster, dfs, metrics, JobTracker(cluster, dfs, metrics)
+
+
+def straggler_plan(n_nodes, replicated_input):
+    """Task 0 reads from node 0, whose disk is saturated by background
+    load; with ``replicated_input`` a second replica on node 2 gives a
+    speculative duplicate an escape hatch."""
+    tasks = []
+    for i in range(n_nodes * 2):
+        if i == 0:
+            locs = (0, 2) if replicated_input else (0,)
+        else:
+            # healthy tasks never touch node 0's hogged disk
+            locs = ((i % (n_nodes - 1)) + 1,)
+        tasks.append(MapTaskSpec(i, MapInput(BLOCK, locs), BLOCK))
+    # map-only job: the straggling map is the critical path
+    plan = JobPlan(1, "j", "initial", tasks, [], 1)
+    # run the straggler away from all of its replicas and keep the rest of
+    # the work off node 0 so only task 0 suffers
+    plan.mapper_assignment = {0: 1}
+    for i in range(1, n_nodes * 2):
+        plan.mapper_assignment[i] = (i % (n_nodes - 1)) + 1
+    return plan
+
+
+def run_plan(spec, plan):
+    sim, cluster, dfs, metrics, jt = make_env(spec)
+
+    def driver():
+        yield from jt.run_job(plan)
+
+    # saturate node 0's disk for the whole run, and occupy its mapper slot
+    # so speculative duplicates are placed on healthy nodes
+    cluster.nodes[0].mapper_slots.request()
+
+    def hog():
+        flows = [cluster.network.transfer(50_000 * MB,
+                                          [cluster.nodes[0].disk])
+                 for _ in range(8)]
+        for flow in flows:
+            yield flow.done
+
+    sim.process(hog())
+    sim.process(driver())
+    sim.run(until=2000.0)
+    return metrics
+
+
+def test_speculation_config_validation():
+    with pytest.raises(ValueError):
+        ClusterSpec(name="x", n_nodes=4, speculation_slowdown=1.0).validate()
+    with pytest.raises(ValueError):
+        ClusterSpec(name="x", n_nodes=4, speculation_interval=0).validate()
+
+
+def test_speculative_attempts_recorded():
+    metrics = run_plan(spec_cluster(), straggler_plan(4, True))
+    spec_records = [t for t in metrics.jobs[0].tasks
+                    if t.task_type == "map-speculative"]
+    assert spec_records, "a straggler should have been duplicated"
+
+
+def test_job_completes_with_speculation_enabled():
+    metrics = run_plan(spec_cluster(), straggler_plan(4, True))
+    job = metrics.jobs[0]
+    assert job.outcome == "done"
+    # every map task completed exactly once
+    done_ids = [t.task_id for t in job.tasks
+                if t.task_type == "map" and t.outcome == "done"]
+    killed = [t.task_id for t in job.tasks
+              if t.task_type == "map" and t.outcome == "killed"]
+    assert sorted(done_ids + killed) == sorted(set(done_ids + killed))
+
+
+def test_speculation_with_replicas_beats_straggler():
+    """§III-A: a duplicate reading another replica bypasses the hot disk."""
+    with_replicas = run_plan(spec_cluster(), straggler_plan(4, True))
+    job_repl = with_replicas.jobs[0].duration
+
+    no_spec = run_plan(presets.tiny(4), straggler_plan(4, True))
+    job_base = no_spec.jobs[0].duration
+    assert job_repl < job_base
+
+
+def test_speculation_single_replica_gains_less():
+    """With single-replicated input the duplicate reads the same hot disk,
+    so speculation's relative gain shrinks (the paper's §III-A argument
+    that replication's speculation benefit is narrow)."""
+    gain = {}
+    for replicated in (True, False):
+        plan = straggler_plan(4, replicated)
+        base = run_plan(presets.tiny(4), plan).jobs[0].duration
+        spec = run_plan(spec_cluster(), straggler_plan(4, replicated))
+        gain[replicated] = (base - spec.jobs[0].duration) / base
+    assert gain[True] >= gain[False] - 0.02
+
+
+def test_speculation_disabled_by_default():
+    assert presets.tiny(4).speculative_execution is False
+    assert presets.stic().speculative_execution is False

@@ -1,0 +1,78 @@
+"""Tests for synthetic availability-trace generation (Fig. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.traces import (
+    STIC_TRACE,
+    SUGAR_TRACE,
+    TraceConfig,
+    generate_trace,
+)
+
+
+def test_paper_calibrations():
+    assert STIC_TRACE.n_nodes == 218
+    assert SUGAR_TRACE.n_nodes == 121
+    assert STIC_TRACE.failure_day_fraction == pytest.approx(0.17)
+    assert SUGAR_TRACE.failure_day_fraction == pytest.approx(0.12)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TraceConfig("x", 10, 100, failure_day_fraction=0.0)
+    with pytest.raises(ValueError):
+        TraceConfig("x", 10, 100, failure_day_fraction=0.5, geometric_p=0.0)
+    with pytest.raises(ValueError):
+        TraceConfig("x", 10, 100, failure_day_fraction=0.1,
+                    outage_day_fraction=0.2)
+    with pytest.raises(ValueError):
+        TraceConfig("x", 0, 100, failure_day_fraction=0.1)
+
+
+def test_trace_matches_calibration_within_noise():
+    rng = np.random.default_rng(7)
+    trace = generate_trace(STIC_TRACE, rng)
+    assert trace.failure_day_fraction == pytest.approx(0.17, abs=0.03)
+    assert len(trace.new_failures_per_day) == STIC_TRACE.n_days
+
+
+def test_trace_determinism_with_seed():
+    a = generate_trace(STIC_TRACE, np.random.default_rng(1))
+    b = generate_trace(STIC_TRACE, np.random.default_rng(1))
+    assert np.array_equal(a.new_failures_per_day, b.new_failures_per_day)
+
+
+def test_counts_never_exceed_cluster_size():
+    config = TraceConfig("small", n_nodes=8, n_days=2000,
+                         failure_day_fraction=0.3, outage_day_fraction=0.05,
+                         outage_max=100)
+    trace = generate_trace(config, np.random.default_rng(3))
+    assert trace.new_failures_per_day.max() <= 8
+
+
+def test_cdf_shape():
+    trace = generate_trace(STIC_TRACE, np.random.default_rng(5))
+    x, f = trace.cdf()
+    assert x[0] == 0
+    assert f[-1] == pytest.approx(100.0)
+    assert all(a <= b for a, b in zip(f, f[1:]))
+    assert f[0] == pytest.approx((1 - trace.failure_day_fraction) * 100)
+
+
+def test_percentile_days():
+    trace = generate_trace(STIC_TRACE, np.random.default_rng(5))
+    assert trace.percentile_days(50) == 0  # most days see no failures
+
+
+@settings(max_examples=20, deadline=None)
+@given(frac=st.floats(min_value=0.05, max_value=0.5),
+       seed=st.integers(min_value=0, max_value=1000))
+def test_property_failure_fraction_tracks_config(frac, seed):
+    config = TraceConfig("p", n_nodes=100, n_days=4000,
+                         failure_day_fraction=frac,
+                         outage_day_fraction=min(0.004, frac / 2))
+    trace = generate_trace(config, np.random.default_rng(seed))
+    assert trace.failure_day_fraction == pytest.approx(frac, abs=0.05)

@@ -1,0 +1,85 @@
+"""Tests for the chain workload spec and failure scenarios."""
+
+import pytest
+
+from repro.cluster import presets
+from repro.workloads.chain import ChainJobSpec, ChainSpec, build_chain
+from repro.workloads.scenarios import SCENARIOS, custom, scenario
+
+GB = 1 << 30
+MB = 1 << 20
+
+
+def test_default_chain_matches_paper():
+    chain = build_chain()
+    assert chain.n_jobs == 7
+    assert chain.per_node_input == 4 * GB
+    assert chain.block_size == 256 * MB
+    assert chain.input_replication == 3
+    job = chain.job(1)
+    assert job.map_output_ratio == 1.0      # the 1/1/1 sort-like ratio
+    assert job.reduce_output_ratio == 1.0
+
+
+def test_chain_validation():
+    with pytest.raises(ValueError):
+        ChainSpec(n_jobs=0)
+    with pytest.raises(ValueError):
+        ChainSpec(n_jobs=2, jobs=(ChainJobSpec(),))  # mismatched length
+    with pytest.raises(ValueError):
+        ChainJobSpec(map_output_ratio=0.0)
+    with pytest.raises(IndexError):
+        build_chain(n_jobs=3).job(4)
+
+
+def test_reducer_count_defaults_to_slots():
+    chain = build_chain()
+    stic11 = presets.stic((1, 1))
+    stic22 = presets.stic((2, 2))
+    assert chain.job(1).n_reducers(stic11) == 10   # WR = 1
+    assert chain.job(1).n_reducers(stic22) == 20
+
+
+def test_explicit_reducers_per_node():
+    chain = build_chain(reducers_per_node=4.0)
+    assert chain.job(1).n_reducers(presets.stic((1, 1))) == 40  # WR = 4
+
+
+def test_heavier_output_ratio_chain():
+    """x:y:z with z > x, like Pig Cogroup (paper §V-A)."""
+    chain = build_chain(ratios=(1.0, 2.0))
+    assert chain.job(3).reduce_output_ratio == 2.0
+
+
+def test_total_input_scales_with_nodes():
+    chain = build_chain(per_node_input=4 * GB)
+    assert chain.total_input(10) == 40 * GB
+
+
+# ---------------------------------------------------------------- scenarios
+def test_fig7_scenarios_present():
+    assert set("abcdef") <= set(SCENARIOS)
+    assert SCENARIOS["a"].n_failures == 0
+    assert SCENARIOS["b"].plan().events[0].at_job == 2
+    assert SCENARIOS["c"].plan().events[0].at_job == 7
+
+
+def test_fig9_double_scenarios():
+    e = scenario("e")
+    assert [ev.at_job for ev in e.plan().events] == [7, 14]
+    nested = scenario("f")
+    assert [ev.at_job for ev in nested.plan().events] == [4, 7]
+    same_job = scenario("fail7,7")
+    offsets = [ev.offset for ev in same_job.plan().events]
+    assert offsets == [15.0, 30.0]  # second kill 15 s after the first
+
+
+def test_scenario_lookup_errors():
+    with pytest.raises(KeyError):
+        scenario("zzz")
+
+
+def test_custom_scenario():
+    s = custom("3,9")
+    assert s.n_failures == 2
+    assert [ev.at_job for ev in s.plan().events] == [3, 9]
