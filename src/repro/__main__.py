@@ -1,0 +1,8 @@
+"""Allow ``python -m repro ...`` as an alias for the ``rcmp-repro`` CLI."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

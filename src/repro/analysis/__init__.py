@@ -14,6 +14,11 @@ from repro.analysis.model import (
     waves,
 )
 from repro.analysis.reporting import Comparison, format_table
+from repro.analysis.utilization import (
+    hotspot_concentration,
+    load_trace,
+    utilization_report,
+)
 
 __all__ = [
     "Comparison",
@@ -22,7 +27,10 @@ __all__ = [
     "extract_averages",
     "extrapolate_chain_length",
     "format_table",
+    "hotspot_concentration",
+    "load_trace",
     "optimistic_runtime",
+    "utilization_report",
     "recomputation_waves",
     "recomputed_fraction",
     "storage_contention",

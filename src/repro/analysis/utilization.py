@@ -1,0 +1,144 @@
+"""Utilization reporting over exported traces (``rcmp-repro analyze``).
+
+Consumes the ``utilization`` snapshot embedded in Chrome-trace JSON or
+JSONL exports (see :mod:`repro.obs.tracer` for the schema) and renders a
+per-link throughput table plus a **hot-spot concentration index** — the
+normalized Herfindahl–Hirschman index of per-link bytes, 0 when load is
+spread evenly over the links of a class and 1 when a single link carries
+everything.  Under NO-SPLIT recomputation the disk index spikes (the
+paper's §IV-B2 hot-spot, Fig. 12); splitting flattens it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+
+def load_trace(path: str) -> dict:
+    """Load an exported trace (Chrome JSON or JSONL).
+
+    Returns ``{"schema": ..., "events": [...], "utilization": {...}}``.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        first = fh.read(1)
+        fh.seek(0)
+        if first == "{" and not path.endswith(".jsonl"):
+            data = json.load(fh)
+            return {"schema": data.get("schema", {}),
+                    "events": data.get("traceEvents", []),
+                    "utilization": data.get("utilization", {})}
+        schema: dict = {}
+        events: list = []
+        utilization: dict = {}
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if "schema" in obj and "ph" not in obj:
+                schema = obj["schema"]
+            elif "utilization" in obj and "ph" not in obj:
+                utilization = obj["utilization"]
+            else:
+                events.append(obj)
+        return {"schema": schema, "events": events,
+                "utilization": utilization}
+
+
+def link_class(name: str) -> str:
+    """Classify a capacity by its conventional name suffix."""
+    if name.endswith(".disk"):
+        return "disk"
+    if name.endswith((".nic_in", ".nic_out")):
+        return "nic"
+    if "uplink" in name:
+        return "uplink"
+    return "other"
+
+
+def hotspot_concentration(bytes_by_link: dict[str, float]) -> float:
+    """Normalized HHI of the byte distribution across links, in [0, 1].
+
+    ``sum(share^2)`` rescaled so an even spread over ``n`` links maps to 0
+    and total concentration on one link maps to 1.  Returns 0.0 for fewer
+    than two links or zero total bytes (no contention possible).
+    """
+    values = [v for v in bytes_by_link.values() if v > 0]
+    total = sum(values)
+    if len(bytes_by_link) < 2 or total <= 0:
+        return 0.0
+    hhi = sum((v / total) ** 2 for v in values)
+    n = len(bytes_by_link)
+    return (hhi - 1.0 / n) / (1.0 - 1.0 / n)
+
+
+def peak_overlap(intervals: list[tuple[float, float]]) -> int:
+    """Maximum number of simultaneously-open ``(start, end)`` intervals.
+
+    Used for trace-derived concurrency analyses (e.g. how many mapper
+    reads hit one disk at once during a recomputation, Fig. 12)."""
+    points = sorted([(s, 1) for s, _ in intervals]
+                    + [(e, -1) for _, e in intervals])
+    best = current = 0
+    for _, delta in points:
+        current += delta
+        if current > best:
+            best = current
+    return best
+
+
+def utilization_report(utilization: dict,
+                       top: Optional[int] = None) -> str:
+    """Render the per-link utilization table and hot-spot indices."""
+    if not utilization:
+        return "(trace carries no utilization data)"
+    rows = sorted(utilization.items(),
+                  key=lambda kv: (-kv[1].get("bytes", 0.0), kv[0]))
+    if top is not None:
+        rows = rows[:top]
+    header = ("link", "GB moved", "busy s", "peak", "mean",
+              "MB/s busy", "flows", "aborted")
+    table = [header]
+    for name, u in rows:
+        table.append((
+            name,
+            f"{u.get('bytes', 0.0) / 1e9:.2f}",
+            f"{u.get('busy_time', 0.0):.1f}",
+            f"{u.get('peak_concurrency', 0)}",
+            f"{u.get('mean_concurrency', 0.0):.1f}",
+            f"{u.get('throughput', 0.0) / 1e6:.1f}",
+            f"{u.get('flows_completed', 0)}",
+            f"{u.get('flows_aborted', 0)}",
+        ))
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+
+    def fmt(row: tuple[str, ...]) -> str:
+        return "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+
+    lines = ["== per-link utilization ==", fmt(header),
+             fmt(tuple("-" * w for w in widths))]
+    lines.extend(fmt(r) for r in table[1:])
+
+    by_class: dict[str, dict[str, float]] = {}
+    for name, u in utilization.items():
+        by_class.setdefault(link_class(name), {})[name] = \
+            u.get("bytes", 0.0)
+    for cls in ("disk", "nic", "uplink"):
+        links = by_class.get(cls)
+        if links:
+            index = hotspot_concentration(links)
+            lines.append(f"hot-spot concentration ({cls:4s}): {index:.3f}")
+    if utilization:
+        name = max(utilization,
+                   key=lambda n: (utilization[n].get("peak_concurrency", 0),
+                                  n))
+        lines.append(f"top-concurrency link: {name} "
+                     f"(peak {utilization[name].get('peak_concurrency', 0)} "
+                     f"concurrent flows)")
+    return "\n".join(lines)
+
+
+def report_from_file(path: str, top: Optional[int] = None) -> str:
+    """Convenience: load ``path`` and render its utilization report."""
+    return utilization_report(load_trace(path)["utilization"], top=top)

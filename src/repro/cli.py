@@ -6,6 +6,8 @@ Usage::
     rcmp-repro fig8 --scale bench
     rcmp-repro all --scale ci
     rcmp-repro run --cluster stic --strategy rcmp --failures 7
+    rcmp-repro run --cluster tiny --failures 2 --trace /tmp/run.json
+    rcmp-repro analyze /tmp/run.json
 """
 
 from __future__ import annotations
@@ -44,11 +46,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the reproducible figures")
 
+    trace_help = ("record a structured trace of every simulated run into "
+                  "FILE (Chrome trace-event JSON; use a .jsonl suffix for "
+                  "JSON Lines)")
+
     for name in ALL_FIGURES:
         p = sub.add_parser(name, help=f"regenerate {name}")
         p.add_argument("--scale", default="bench",
                        choices=("ci", "bench", "paper"))
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help=trace_help)
         p.add_argument("--plot", action="store_true",
                        help="also render an ASCII plot when the figure "
                             "exposes raw series (fig2, fig10)")
@@ -57,6 +65,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", default="bench",
                    choices=("ci", "bench", "paper"))
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", default=None, metavar="FILE", help=trace_help)
 
     p = sub.add_parser("run", help="run one chain execution")
     p.add_argument("--cluster", default="tiny", choices=sorted(CLUSTERS))
@@ -65,6 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--failures", default=None,
                    help='FAIL spec, e.g. "2" or "7,14"')
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", default=None, metavar="FILE", help=trace_help)
+
+    p = sub.add_parser("analyze",
+                       help="utilization report from a recorded trace")
+    p.add_argument("trace", help="trace file written by --trace")
+    p.add_argument("--top", type=int, default=None,
+                   help="only show the N busiest links")
     return parser
 
 
@@ -88,6 +104,32 @@ def _maybe_plot(name, module, args) -> None:
         print("(no raw series exposed for this figure)")
 
 
+def _traced(trace_path):
+    """Context manager: record every run into ``trace_path`` (no-op when
+    the path is falsy)."""
+    from contextlib import nullcontext
+
+    if not trace_path:
+        return nullcontext(None)
+    try:  # fail before the (possibly long) simulation, not after
+        with open(trace_path, "w", encoding="utf-8"):
+            pass
+    except OSError as exc:
+        raise SystemExit(f"rcmp-repro: cannot write trace file: {exc}")
+    from repro.obs import RecordingTracer, tracing
+
+    return tracing(RecordingTracer())
+
+
+def _export_trace(tracer, trace_path) -> None:
+    if tracer is None:
+        return
+    tracer.export(trace_path)
+    print(f"trace written to {trace_path} "
+          f"({len(tracer.events)} events; load in chrome://tracing, "
+          f"or run: rcmp-repro analyze {trace_path})")
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -97,16 +139,21 @@ def main(argv=None) -> int:
         return 0
     if args.command in ALL_FIGURES:
         module = ALL_FIGURES[args.command]
-        report = module.run(scale=args.scale, seed=args.seed)
+        with _traced(args.trace) as tracer:
+            report = module.run(scale=args.scale, seed=args.seed)
         print(report.render())
         if getattr(args, "plot", False):
             _maybe_plot(args.command, module, args)
+        _export_trace(tracer, args.trace)
         return 0
     if args.command == "all":
-        for name in sorted(ALL_FIGURES):
-            report = ALL_FIGURES[name].run(scale=args.scale, seed=args.seed)
-            print(report.render())
-            print()
+        with _traced(args.trace) as tracer:
+            for name in sorted(ALL_FIGURES):
+                report = ALL_FIGURES[name].run(scale=args.scale,
+                                               seed=args.seed)
+                print(report.render())
+                print()
+        _export_trace(tracer, args.trace)
         return 0
     if args.command == "run":
         cluster = CLUSTERS[args.cluster]()
@@ -116,13 +163,32 @@ def main(argv=None) -> int:
                                 block_size=64 * (1 << 20))
         else:
             chain = build_chain(n_jobs=args.jobs)
-        result = run_chain(cluster, STRATEGIES[args.strategy], chain=chain,
-                           failures=args.failures, seed=args.seed)
+        with _traced(args.trace) as tracer:
+            result = run_chain(cluster, STRATEGIES[args.strategy],
+                               chain=chain, failures=args.failures,
+                               seed=args.seed)
         print(result)
         for job in result.metrics.jobs:
             print(f"  job #{job.ordinal:<3d} {job.name:<14s} "
                   f"kind={job.kind:<9s} outcome={job.outcome:<8s} "
                   f"duration={job.duration:8.1f}s")
+        _export_trace(tracer, args.trace)
+        return 0
+    if args.command == "analyze":
+        import json
+
+        from repro.analysis.utilization import report_from_file
+
+        try:
+            print(report_from_file(args.trace, top=args.top))
+        except OSError as exc:
+            print(f"rcmp-repro: cannot read trace file: {exc}",
+                  file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"rcmp-repro: {args.trace} is not a recorded trace "
+                  f"({exc})", file=sys.stderr)
+            return 2
         return 0
     return 1  # pragma: no cover
 

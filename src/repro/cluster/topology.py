@@ -9,7 +9,7 @@ oversubscribed inter-rack links.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Optional
 
 from repro.cluster.spec import ClusterSpec
 from repro.simcore import Capacity, FluidNetwork, SeedSequenceRegistry, Simulator, SlotPool

@@ -27,7 +27,6 @@ matching the invalidation the correctness rule demands.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.core.persistence import MapOutputMeta, PersistedStore
 from repro.core.splitting import LostPiece, plan_reduce_recomputation

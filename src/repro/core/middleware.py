@@ -34,6 +34,7 @@ from repro.core.strategies import Strategy
 from repro.dfs import DistributedFileSystem
 from repro.mapreduce.jobtracker import JobAborted, JobFailed, JobTracker
 from repro.mapreduce.metrics import RunMetrics
+from repro.obs.tracer import Tracer
 from repro.simcore import AllOf, SeedSequenceRegistry, SimulationError, Simulator
 from repro.workloads.chain import ChainSpec, build_chain
 
@@ -95,6 +96,10 @@ class Middleware:
 
     # --------------------------------------------------------------- events
     def _on_kill(self, node: Node) -> None:
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant("cascade", "node-killed", tid=node.node_id,
+                           node=node.node_id)
         self.metrics.record_failure(self.sim.now, node.node_id)
         self.state.note_node_death(node.node_id)
         if self.strategy.re_replicate_after_failure:
@@ -116,6 +121,11 @@ class Middleware:
     # ----------------------------------------------------------------- run
     def run(self) -> Generator:
         """Simulation process body for the whole chain."""
+        tracer = self.sim.tracer
+        chain_span = tracer.span(
+            "chain", f"chain:{self.strategy.name}",
+            n_jobs=self.chain.n_jobs,
+            cluster=self.cluster.spec.name) if tracer.enabled else None
         self.state.seed_input()
         idx = 1
         rerun = False
@@ -161,24 +171,40 @@ class Middleware:
             idx += 1
             rerun = False
         self._done = True
-        return self._result(completed=self.failure_reason is None
-                            and idx > self.chain.n_jobs)
+        result = self._result(completed=self.failure_reason is None
+                              and idx > self.chain.n_jobs)
+        if chain_span is not None:
+            chain_span.end(completed=result.completed,
+                           jobs_started=result.jobs_started,
+                           failure_reason=self.failure_reason)
+        return result
 
     def _recover(self, current_job: int) -> Generator:
         """Run the minimal recomputation cascade for ``current_job``
         (§IV-A).  Each iteration re-reads the damage set, so failures that
         land during recovery (nested failures, Fig. 7 case f) are folded
         into the next recomputation run automatically."""
+        tracer = self.sim.tracer
+        recover_span = tracer.span(
+            "cascade", f"recover-for-job{current_job}",
+            for_job=current_job) if tracer.enabled else None
         while True:
             cascade = self.state.needed_cascade(current_job)
             if not cascade:
+                if recover_span is not None:
+                    recover_span.end()
                 return
+            if tracer.enabled:
+                tracer.instant("cascade", "cascade-plan",
+                               for_job=current_job, cascade=list(cascade))
             j = cascade[0]
             try:
                 plan = self.state.build_recompute_plan(
                     j, min_rerun_mappers=self.min_rerun_mappers)
             except RuntimeError as exc:
                 self.failure_reason = str(exc)
+                if recover_span is not None:
+                    recover_span.end(failure_reason=self.failure_reason)
                 return
             self._notify_job_start()
             try:
@@ -271,7 +297,8 @@ def run_chain(cluster_spec: ClusterSpec,
               n_jobs: int = 7,
               failures: FailureInput = None,
               seed: int = 0,
-              min_rerun_mappers: int = 0) -> ChainResult:
+              min_rerun_mappers: int = 0,
+              tracer: Optional[Tracer] = None) -> ChainResult:
     """Top-level entry point: simulate one chain execution.
 
     Parameters
@@ -291,8 +318,12 @@ def run_chain(cluster_spec: ClusterSpec,
     min_rerun_mappers:
         Forces recomputation runs to re-execute at least this many mappers
         (Fig. 14's wave-count sweep).
+    tracer:
+        Observability sink (see :mod:`repro.obs`); defaults to the ambient
+        tracer (a no-op unless one was installed via ``obs.tracing``).
     """
-    sim = Simulator()
+    sim = Simulator(tracer=tracer,
+                    trace_label=f"{strategy.name} on {cluster_spec.name}")
     cluster = Cluster(sim, cluster_spec, SeedSequenceRegistry(seed))
     chain = chain or build_chain(n_jobs=n_jobs)
     dfs = DistributedFileSystem(cluster, chain.block_size)

@@ -11,7 +11,7 @@ rules the performance layer plans with, but on actual records.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.localexec.records import (

@@ -118,6 +118,13 @@ class JobTracker:
         record = self.metrics.open_job(ordinal, plan.logical_index,
                                        plan.name, plan.kind,
                                        self.cluster.sim.now)
+        tracer = self.cluster.sim.tracer
+        span = tracer.span("job", f"job#{ordinal}:{plan.name}",
+                           kind=plan.kind,
+                           logical_index=plan.logical_index,
+                           maps=len(plan.map_tasks),
+                           reduces=len(plan.reduce_tasks)) \
+            if tracer.enabled else None
         run = _JobRun(self, plan, ordinal, record)
         try:
             completion = yield from run.execute()
@@ -125,8 +132,23 @@ class JobTracker:
             record.end = self.cluster.sim.now
             if record.outcome == "running":
                 record.outcome = "aborted"
+            if span is not None:
+                span.end(outcome=record.outcome)
+                self._trace_tasks(tracer, record)
         record.outcome = "done"
         return completion
+
+    @staticmethod
+    def _trace_tasks(tracer, record: JobRecord) -> None:
+        """Emit one span per task attempt once the run is over (keeps the
+        per-task hot path untouched; records carry exact start/end)."""
+        for t in record.tasks:
+            end = t.end if t.end is not None else record.end
+            tracer.complete("task", f"{t.task_type}#{t.task_id}",
+                            t.start, end, tid=t.node,
+                            job=record.ordinal, kind=t.job_kind,
+                            outcome=t.outcome, bytes_in=t.bytes_in,
+                            bytes_out=t.bytes_out)
 
 
 class _JobRun:
@@ -661,6 +683,11 @@ class _JobRun:
         yield self.sim.timeout(self.detection_timeout)
         if self.finished or self.completion_event.triggered:
             return
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant("cascade", "failure-detected", tid=node_id,
+                           node=node_id, job=self.ordinal,
+                           mode=self.plan.recovery_mode)
         if self.plan.recovery_mode == "abort":
             self._cancel_all(node_id)
             return
@@ -668,6 +695,10 @@ class _JobRun:
 
     def _cancel_all(self, node_id: int) -> None:
         """Abort mode: tear the whole run down and discard partial output."""
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant("cascade", "job-cancelled", tid=node_id,
+                           job=self.ordinal, dead_nodes=list(self.dead_nodes))
         for state in (list(self.maps.values()) + list(self.reduces.values())
                       + list(self._spec_attempts.values())):
             if state.proc is not None and state.proc.is_alive:
@@ -681,6 +712,10 @@ class _JobRun:
 
     def _recover_hadoop(self, node_id: int) -> None:
         """Hadoop-style within-job recovery after failure detection."""
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant("cascade", "hadoop-recovery", tid=node_id,
+                           job=self.ordinal, node=node_id)
         self.board.fail_source(node_id)
         # 1. Re-execute every map task that was assigned to the dead node
         #    (completed outputs lived on its local disk and are gone).

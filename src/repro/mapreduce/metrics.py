@@ -80,12 +80,14 @@ class RunMetrics:
     # -- queries -----------------------------------------------------------
     @property
     def total_runtime(self) -> float:
-        """Wall-clock makespan of the whole chain."""
+        """Wall-clock makespan over finished jobs (0.0 when none finished,
+        e.g. a chain aborted during its first job)."""
         if not self.jobs:
             return 0.0
-        start = min(j.start for j in self.jobs)
-        end = max(j.end for j in self.jobs if j.end is not None)
-        return end - start
+        ends = [j.end for j in self.jobs if j.end is not None]
+        if not ends:
+            return 0.0
+        return max(ends) - min(j.start for j in self.jobs)
 
     @property
     def n_jobs_started(self) -> int:

@@ -91,6 +91,14 @@ def assign_tasks(cluster: Cluster, plan: JobPlan,
         node = min(alive, key=lambda n: (rload[n], n))
         reducers[task.task_id] = node
         rload[node] += 1
+    tracer = cluster.sim.tracer
+    if tracer.enabled:
+        tracer.instant(
+            "phase", "placement", job_kind=plan.kind,
+            mappers_per_node={str(n): c for n, c in
+                              sorted(Counter(mappers.values()).items())},
+            reducers_per_node={str(n): c for n, c in
+                               sorted(Counter(reducers.values()).items())})
     return Placement(mappers, reducers)
 
 

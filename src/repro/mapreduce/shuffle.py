@@ -62,6 +62,10 @@ class ShuffleBoard:
         make future ``ready()`` calls for it fail immediately.  Fetchers
         catch the failure and switch to the redo path."""
         self._dead_sources.add(node)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant("cascade", "shuffle-source-lost", tid=node,
+                           node=node)
         for (src, _chunk), ev in self._ready.items():
             if src == node and not ev.triggered:
                 ev.defused = True
@@ -100,6 +104,10 @@ class ShuffleBoard:
             return
         needed = (chunk + 1) / self.chunks
         if self._fraction_done(node) >= needed - 1e-12:
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                tracer.instant("phase", "shuffle-chunk-ready", tid=node,
+                               node=node, chunk=chunk)
             ev.succeed()
 
 

@@ -1,0 +1,68 @@
+"""Observability: structured tracing and resource-utilization accounting.
+
+The package is deliberately dependency-free (pure stdlib, no imports from
+the rest of ``repro``) so the simulation core can depend on it without
+cycles.  Two tracer implementations share one interface:
+
+``NullTracer``
+    The default.  Every method is a no-op and ``enabled`` is ``False``,
+    so instrumented hot paths pay a single attribute check.
+``RecordingTracer``
+    Records typed span/counter/instant events (job, task, phase, cascade,
+    flow) and per-capacity utilization (bytes moved, busy time, concurrency
+    histogram).  Exports Chrome trace-event JSON (loadable in
+    ``chrome://tracing`` / Perfetto) and JSONL.
+
+A module-level *ambient* tracer lets entry points that cannot thread a
+tracer argument through every call (the figure regeneration modules)
+install one for the duration of a run::
+
+    with repro.obs.tracing(tracer):
+        fig8.run("ci")
+    tracer.export("/tmp/fig8-trace.json")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, RecordingTracer, Tracer
+from repro.obs.utilization import UtilizationMonitor
+
+_ambient: Tracer = NULL_TRACER
+
+
+def get_ambient_tracer() -> Tracer:
+    """The tracer newly created :class:`Simulator` objects bind to when no
+    explicit tracer is passed."""
+    return _ambient
+
+
+def set_ambient_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the ambient default; returns the previous one."""
+    global _ambient
+    previous = _ambient
+    _ambient = tracer
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Tracer):
+    """Context manager installing ``tracer`` as the ambient default."""
+    previous = set_ambient_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_ambient_tracer(previous)
+
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "RecordingTracer",
+    "Tracer",
+    "UtilizationMonitor",
+    "get_ambient_tracer",
+    "set_ambient_tracer",
+    "tracing",
+]

@@ -1,0 +1,262 @@
+"""Low-overhead structured tracer with Chrome trace-event export.
+
+Event model
+-----------
+Events carry a *category* naming the subsystem layer that emitted them:
+
+========== =============================================================
+category   emitted for
+========== =============================================================
+``chain``  one span per chain execution (middleware)
+``job``    one span per job run (JobTracker)
+``task``   one span per task attempt (map / reduce / speculative)
+``phase``  scheduler placement, shuffle readiness, replication points
+``cascade`` failure detection, cascade planning, recomputation recovery
+``flow``   one span per fluid-network flow (disk/NIC transfers)
+========== =============================================================
+
+Serialized schema (``TRACE_SCHEMA_VERSION``)
+--------------------------------------------
+Chrome trace-event JSON object format: the top-level object has
+``traceEvents`` (the standard ``ph`` = ``X``/``i``/``C``/``M`` records with
+``ts``/``dur`` in microseconds of *simulated* time), plus two extension
+keys external tools may consume and ``chrome://tracing`` ignores:
+``schema`` (this module's schema descriptor) and ``utilization`` (the
+per-capacity accounting snapshot, see :mod:`repro.obs.utilization`).
+JSONL export writes one event object per line, preceded by a header line
+``{"schema": ...}`` and followed by a trailer ``{"utilization": ...}``.
+
+Simulated seconds are converted to microseconds once at export; internal
+timestamps stay float seconds so recording costs one multiply less.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Optional, TextIO, Union
+
+from repro.obs.utilization import UtilizationMonitor
+
+TRACE_SCHEMA_VERSION = 1
+
+#: seconds of simulated time -> Chrome trace microseconds
+_US = 1_000_000.0
+
+
+class Span:
+    """Handle for an open span; close it with :meth:`end`."""
+
+    __slots__ = ("tracer", "cat", "name", "start", "tid", "args", "_open")
+
+    def __init__(self, tracer: "RecordingTracer", cat: str, name: str,
+                 start: float, tid: int, args: Optional[dict]):
+        self.tracer = tracer
+        self.cat = cat
+        self.name = name
+        self.start = start
+        self.tid = tid
+        self.args = args
+        self._open = True
+
+    def end(self, **extra: Any) -> None:
+        """Close the span at the current simulated time."""
+        if not self._open:  # idempotent: instrumented finally blocks may race
+            return
+        self._open = False
+        if extra:
+            args = dict(self.args) if self.args else {}
+            args.update(extra)
+        else:
+            args = self.args
+        self.tracer._emit_complete(self.cat, self.name, self.start,
+                                   self.tid, args)
+
+
+class _NullSpan:
+    """Shared no-op span handle returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def end(self, **extra: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Tracing interface; the base class is the no-op implementation.
+
+    Hot paths guard argument construction on :attr:`enabled`::
+
+        tracer = sim.tracer
+        if tracer.enabled:
+            tracer.instant("cascade", "failure", node=node_id)
+    """
+
+    enabled = False
+
+    # -- lifecycle -----------------------------------------------------
+    def bind(self, clock: Callable[[], float], label: str = "") -> None:
+        """Attach to a simulation run: ``clock`` returns simulated seconds.
+
+        Each bind opens a new trace *process* (Chrome ``pid``), so several
+        chain executions recorded into one tracer stay separable."""
+
+    # -- event emission ------------------------------------------------
+    def span(self, cat: str, name: str, tid: int = 0,
+             **args: Any) -> Union[Span, _NullSpan]:
+        """Open a span at the current time; close it via the handle."""
+        return _NULL_SPAN
+
+    def complete(self, cat: str, name: str, start: float, end: float,
+                 tid: int = 0, **args: Any) -> None:
+        """Record a span whose start/end times are already known."""
+
+    def instant(self, cat: str, name: str, tid: int = 0,
+                **args: Any) -> None:
+        """Record a point event."""
+
+    def counter(self, name: str, values: dict, tid: int = 0) -> None:
+        """Record a counter sample (numeric series over time)."""
+
+    # -- fluid-network hooks --------------------------------------------
+    def flow_started(self, flow: Any) -> None:
+        pass
+
+    def flow_settled(self, flow: Any, moved_bytes: float) -> None:
+        pass
+
+    def flow_finished(self, flow: Any, completed: bool) -> None:
+        pass
+
+    # -- export ----------------------------------------------------------
+    def export(self, path: str) -> None:
+        raise NotImplementedError("no-op tracer records nothing to export")
+
+
+class NullTracer(Tracer):
+    """Explicit alias of the no-op base, for readable call sites."""
+
+
+NULL_TRACER = NullTracer()
+
+
+class RecordingTracer(Tracer):
+    """Records events in memory; export once the run(s) finish."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._clock: Callable[[], float] = lambda: 0.0
+        self.pid = 0
+        self.events: list[dict] = []
+        self.utilization = UtilizationMonitor(lambda: self._clock())
+        #: (cat, name) -> running count, for cheap per-category counters
+        self._bind_count = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def bind(self, clock: Callable[[], float], label: str = "") -> None:
+        self._bind_count += 1
+        self.pid = self._bind_count
+        self._clock = clock
+        self.events.append({
+            "ph": "M", "name": "process_name", "pid": self.pid, "tid": 0,
+            "args": {"name": label or f"run-{self.pid}"},
+        })
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    # -- event emission ------------------------------------------------
+    def span(self, cat: str, name: str, tid: int = 0, **args: Any) -> Span:
+        return Span(self, cat, name, self._clock(), tid, args or None)
+
+    def _emit_complete(self, cat: str, name: str, start: float, tid: int,
+                       args: Optional[dict]) -> None:
+        event = {"ph": "X", "cat": cat, "name": name, "ts": start,
+                 "dur": self._clock() - start, "pid": self.pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def complete(self, cat: str, name: str, start: float, end: float,
+                 tid: int = 0, **args: Any) -> None:
+        event = {"ph": "X", "cat": cat, "name": name, "ts": start,
+                 "dur": end - start, "pid": self.pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def instant(self, cat: str, name: str, tid: int = 0,
+                **args: Any) -> None:
+        event = {"ph": "i", "cat": cat, "name": name, "ts": self._clock(),
+                 "pid": self.pid, "tid": tid, "s": "p"}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def counter(self, name: str, values: dict, tid: int = 0) -> None:
+        self.events.append({"ph": "C", "name": name, "ts": self._clock(),
+                            "pid": self.pid, "tid": tid, "args": values})
+
+    # -- fluid-network hooks --------------------------------------------
+    def flow_started(self, flow: Any) -> None:
+        self.utilization.flow_started(flow)
+
+    def flow_settled(self, flow: Any, moved_bytes: float) -> None:
+        self.utilization.flow_settled(flow, moved_bytes)
+
+    def flow_finished(self, flow: Any, completed: bool) -> None:
+        self.utilization.flow_finished(flow, completed)
+        self.complete("flow", flow.label, flow.start_time, self._clock(),
+                      size=flow.size, moved=flow.size - flow.remaining,
+                      completed=completed,
+                      links=[link.name for link in flow.links])
+
+    # -- export ----------------------------------------------------------
+    def schema(self) -> dict:
+        return {
+            "format": "chrome-trace-event+rcmp-repro",
+            "version": TRACE_SCHEMA_VERSION,
+            "time_unit": "us (simulated)",
+            "categories": ["chain", "job", "task", "phase", "cascade",
+                           "flow"],
+        }
+
+    def chrome_events(self) -> list[dict]:
+        """Events with timestamps converted to Chrome's microseconds."""
+        out = []
+        for ev in self.events:
+            ev = dict(ev)
+            if "ts" in ev:
+                ev["ts"] = ev["ts"] * _US
+            if "dur" in ev:
+                ev["dur"] = ev["dur"] * _US
+            out.append(ev)
+        return out
+
+    def to_chrome_dict(self) -> dict:
+        return {
+            "traceEvents": self.chrome_events(),
+            "displayTimeUnit": "ms",
+            "schema": self.schema(),
+            "utilization": self.utilization.snapshot(),
+        }
+
+    def export(self, path: str) -> None:
+        """Write the trace: ``*.jsonl`` -> JSON Lines, else Chrome JSON."""
+        with open(path, "w", encoding="utf-8") as fh:
+            if path.endswith(".jsonl"):
+                self._write_jsonl(fh)
+            else:
+                json.dump(self.to_chrome_dict(), fh)
+                fh.write("\n")
+
+    def _write_jsonl(self, fh: TextIO) -> None:
+        fh.write(json.dumps({"schema": self.schema()}) + "\n")
+        for ev in self.chrome_events():
+            fh.write(json.dumps(ev) + "\n")
+        fh.write(json.dumps({"utilization": self.utilization.snapshot()})
+                 + "\n")

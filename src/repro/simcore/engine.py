@@ -16,6 +16,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.obs import get_ambient_tracer
+from repro.obs.tracer import Tracer
+
 _UNSET = object()
 
 #: Priority for events scheduled by ``succeed``/``fail`` (fire before
@@ -53,7 +56,8 @@ class Event:
     with :meth:`add_callback` run when the event fires.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "defused")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled",
+                 "_defunct", "defused")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -61,6 +65,9 @@ class Event:
         self._value: Any = _UNSET
         self._ok: Optional[bool] = None
         self._scheduled = False
+        #: Lazily-cancelled queue entry (an AnyOf/AllOf loser timeout nobody
+        #: waits on anymore): drained without firing or advancing time.
+        self._defunct = False
         #: When True, a failure of this event does not crash the simulation
         #: even if nobody handles it.
         self.defused = False
@@ -68,7 +75,9 @@ class Event:
     # -- state ---------------------------------------------------------
     @property
     def triggered(self) -> bool:
-        """True once the event has been scheduled to fire (or has fired)."""
+        """True once the event carries a value: ``succeed``/``fail`` was
+        called, or — for a :class:`Timeout` — the delay elapsed and the
+        event fired.  A pending timeout is *not* triggered."""
         return self._value is not _UNSET
 
     @property
@@ -93,7 +102,7 @@ class Event:
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with an optional payload."""
-        if self._value is not _UNSET:
+        if self._value is not _UNSET or self._scheduled:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
@@ -102,7 +111,7 @@ class Event:
 
     def fail(self, exc: BaseException) -> "Event":
         """Trigger the event as failed, carrying ``exc`` as its value."""
-        if self._value is not _UNSET:
+        if self._value is not _UNSET or self._scheduled:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exc, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -136,18 +145,28 @@ class Event:
 
 
 class Timeout(Event):
-    """Event that fires ``delay`` simulated seconds after creation."""
+    """Event that fires ``delay`` simulated seconds after creation.
 
-    __slots__ = ("delay",)
+    The value/ok assignment is deferred to fire time: a pending timeout is
+    *not* ``triggered`` (the :class:`Event` contract), so condition guards
+    (``SlotPool.cancel``, ``_Condition._collect``) see it as outstanding
+    until the delay actually elapses."""
+
+    __slots__ = ("delay", "_pending_value")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(sim)
         self.delay = delay
-        self._ok = True
-        self._value = value
+        self._pending_value = value
         sim._schedule(self, delay, PRIORITY_NORMAL)
+
+    def _fire(self) -> None:
+        if self._value is _UNSET:
+            self._ok = True
+            self._value = self._pending_value
+        super()._fire()
 
 
 class Process(Event):
@@ -248,6 +267,18 @@ class _Condition(Event):
     def _collect(self) -> list[Any]:
         return [ev._value for ev in self.events if ev.triggered]
 
+    def _discard_stale_losers(self) -> None:
+        """Lazily cancel pending loser :class:`Timeout` children once the
+        condition has fired.  Only timeouts whose sole callback is this
+        condition's are touched — nobody else can observe them — so their
+        queue entries no longer keep ``sim.run()`` alive past the logical
+        end of the workload."""
+        for ev in self.events:
+            if (type(ev) is Timeout and not ev.triggered
+                    and ev.callbacks == [self._child_fired]):
+                ev._defunct = True
+                ev.callbacks = []
+
     def _child_fired(self, ev: Event) -> None:
         raise NotImplementedError
 
@@ -262,6 +293,7 @@ class AllOf(_Condition):
             return
         if not ev._ok:
             self.fail(ev._value)
+            self._discard_stale_losers()
             return
         self._pending -= 1
         if self._pending == 0:
@@ -280,6 +312,7 @@ class AnyOf(_Condition):
             self.succeed(ev._value)
         else:
             self.fail(ev._value)
+        self._discard_stale_losers()
 
 
 class Simulator:
@@ -298,11 +331,18 @@ class Simulator:
         assert sim.now == 3.0 and proc.value == "done"
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 trace_label: str = "") -> None:
         self.now: float = 0.0
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._crashes: list[Event] = []
+        #: Observability sink (no-op by default; see :mod:`repro.obs`).
+        #: Instrumented layers reach it as ``sim.tracer`` and must guard
+        #: non-trivial argument construction on ``tracer.enabled``.
+        self.tracer: Tracer = tracer if tracer is not None \
+            else get_ambient_tracer()
+        self.tracer.bind(lambda: self.now, trace_label)
 
     # -- factories ------------------------------------------------------
     def event(self) -> Event:
@@ -335,12 +375,20 @@ class Simulator:
 
     # -- execution ------------------------------------------------------
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` when idle."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled event, or ``inf`` when idle.
+
+        Cancelled (defunct) entries at the head are drained lazily so they
+        neither extend the apparent horizon nor advance time."""
+        queue = self._queue
+        while queue and queue[0][3]._defunct and not queue[0][3].callbacks:
+            heapq.heappop(queue)
+        return queue[0][0] if queue else float("inf")
 
     def step(self) -> None:
         """Process exactly one event."""
         when, _prio, _seq, event = heapq.heappop(self._queue)
+        if event._defunct and not event.callbacks:
+            return  # lazily-cancelled entry: drop without advancing time
         if when < self.now - 1e-9:
             raise SimulationError("time went backwards")
         self.now = max(self.now, when)

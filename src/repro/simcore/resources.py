@@ -25,10 +25,9 @@ node, §IV-B2) expensive, exactly as observed on real disks.
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from collections import deque
-from typing import Any, Iterable, Optional
+from typing import Iterable, Optional
 
 from repro.simcore.engine import Event, SimulationError, Simulator
 
@@ -236,6 +235,9 @@ class FluidNetwork:
                 flow.done.fail(SimulationError(
                     f"flow {label} through down capacity {link.name}"))
                 return flow
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.flow_started(flow)
         if size <= _EPS or not links:
             flow.finished = True
             flow.remaining = 0.0
@@ -256,13 +258,18 @@ class FluidNetwork:
         if flow.finished:
             return
         self._detach(flow)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.flow_finished(flow, completed=False)
         flow.done.defused = True
         flow.done.fail(cause or SimulationError(f"flow {flow.label} aborted"))
 
     def fail_capacity(self, cap: Capacity) -> list[Flow]:
         """Mark a capacity as failed and abort every flow crossing it."""
         cap._down = True
-        victims = list(cap.flows)
+        # cap.flows hashes by object identity; sort so abort order (and
+        # hence the emitted trace-event stream) is reproducible.
+        victims = sorted(cap.flows, key=lambda f: f.seq)
         for flow in victims:
             self.abort(flow, SimulationError(
                 f"capacity {cap.name} failed under flow {flow.label}"))
@@ -303,7 +310,11 @@ class FluidNetwork:
         """Advance ``remaining`` to the current time at the current rate."""
         dt = self.sim.now - flow.last_update
         if dt > 0:
-            flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+            before = flow.remaining
+            flow.remaining = max(0.0, before - flow.rate * dt)
+            tracer = self.sim.tracer
+            if tracer.enabled and before > flow.remaining:
+                tracer.flow_settled(flow, before - flow.remaining)
         flow.last_update = self.sim.now
 
     def _compute_rate(self, flow: Flow) -> float:
@@ -401,11 +412,19 @@ class FluidNetwork:
             if self.sim.now + eta > self.sim.now:  # representable advance
                 self._arm(flow)
                 return
+        tracer = self.sim.tracer
+        if tracer.enabled and flow.remaining > 0:
+            # The completion tolerance forgives a sub-ppb residue; charge it
+            # to the links so traced bytes conserve exactly to flow sizes.
+            tracer.flow_settled(flow, flow.remaining)
         flow.remaining = 0.0
         self._detach(flow)
         self._complete(flow)
 
     def _complete(self, flow: Flow) -> None:
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.flow_finished(flow, completed=True)
         if flow.latency > 0:
             wake = self.sim.timeout(flow.latency)
             wake.add_callback(lambda _ev: flow.done.succeed(flow))

@@ -8,7 +8,6 @@ from repro.analysis.extrapolation import (
     RunAverages,
     extract_averages,
     extrapolate_chain_length,
-    hadoop_runtime,
     optimistic_runtime,
     rcmp_runtime,
 )

@@ -59,3 +59,49 @@ def test_cluster_registry_instantiates():
     for factory in CLUSTERS.values():
         spec = factory()
         spec.validate()
+
+
+def test_run_command_writes_chrome_trace(tmp_path, capsys):
+    import json
+
+    path = str(tmp_path / "run.json")
+    assert main(["run", "--cluster", "tiny", "--strategy", "rcmp",
+                 "--jobs", "2", "--failures", "2", "--trace", path]) == 0
+    out = capsys.readouterr().out
+    assert f"trace written to {path}" in out
+    with open(path) as fh:
+        data = json.load(fh)
+    assert data["schema"]["version"] >= 1
+    assert data["traceEvents"], "trace must carry events"
+    assert any(e.get("cat") == "job" for e in data["traceEvents"])
+    assert any(name.endswith(".disk") for name in data["utilization"])
+
+
+def test_analyze_command_reports_utilization(tmp_path, capsys):
+    path = str(tmp_path / "run.jsonl")
+    assert main(["run", "--cluster", "tiny", "--jobs", "2",
+                 "--trace", path]) == 0
+    capsys.readouterr()
+    assert main(["analyze", path, "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "per-link utilization" in out
+    assert "hot-spot concentration" in out
+
+
+def test_figure_command_accepts_trace(tmp_path, capsys):
+    import json
+
+    path = str(tmp_path / "fig.json")
+    assert main(["fig8", "--scale", "ci", "--trace", path]) == 0
+    with open(path) as fh:
+        data = json.load(fh)
+    # every simulated run binds its own trace process
+    pids = {e["pid"] for e in data["traceEvents"]}
+    assert len(pids) > 1
+
+
+def test_untraced_run_leaves_no_ambient_tracer():
+    from repro.obs import NULL_TRACER, get_ambient_tracer
+
+    assert main(["run", "--cluster", "tiny", "--jobs", "2"]) == 0
+    assert get_ambient_tracer() is NULL_TRACER

@@ -113,3 +113,27 @@ def test_durations_are_numpy_arrays():
     add_task(job, "map", 0, end=5.0)
     assert isinstance(metrics.job_durations(), np.ndarray)
     assert isinstance(job.task_durations("map"), np.ndarray)
+
+
+def test_total_runtime_with_no_finished_jobs():
+    """Regression: a chain aborted mid-first-job has jobs but no ends;
+    total_runtime must return 0.0, not raise on max() of nothing."""
+    metrics = RunMetrics()
+    metrics.open_job(1, 1, "job1", "initial", 12.0)  # still running
+    assert metrics.total_runtime == 0.0
+
+
+def test_total_runtime_ignores_unfinished_jobs():
+    metrics = RunMetrics()
+    make_job(metrics, 1, start=10.0, end=110.0)
+    metrics.open_job(2, 2, "job2", "initial", 110.0)  # never finishes
+    assert metrics.total_runtime == 100.0
+
+
+def test_summary_with_unfinished_jobs_does_not_raise():
+    metrics = RunMetrics()
+    metrics.open_job(1, 1, "job1", "initial", 0.0)
+    summary = metrics.summary()
+    assert summary["total_runtime"] == 0.0
+    assert summary["jobs_started"] == 1
+    assert summary["jobs_completed"] == 0

@@ -1,0 +1,363 @@
+"""Tests for the observability layer (repro.obs) and its instrumentation.
+
+Covers the tracer contract (no-op default, recording, export formats),
+utilization accounting invariants (per-link byte conservation against the
+fluid network), and the Fig. 12-style hot-spot observable (the failed
+node's replacement disk dominating read concurrency under NO-SPLIT).
+"""
+
+import json
+from collections import defaultdict
+
+import pytest
+
+from repro.analysis.utilization import (
+    hotspot_concentration,
+    link_class,
+    load_trace,
+    peak_overlap,
+    utilization_report,
+)
+from repro.cluster import presets
+from repro.core import strategies
+from repro.core.middleware import run_chain
+from repro.obs import (
+    NULL_TRACER,
+    RecordingTracer,
+    get_ambient_tracer,
+    tracing,
+)
+from repro.obs.utilization import UtilizationMonitor
+from repro.simcore import Capacity, FluidNetwork, Simulator
+
+
+# --------------------------------------------------------------- tracer unit
+def test_null_tracer_is_default_and_inert():
+    sim = Simulator()
+    assert sim.tracer is NULL_TRACER
+    assert not sim.tracer.enabled
+    span = sim.tracer.span("job", "j")
+    span.end()  # no-op handle
+    sim.tracer.instant("phase", "x")
+    sim.tracer.counter("c", {"v": 1})
+    with pytest.raises(NotImplementedError):
+        sim.tracer.export("/tmp/nothing.json")
+
+
+def test_ambient_tracer_install_and_restore():
+    tracer = RecordingTracer()
+    assert get_ambient_tracer() is NULL_TRACER
+    with tracing(tracer):
+        assert get_ambient_tracer() is tracer
+        sim = Simulator()
+        assert sim.tracer is tracer
+    assert get_ambient_tracer() is NULL_TRACER
+
+
+def test_recording_tracer_span_and_instant():
+    tracer = RecordingTracer()
+    sim = Simulator(tracer=tracer)
+
+    def proc():
+        span = tracer.span("job", "work", tid=3, kind="initial")
+        yield sim.timeout(5.0)
+        tracer.instant("cascade", "ping", node=1)
+        span.end(outcome="done")
+
+    sim.process(proc())
+    sim.run()
+    spans = [e for e in tracer.events if e.get("ph") == "X"]
+    instants = [e for e in tracer.events if e.get("ph") == "i"]
+    assert len(spans) == 1 and len(instants) == 1
+    span = spans[0]
+    assert span["name"] == "work" and span["cat"] == "job"
+    assert span["ts"] == 0.0 and span["dur"] == 5.0 and span["tid"] == 3
+    assert span["args"] == {"kind": "initial", "outcome": "done"}
+    assert instants[0]["ts"] == 5.0 and instants[0]["args"] == {"node": 1}
+
+
+def test_span_end_is_idempotent():
+    tracer = RecordingTracer()
+    Simulator(tracer=tracer)
+    span = tracer.span("job", "once")
+    span.end()
+    span.end(outcome="again")
+    assert len([e for e in tracer.events if e.get("ph") == "X"]) == 1
+
+
+def test_bind_separates_runs_by_pid():
+    tracer = RecordingTracer()
+    for _ in range(2):
+        sim = Simulator(tracer=tracer)
+        sim.process(iter([]))  # nothing to do; just bind
+        tracer.instant("phase", "mark")
+    pids = {e["pid"] for e in tracer.events if e.get("name") == "mark"}
+    assert pids == {1, 2}
+
+
+def test_chrome_export_is_valid_and_microseconds(tmp_path):
+    tracer = RecordingTracer()
+    sim = Simulator(tracer=tracer)
+
+    def proc():
+        span = tracer.span("job", "j1")
+        yield sim.timeout(2.0)
+        span.end()
+
+    sim.process(proc())
+    sim.run()
+    path = str(tmp_path / "trace.json")
+    tracer.export(path)
+    with open(path) as fh:
+        data = json.load(fh)
+    assert set(data) >= {"traceEvents", "schema", "utilization"}
+    span = [e for e in data["traceEvents"] if e.get("ph") == "X"][0]
+    assert span["ts"] == 0.0 and span["dur"] == 2_000_000.0  # microseconds
+    assert data["schema"]["version"] >= 1
+
+
+def test_jsonl_export_roundtrips_through_load_trace(tmp_path):
+    tracer = RecordingTracer()
+    sim = Simulator(tracer=tracer)
+
+    def proc():
+        span = tracer.span("job", "j1")
+        yield sim.timeout(1.0)
+        span.end()
+
+    sim.process(proc())
+    sim.run()
+    jsonl = str(tmp_path / "trace.jsonl")
+    chrome = str(tmp_path / "trace.json")
+    tracer.export(jsonl)
+    tracer.export(chrome)
+    a = load_trace(jsonl)
+    b = load_trace(chrome)
+    assert a["schema"] == b["schema"]
+    assert a["utilization"] == b["utilization"]
+    # chrome export carries the same spans (jsonl adds no wrapper objects)
+    assert [e for e in a["events"] if e.get("ph") == "X"] == \
+        [e for e in b["events"] if e.get("ph") == "X"]
+
+
+# ------------------------------------------------------- utilization monitor
+class _FakeLink:
+    def __init__(self, name):
+        self.name = name
+
+
+class _FakeFlow:
+    def __init__(self, links, size=0.0):
+        self.links = links
+        self.size = size
+
+
+def test_monitor_concurrency_histogram_and_busy_time():
+    clock = [0.0]
+    monitor = UtilizationMonitor(lambda: clock[0])
+    link = _FakeLink("n0.disk")
+    f1, f2 = _FakeFlow([link]), _FakeFlow([link])
+    monitor.flow_started(f1)
+    clock[0] = 4.0
+    monitor.flow_started(f2)
+    clock[0] = 6.0
+    monitor.flow_finished(f2, completed=True)
+    clock[0] = 10.0
+    monitor.flow_finished(f1, completed=False)
+    usage = monitor.links["n0.disk"]
+    assert usage.busy_time == 10.0
+    assert usage.peak_concurrency == 2
+    assert usage.concurrency_time == {1: 8.0, 2: 2.0}
+    assert usage.mean_concurrency() == pytest.approx(12.0 / 10.0)
+    assert usage.flows_completed == 1 and usage.flows_aborted == 1
+
+
+def test_monitor_bytes_only_via_settle():
+    clock = [0.0]
+    monitor = UtilizationMonitor(lambda: clock[0])
+    a, b = _FakeLink("a"), _FakeLink("b")
+    flow = _FakeFlow([a, b], size=100.0)
+    monitor.flow_started(flow)
+    monitor.flow_settled(flow, 60.0)
+    monitor.flow_settled(flow, 0.0)   # ignored
+    monitor.flow_finished(flow, completed=False)
+    assert monitor.bytes_by_link() == {"a": 60.0, "b": 60.0}
+
+
+def test_fluid_network_byte_conservation_toy():
+    """Traced bytes through each link equal the flow sizes crossing it."""
+    tracer = RecordingTracer()
+    sim = Simulator(tracer=tracer)
+    network = FluidNetwork(sim)
+    disk = Capacity("n0.disk", 100.0, concurrency_penalty=0.1)
+    nic = Capacity("n0.nic_out", 50.0)
+    network.transfer(1000.0, [disk], label="local")
+    network.transfer(500.0, [disk, nic], label="remote")
+    sim.run()
+    got = tracer.utilization.bytes_by_link()
+    assert got["n0.disk"] == pytest.approx(1500.0)
+    assert got["n0.nic_out"] == pytest.approx(500.0)
+
+
+def test_aborted_flow_accounts_partial_bytes():
+    tracer = RecordingTracer()
+    sim = Simulator(tracer=tracer)
+    network = FluidNetwork(sim)
+    disk = Capacity("n0.disk", 100.0)
+    flow = network.transfer(1000.0, [disk], label="doomed")
+
+    def aborter():
+        yield sim.timeout(4.0)
+        network.abort(flow)
+
+    sim.process(aborter())
+    sim.run()
+    assert tracer.utilization.bytes_by_link()["n0.disk"] == \
+        pytest.approx(400.0)
+    event = [e for e in tracer.events if e.get("cat") == "flow"][0]
+    assert event["args"]["completed"] is False
+    assert event["args"]["moved"] == pytest.approx(400.0)
+
+
+# ------------------------------------------------- analysis helper functions
+def test_hotspot_concentration_bounds():
+    assert hotspot_concentration({}) == 0.0
+    assert hotspot_concentration({"a": 100.0}) == 0.0  # single link
+    even = {f"n{i}.disk": 10.0 for i in range(5)}
+    assert hotspot_concentration(even) == pytest.approx(0.0)
+    one_hot = {"a": 100.0, "b": 0.0, "c": 0.0}
+    assert hotspot_concentration(one_hot) == pytest.approx(1.0)
+    skewed = {"a": 90.0, "b": 5.0, "c": 5.0}
+    assert 0.0 < hotspot_concentration(skewed) < 1.0
+
+
+def test_peak_overlap():
+    assert peak_overlap([]) == 0
+    assert peak_overlap([(0, 10), (5, 15), (20, 30)]) == 2
+    assert peak_overlap([(0, 5), (5, 10)]) == 1  # touching, not overlapping
+
+
+def test_link_class():
+    assert link_class("n3.disk") == "disk"
+    assert link_class("n3.nic_in") == "nic"
+    assert link_class("rack0.uplink") == "uplink"
+    assert link_class("weird") == "other"
+
+
+def test_utilization_report_renders(tmp_path):
+    tracer = RecordingTracer()
+    run_chain(presets.tiny(4), strategies.RCMP, n_jobs=2, seed=0,
+              tracer=tracer)
+    path = str(tmp_path / "t.json")
+    tracer.export(path)
+    report = utilization_report(load_trace(path)["utilization"])
+    assert "per-link utilization" in report
+    assert "hot-spot concentration (disk)" in report
+    assert "top-concurrency link" in report
+    assert "n0.disk" in report
+
+
+# --------------------------------------------------- end-to-end invariants
+def _traced_run(strategy, failures=None, n_jobs=2, nodes=4):
+    tracer = RecordingTracer()
+    result = run_chain(presets.tiny(nodes), strategy, n_jobs=n_jobs,
+                       failures=failures, seed=0, tracer=tracer)
+    return result, tracer
+
+
+def test_end_to_end_byte_conservation_failure_free():
+    """Per-link traced bytes equal the sum of flow sizes crossing that
+    link (every flow completes on a failure-free run)."""
+    _result, tracer = _traced_run(strategies.RCMP)
+    expected = defaultdict(float)
+    for event in tracer.events:
+        if event.get("cat") != "flow":
+            continue
+        assert event["args"]["completed"], "no aborts expected"
+        for link in event["args"]["links"]:
+            expected[link] += event["args"]["size"]
+    got = tracer.utilization.bytes_by_link()
+    assert set(got) == set(expected)
+    for link, total in expected.items():
+        assert got[link] == pytest.approx(total, rel=1e-9), link
+
+
+def test_end_to_end_byte_conservation_with_failure():
+    """With aborted flows, conservation holds against *moved* bytes."""
+    result, tracer = _traced_run(strategies.RCMP, failures="2")
+    assert result.completed
+    expected = defaultdict(float)
+    aborted = 0
+    for event in tracer.events:
+        if event.get("cat") != "flow":
+            continue
+        args = event["args"]
+        if args["completed"]:
+            assert args["moved"] == pytest.approx(args["size"], rel=1e-9)
+        else:
+            aborted += 1
+            assert args["moved"] <= args["size"] + 1e-6
+        for link in args["links"]:
+            expected[link] += args["moved"]
+    assert aborted > 0, "the injected failure should abort in-flight flows"
+    got = tracer.utilization.bytes_by_link()
+    for link, total in expected.items():
+        assert got[link] == pytest.approx(total, rel=1e-9), link
+
+
+def test_trace_covers_every_layer():
+    result, tracer = _traced_run(strategies.RCMP, failures="2")
+    assert result.completed
+    cats = {e.get("cat") for e in tracer.events if "cat" in e}
+    assert {"chain", "job", "task", "phase", "cascade", "flow"} <= cats
+    job_spans = [e for e in tracer.events if e.get("cat") == "job"]
+    assert len(job_spans) == result.jobs_started
+    kinds = {e["args"]["kind"] for e in job_spans}
+    assert "recompute" in kinds and "initial" in kinds
+
+
+def test_nosplit_recomputation_hotspot_visible_in_trace():
+    """Fig. 12 observable: under NO-SPLIT the recomputed reducer output
+    lands on a single replacement node; the restarted job's mapper reads
+    all converge on that node's disk, making it the top source of read
+    traffic and read concurrency during the rerun."""
+    result, tracer = _traced_run(strategies.RCMP_NOSPLIT, failures="2",
+                                 n_jobs=3)
+    assert result.completed
+    # the replacement disk: where the recompute run's reducer wrote
+    recompute_jobs = [j for j in result.metrics.jobs
+                      if j.kind == "recompute"]
+    replacement_nodes = {t.node for j in recompute_jobs for t in j.tasks
+                         if t.task_type == "reduce"}
+    assert len(replacement_nodes) == 1, "NO-SPLIT keeps one reducer"
+    hot_disk = f"n{replacement_nodes.pop()}.disk"
+
+    rerun = [e for e in tracer.events if e.get("cat") == "job"
+             and e["args"]["kind"] == "rerun"][0]
+    window = (rerun["ts"], rerun["ts"] + rerun["dur"])
+    reads_per_disk = defaultdict(list)
+    for event in tracer.events:
+        if event.get("cat") != "flow" or not event["name"].endswith(".read"):
+            continue
+        if not window[0] <= event["ts"] < window[1]:
+            continue
+        source_disk = next(link for link in event["args"]["links"]
+                           if link.endswith(".disk"))
+        reads_per_disk[source_disk].append(
+            (event["ts"], event["ts"] + event["dur"]))
+
+    assert hot_disk in reads_per_disk
+    dead = result.killed_nodes[0]
+    assert f"n{dead}.disk" not in reads_per_disk  # dead disk serves nothing
+    counts = {disk: len(iv) for disk, iv in reads_per_disk.items()}
+    peaks = {disk: peak_overlap(iv) for disk, iv in reads_per_disk.items()}
+    other_counts = [c for d, c in counts.items() if d != hot_disk]
+    other_peaks = [p for d, p in peaks.items() if d != hot_disk]
+    assert counts[hot_disk] > max(other_counts)
+    assert peaks[hot_disk] > max(other_peaks)
+
+
+def test_tracing_disabled_records_nothing():
+    result = run_chain(presets.tiny(4), strategies.RCMP, n_jobs=2, seed=0)
+    assert result.completed  # and the ambient NULL_TRACER stayed silent
+    assert get_ambient_tracer() is NULL_TRACER

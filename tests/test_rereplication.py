@@ -1,7 +1,5 @@
 """Tests for HDFS-style post-failure re-replication."""
 
-import pytest
-
 from repro.cluster import presets
 from repro.cluster.topology import Cluster
 from repro.core import strategies

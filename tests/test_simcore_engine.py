@@ -277,3 +277,110 @@ def test_deterministic_event_order_many_processes():
         return order
 
     assert build() == build()
+
+
+def test_timeout_not_triggered_until_it_fires():
+    """Contract: `triggered` means the event carries a value.  A pending
+    timeout must not look triggered the moment it is created."""
+    sim = Simulator()
+    timeout = sim.timeout(5.0, value="late")
+    assert not timeout.triggered
+    with pytest.raises(SimulationError):
+        timeout.value
+    with pytest.raises(SimulationError):
+        timeout.ok
+    sim.run()
+    assert timeout.triggered
+    assert timeout.ok
+    assert timeout.value == "late"
+
+
+def test_pending_timeout_cannot_be_retriggered():
+    sim = Simulator()
+    timeout = sim.timeout(5.0)
+    with pytest.raises(SimulationError):
+        timeout.succeed()
+
+
+def test_anyof_collect_excludes_pending_losers():
+    sim = Simulator()
+    winner = sim.timeout(1.0, value="fast")
+    loser = sim.timeout(50.0, value="slow")
+    cond = AnyOf(sim, [winner, loser])
+    sim.run()
+    assert cond.value == "fast"
+    assert cond._collect() == ["fast"]  # the loser never fired
+    assert not loser.triggered
+
+
+def test_anyof_losers_do_not_extend_the_run():
+    """Queue-drain contract: after an AnyOf fires, the losing timeouts'
+    heap entries must not keep `sim.run()` (no `until`) alive past the
+    logical end of the workload."""
+    sim = Simulator()
+    times = []
+
+    def parent():
+        yield AnyOf(sim, [sim.timeout(2.0), sim.timeout(1000.0)])
+        times.append(sim.now)
+
+    sim.process(parent())
+    sim.run()
+    assert times == [2.0]
+    assert sim.now == 2.0          # did not run on to t=1000
+    assert sim.peek() == float("inf")  # queue logically empty
+
+
+def test_allof_failfast_drains_loser_timeouts():
+    sim = Simulator()
+    ev = sim.event()
+
+    def parent():
+        try:
+            yield AllOf(sim, [sim.timeout(1000.0), ev])
+        except RuntimeError:
+            pass
+
+    def firer():
+        yield sim.timeout(1.0)
+        ev.fail(RuntimeError("child died"))
+
+    sim.process(parent())
+    sim.process(firer())
+    sim.run()
+    assert sim.now == 1.0
+
+
+def test_anyof_loser_with_external_watcher_still_fires():
+    """A loser timeout someone *else* also waits on must not be cancelled:
+    only timeouts whose sole observer was the condition are dropped."""
+    sim = Simulator()
+    loser = sim.timeout(10.0, value="slow")
+    woken = []
+
+    def watcher():
+        value = yield loser
+        woken.append((sim.now, value))
+
+    def parent():
+        yield AnyOf(sim, [sim.timeout(2.0), loser])
+
+    sim.process(watcher())
+    sim.process(parent())
+    sim.run()
+    assert woken == [(10.0, "slow")]
+
+
+def test_callback_added_to_cancelled_loser_still_runs():
+    sim = Simulator()
+    loser = sim.timeout(10.0)
+    fired = []
+
+    def parent():
+        yield AnyOf(sim, [sim.timeout(2.0), loser])
+        # attach after the AnyOf fired (loser already lazily cancelled)
+        loser.add_callback(lambda ev: fired.append(sim.now))
+
+    sim.process(parent())
+    sim.run()
+    assert fired == [10.0]

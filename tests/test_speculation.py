@@ -8,7 +8,7 @@ from repro.cluster import presets
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.topology import Cluster
 from repro.dfs import DistributedFileSystem
-from repro.mapreduce import JobPlan, JobTracker, MapInput, MapTaskSpec, ReduceTaskSpec
+from repro.mapreduce import JobPlan, JobTracker, MapInput, MapTaskSpec
 from repro.mapreduce.metrics import RunMetrics
 from repro.simcore import SeedSequenceRegistry, Simulator
 
