@@ -71,8 +71,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cluster", default="tiny", choices=sorted(CLUSTERS))
     p.add_argument("--strategy", default="rcmp", choices=sorted(STRATEGIES))
     p.add_argument("--jobs", type=int, default=7)
-    p.add_argument("--failures", default=None,
-                   help='FAIL spec, e.g. "2" or "7,14"')
+    fault_group = p.add_mutually_exclusive_group()
+    fault_group.add_argument("--failures", default=None,
+                             help='FAIL spec, e.g. "2" or "7,14"')
+    fault_group.add_argument(
+        "--faults", default=None,
+        help='generalized fault spec, clauses separated by ";", e.g. '
+             '"transient@job2:down=45; disk@job3+10" or '
+             '"mtbf=600:transient,kill,down=60" '
+             '(see repro.faults.model for the grammar)')
+    p.add_argument("--mtbf", type=float, default=None,
+                   help="add seeded Poisson fail-stop arrivals with this "
+                        "mean time between failures (seconds)")
+    p.add_argument("--fault-seed", type=int, default=None,
+                   help="dedicated RNG seed for the stochastic fault "
+                        "arrival process (default: derived from --seed)")
+    p.add_argument("--heartbeat-interval", type=float, default=None,
+                   help="failure-detector heartbeat period (seconds)")
+    p.add_argument("--heartbeat-expiry", type=float, default=None,
+                   help="heartbeat silence before a node is declared dead "
+                        "(0 = the paper's omniscient detector)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--trace", default=None, metavar="FILE", help=trace_help)
 
@@ -130,6 +148,34 @@ def _export_trace(tracer, trace_path) -> None:
           f"or run: rcmp-repro analyze {trace_path})")
 
 
+def _build_fault_input(args):
+    """Combine --failures/--faults/--mtbf/--fault-seed into the run's
+    fault input (None when no fault option was given)."""
+    from dataclasses import replace
+
+    from repro.faults import FaultModel
+
+    if args.faults is None and args.mtbf is None \
+            and args.fault_seed is None:
+        return args.failures
+    if args.failures is not None:
+        raise SystemExit("rcmp-repro: --mtbf/--fault-seed require --faults "
+                         "(or no plan at all), not the legacy --failures")
+    try:
+        model = FaultModel.parse(args.faults) if args.faults \
+            else FaultModel()
+        if args.mtbf is not None:
+            model = replace(model, mtbf=args.mtbf)
+        if args.fault_seed is not None:
+            if not model.stochastic:
+                raise ValueError("--fault-seed needs stochastic arrivals "
+                                 "(--mtbf or an mtbf clause in --faults)")
+            model = replace(model, seed=args.fault_seed)
+    except ValueError as exc:
+        raise SystemExit(f"rcmp-repro: {exc}")
+    return model
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -157,6 +203,17 @@ def main(argv=None) -> int:
         return 0
     if args.command == "run":
         cluster = CLUSTERS[args.cluster]()
+        if args.heartbeat_interval is not None \
+                or args.heartbeat_expiry is not None:
+            from dataclasses import replace
+
+            overrides = {}
+            if args.heartbeat_interval is not None:
+                overrides["heartbeat_interval"] = args.heartbeat_interval
+            if args.heartbeat_expiry is not None:
+                overrides["heartbeat_expiry"] = args.heartbeat_expiry
+            cluster = replace(cluster, **overrides)
+        failures = _build_fault_input(args)
         if args.cluster == "tiny":
             chain = build_chain(n_jobs=args.jobs,
                                 per_node_input=256 * (1 << 20),
@@ -165,7 +222,7 @@ def main(argv=None) -> int:
             chain = build_chain(n_jobs=args.jobs)
         with _traced(args.trace) as tracer:
             result = run_chain(cluster, STRATEGIES[args.strategy],
-                               chain=chain, failures=args.failures,
+                               chain=chain, failures=failures,
                                seed=args.seed)
         print(result)
         for job in result.metrics.jobs:

@@ -64,13 +64,34 @@ class FailurePlan:
 
     @classmethod
     def parse(cls, spec: str) -> "FailurePlan":
-        """Parse "2", "7", "2,4" etc. (paper's FAIL notation)."""
-        parts = [int(p) for p in spec.replace("FAIL", "").split(",") if p]
+        """Parse "2", "7", "FAIL 2,4", "fail 7, 14" etc. (the paper's FAIL
+        notation; the prefix is optional and case-insensitive, whitespace
+        around ordinals is ignored)."""
+        body = spec.strip()
+        if body.upper().startswith("FAIL"):
+            body = body[4:]
+        parts = []
+        for token in body.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            try:
+                ordinal = int(token)
+            except ValueError:
+                raise ValueError(
+                    f"cannot parse failure spec {spec!r}: {token!r} is not "
+                    f"a job ordinal") from None
+            if ordinal < 1:
+                raise ValueError(
+                    f"cannot parse failure spec {spec!r}: job ordinals are "
+                    f"1-based, got {ordinal}")
+            parts.append(ordinal)
         if len(parts) == 1:
             return cls.single(parts[0])
         if len(parts) == 2:
             return cls.double(parts[0], parts[1])
-        raise ValueError(f"cannot parse failure spec {spec!r}")
+        raise ValueError(f"cannot parse failure spec {spec!r}: expected one "
+                         f"or two job ordinals, got {len(parts)}")
 
     @property
     def n_failures(self) -> int:
@@ -80,15 +101,15 @@ class FailurePlan:
         """Clamp job IDs for strategies that never exceed ``max_job`` started
         jobs (Hadoop always runs exactly the chain length; the paper injects
         its Hadoop failures at jobs 2 or 7)."""
-        clamped = []
-        for i, ev in enumerate(self.events):
+        clamped: list[FailureEvent] = []
+        for ev in self.events:
             at = min(ev.at_job, max_job)
             off = ev.offset
             # keep ordering when two events collapse onto the same job
-            if clamped and clamped[-1].at_job == at and off <= clamped[-1].offset:
+            if clamped and clamped[-1].at_job == at \
+                    and off <= clamped[-1].offset:
                 off = clamped[-1].offset + 15.0
             clamped.append(FailureEvent(at, off, ev.node_id))
-            del i
         return FailurePlan(clamped)
 
 
@@ -102,14 +123,10 @@ class FailureInjector:
         self.on_kill = on_kill
         self.killed: list[tuple[float, int]] = []  # (time, node_id)
         self._rng = cluster.seeds.stream("failure-injector")
-        self._pending = {ev.at_job: ev for ev in self.plan.events}
-        if len(self._pending) != len(self.plan.events):
-            # two failures within the same started job: keep both, ordered
-            self._pending = {}
-            for ev in self.plan.events:
-                self._pending.setdefault(ev.at_job, []).append(ev)
-        else:
-            self._pending = {k: [v] for k, v in self._pending.items()}
+        # failures within the same started job stay together, in plan order
+        self._pending: dict[int, list[FailureEvent]] = {}
+        for ev in self.plan.events:
+            self._pending.setdefault(ev.at_job, []).append(ev)
 
     def notify_job_start(self, job_ordinal: int) -> None:
         """Called by the middleware whenever a job (any run) starts."""

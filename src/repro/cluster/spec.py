@@ -98,6 +98,14 @@ class ClusterSpec:
     shuffle_transfer_latency: float = 0.0
     failure_detection_timeout: float = 30.0
     rate_model: str = "equal_share"
+    #: heartbeat-based failure detector (see :mod:`repro.faults.detector`).
+    #: Workers heartbeat every ``heartbeat_interval`` seconds; a node is
+    #: declared lost once ``heartbeat_expiry`` seconds pass since its last
+    #: heartbeat.  An expiry of 0 selects the paper's protocol: lineage
+    #: metadata reflects a death instantly (omniscient middleware) and the
+    #: master declares the node dead ``failure_detection_timeout`` later.
+    heartbeat_interval: float = 3.0
+    heartbeat_expiry: float = 0.0
     #: cap on per-source shuffle chunks (0 = one chunk per map wave, up to
     #: the flow budget).  Pinning this keeps shuffle/map overlap identical
     #: across cluster sizes, which node-count sweeps (Fig. 11) require.
@@ -126,6 +134,12 @@ class ClusterSpec:
             raise ValueError("shuffle_transfer_latency must be >= 0")
         if self.failure_detection_timeout < 0:
             raise ValueError("failure_detection_timeout must be >= 0")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.heartbeat_expiry != 0 and \
+                self.heartbeat_expiry < self.heartbeat_interval:
+            raise ValueError("heartbeat_expiry must be 0 (paper protocol) "
+                             "or >= heartbeat_interval")
         if self.speculation_slowdown <= 1.0:
             raise ValueError("speculation_slowdown must exceed 1.0")
         if self.speculation_interval <= 0 or self.speculation_min_runtime < 0:

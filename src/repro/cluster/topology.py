@@ -37,6 +37,7 @@ class Node:
                                       f"n{node_id}.rslots")
         self._tasks: set[Process] = set()
         self._death_watchers: list = []
+        self._disk_watchers: list = []
 
     # -- task registry (for failure injection) -------------------------
     def register_task(self, proc: Process) -> None:
@@ -54,6 +55,16 @@ class Node:
         except ValueError:
             pass
 
+    def on_disk_loss(self, callback) -> None:
+        """Register ``callback(node)`` to run when the data disk fails."""
+        self._disk_watchers.append(callback)
+
+    def remove_disk_watcher(self, callback) -> None:
+        try:
+            self._disk_watchers.remove(callback)
+        except ValueError:
+            pass
+
     def kill(self, network: FluidNetwork) -> None:
         """Fail the node: stop flows through it and interrupt its tasks."""
         if not self.alive:
@@ -66,6 +77,36 @@ class Node:
         self._tasks.clear()
         for cb in list(self._death_watchers):
             cb(self)
+
+    def lose_disk(self, network: FluidNetwork) -> None:
+        """Fail the data disk only: in-flight disk I/O aborts and the stored
+        bytes are gone (the DFS and persisted-output layers drop their
+        replicas), but the node keeps computing and the replacement disk is
+        usable immediately.  Running tasks are *not* interrupted — their
+        aborted flows surface as task failures that the jobtracker retries,
+        which is exactly how Hadoop experiences a disk swap."""
+        if not self.alive:
+            return
+        network.fail_capacity(self.disk)
+        network.restore_capacity(self.disk)
+        for cb in list(self._disk_watchers):
+            cb(self)
+
+    def revive(self, network: FluidNetwork) -> None:
+        """Bring a killed node back online (transient-failure rejoin).
+
+        Every process that ran on the node died with it, so the slot pools
+        restart empty and the task registry is cleared.  Whether the data
+        disk still holds its pre-crash bytes is decided by the storage
+        layers (see ``on_node_rejoin``), not here."""
+        if self.alive:
+            return
+        self.alive = True
+        for cap in (self.disk, self.nic_in, self.nic_out):
+            network.restore_capacity(cap)
+        self.mapper_slots.reset()
+        self.reducer_slots.reset()
+        self._tasks.clear()
 
     def __repr__(self) -> str:  # pragma: no cover
         state = "up" if self.alive else "DOWN"
@@ -92,6 +133,9 @@ class Cluster:
                 self._rack_uplinks.append(Capacity(f"rack{r}.uplink", bw))
         else:
             self._rack_uplinks = [None] * spec.n_racks
+        # Function-level import: repro.faults imports this module.
+        from repro.faults.detector import HeartbeatDetector
+        self.detector = HeartbeatDetector.from_spec(spec)
 
     # -- views ----------------------------------------------------------
     @property
@@ -106,6 +150,10 @@ class Cluster:
 
     def alive_ids(self) -> list[int]:
         return [n.node_id for n in self.nodes if n.alive]
+
+    def rack_ids(self) -> list[int]:
+        """Racks that currently contain at least one alive node."""
+        return sorted({n.rack for n in self.nodes if n.alive})
 
     # -- transfer paths ---------------------------------------------------
     def network_path(self, src: int, dst: int) -> list[Capacity]:
@@ -145,4 +193,16 @@ class Cluster:
     def kill_node(self, node_id: int) -> Node:
         node = self.nodes[node_id]
         node.kill(self.network)
+        return node
+
+    def revive_node(self, node_id: int) -> Node:
+        """Bring a killed node back online (transient-failure rejoin)."""
+        node = self.nodes[node_id]
+        node.revive(self.network)
+        return node
+
+    def lose_disk(self, node_id: int) -> Node:
+        """Fail (and immediately replace, empty) a node's data disk."""
+        node = self.nodes[node_id]
+        node.lose_disk(self.network)
         return node

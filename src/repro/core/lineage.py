@@ -84,6 +84,14 @@ class ChainState:
         self.strategy = strategy
         self.jobs: dict[int, _JobState] = {}
         self.completed_through = 0   # highest logical index fully completed
+        #: when the fault model may bring a dead node back (transient
+        #: failures), lost files stay in the DFS namespace so a rejoin with
+        #: the disk intact can heal the damage instead of recomputing it
+        self.keep_lost_files = False
+        #: (job, partition) pairs a recompute run is currently regenerating;
+        #: rejoin healing must not re-adopt pieces of these (the regenerated
+        #: replacement is about to land) or coverage would exceed 1.0
+        self.regenerating: set[tuple[int, int]] = set()
 
     # ------------------------------------------------------------- input
     def seed_input(self) -> None:
@@ -100,12 +108,17 @@ class ChainState:
         apply the Fig. 5 invalidation for split partitions."""
         j = completion.logical_index
         state = self.jobs.setdefault(j, _JobState())
-        # Persist the executed mappers' outputs.
+        # Persist the executed mappers' outputs.  A run can complete inside
+        # a node's failure-declaration window: outputs it executed on the
+        # now-dead node died with it, and re-registering them after the
+        # death commit dropped them would make later recomputation plans
+        # reuse map outputs no fetch can reach.
         origin_of = {t.task_id: t.input.origin for t in plan.map_tasks}
         metas = [MapOutputMeta(j, tid, node,
                                self._map_output_size(plan, tid),
                                origin_of.get(tid))
-                 for tid, node in completion.map_output_nodes.items()]
+                 for tid, node in completion.map_output_nodes.items()
+                 if self.cluster.nodes[node].alive]
         self.store.register_many(metas)
         # Update partition layouts from the produced pieces.
         by_partition: dict[int, list[ReduceTaskSpec]] = {}
@@ -121,7 +134,12 @@ class ChainState:
             self._install_pieces(
                 j, partition, new_pieces,
                 boundaries_changed=partition in plan.split_partitions)
-            state.damaged.pop(partition, None)
+            # the regeneration supersedes any still-damaged kept-around
+            # files of this partition: they can never be healed now
+            for lp in state.damaged.pop(partition, []):
+                if lp.file and self.dfs.exists(lp.file):
+                    self.dfs.delete(lp.file)
+            self.regenerating.discard((j, partition))
         if plan.kind in ("initial", "rerun"):
             self.completed_through = max(self.completed_through, j)
 
@@ -187,8 +205,10 @@ class ChainState:
                 entry = state.damaged.setdefault(partition, [])
                 for piece in lost:
                     entry.append(LostPiece(partition, piece.fraction,
-                                           piece.split_index, piece.n_splits))
-                    if self.dfs.exists(piece.file):
+                                           piece.split_index, piece.n_splits,
+                                           file=piece.file))
+                    if self.dfs.exists(piece.file) \
+                            and not self.keep_lost_files:
                         self.dfs.delete(piece.file)
                 survivors = [p for p in pieces if p.file not in damaged_files]
                 if survivors:
@@ -197,6 +217,90 @@ class ChainState:
                     del state.layout[partition]
             del j
         return any_loss
+
+    def note_node_rejoin(self, node_id: int, data_intact: bool) -> int:
+        """A dead node rejoined.  With its data intact, its DFS replicas
+        and persisted map outputs return, and every damage record whose
+        lost file is whole again is healed — the piece re-enters the
+        layout and needs no recomputation.  Returns the number of healed
+        pieces.
+
+        A restored file is *stale* — and is deleted instead of re-adopted —
+        when its key range was regenerated while the node was down: either
+        a piece with the same signature already lives in the layout, or
+        re-adding the piece would make the layout cover more than the whole
+        key range (the partition came back with different split
+        boundaries)."""
+        restored = set(self.dfs.on_node_rejoin(node_id, data_intact))
+        if data_intact:
+            self.store.restore_node(node_id)
+        else:
+            self.store.discard_offline(node_id)
+        healed = 0
+        for j, state in self.jobs.items():
+            for partition, lost in list(state.damaged.items()):
+                remaining: list[LostPiece] = []
+                for lp in lost:
+                    if lp.file is None or lp.file not in restored:
+                        remaining.append(lp)
+                        continue
+                    pieces = state.layout.get(partition, [])
+                    sig = (lp.fraction, lp.split_index, lp.n_splits)
+                    covered = sum(p.fraction for p in pieces)
+                    if (j, partition) in self.regenerating \
+                            or any(p.signature() == sig for p in pieces) \
+                            or covered + lp.fraction > 1.0 + 1e-6:
+                        if self.dfs.exists(lp.file):
+                            self.dfs.delete(lp.file)
+                        remaining.append(lp)
+                        continue
+                    pieces.append(Piece(lp.file, lp.fraction,
+                                        lp.split_index, lp.n_splits))
+                    state.layout[partition] = sorted(
+                        pieces, key=lambda p: (p.n_splits, p.split_index))
+                    healed += 1
+                if remaining:
+                    state.damaged[partition] = remaining
+                else:
+                    state.damaged.pop(partition, None)
+        # Restored files with no damage record left (their partition was
+        # regenerated while the node was down) were already deleted when
+        # the regeneration landed; restored files of an in-flight run are
+        # simply not ours to judge — the run registers them on completion.
+        return healed
+
+    def discard_offline(self, node_id: int) -> None:
+        """Give up on a dead node's stashed data (fail-stop confirmed, or
+        it rejoined with a wiped disk): drop the stashes and delete any
+        kept-around lost files that can no longer be healed."""
+        self.dfs.discard_offline(node_id)
+        self.store.discard_offline(node_id)
+        if not self.keep_lost_files:
+            return
+        for state in self.jobs.values():
+            for lost in state.damaged.values():
+                for lp in lost:
+                    if lp.file and self.dfs.exists(lp.file) \
+                            and not self.dfs.meta(lp.file).available:
+                        self.dfs.delete(lp.file)
+
+    def rollback_to(self, anchor: int) -> None:
+        """Graceful degradation: forget every job after ``anchor`` (whose
+        output must be intact — e.g. a hybrid replication point, or the
+        chain input at anchor 0) so the chain re-executes from there."""
+        for j in [j for j in self.jobs if j > anchor]:
+            state = self.jobs.pop(j)
+            for pieces in state.layout.values():
+                for piece in pieces:
+                    if self.dfs.exists(piece.file):
+                        self.dfs.delete(piece.file)
+            for lost in state.damaged.values():
+                for lp in lost:
+                    if lp.file and self.dfs.exists(lp.file):
+                        self.dfs.delete(lp.file)
+        self.store.drop_jobs_after(anchor)
+        self.completed_through = min(self.completed_through, anchor)
+        self.regenerating.clear()  # no run is in flight during a rollback
 
     def damaged_jobs(self) -> list[int]:
         """Logical indexes of jobs with outstanding damage, ascending."""
@@ -234,9 +338,14 @@ class ChainState:
                 for piece in pieces:
                     if self.dfs.exists(piece.file):
                         self.dfs.delete(piece.file)
+            for lost in state.damaged.values():
+                for lp in lost:
+                    if lp.file and self.dfs.exists(lp.file):
+                        self.dfs.delete(lp.file)
         self.jobs.clear()
         self.store.clear()
         self.completed_through = 0
+        self.regenerating.clear()
 
     # ------------------------------------------------------- plan building
     def enumerate_map_tasks(self, j: int) -> list[MapTaskSpec]:
@@ -318,6 +427,8 @@ class ChainState:
         survivors = len(alive)
         split_ratio = self.strategy.effective_split(survivors)
         reduce_plan = plan_reduce_recomputation(lost, split_ratio, alive)
+        for partition in state.damaged:
+            self.regenerating.add((j, partition))
 
         spec = self.chain.job(j)
         n_partitions = spec.n_reducers(self.cluster.spec)

@@ -24,12 +24,18 @@ from repro.mapreduce.types import ReduceTaskSpec
 
 @dataclass(frozen=True)
 class LostPiece:
-    """A damaged piece of a job's reducer output awaiting regeneration."""
+    """A damaged piece of a job's reducer output awaiting regeneration.
+
+    ``file`` remembers which DFS file held the piece; when the failed node
+    was transient and rejoins with its data intact, the lineage layer heals
+    the damage by re-adopting that file instead of recomputing it.
+    """
 
     partition: int
     fraction: float = 1.0
     split_index: int = 0
     n_splits: int = 1
+    file: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.fraction <= 1.0:

@@ -49,6 +49,19 @@ class Strategy:
     #: restore lost replicas in the background after a failure is detected
     #: (HDFS behaviour; meaningful for the replication baselines)
     re_replicate_after_failure: bool = False
+    #: graceful degradation: bound on recomputation runs per recovery
+    #: episode — exceeding it abandons the cascade and rolls the chain back
+    #: to the last intact anchor (a hybrid replication point, or the chain
+    #: input).  0 = unbounded (the paper's behaviour).
+    max_cascade_depth: int = 0
+    #: bound on chain restarts (OPTIMISTIC resets and degradation
+    #: rollbacks) before the run gives up with a clean failure.  0 =
+    #: unbounded (the paper's behaviour; stochastic fault arrivals should
+    #: set a cap so every run terminates).
+    max_restarts: int = 0
+    #: base seconds of exponential backoff charged before each restart;
+    #: 0 disables backoff
+    restart_backoff: float = 0.0
 
     def __post_init__(self) -> None:
         if self.replication < 1:
@@ -61,6 +74,13 @@ class Strategy:
             raise ValueError("hybrid_interval must be >= 0")
         if self.hybrid_interval and not self.recompute:
             raise ValueError("hybrid mode requires recomputation")
+        if self.max_cascade_depth < 0 or self.max_restarts < 0:
+            raise ValueError("degradation bounds must be >= 0")
+        if self.restart_backoff < 0:
+            raise ValueError("restart_backoff must be >= 0")
+        if self.max_cascade_depth and not self.recompute:
+            raise ValueError("max_cascade_depth only applies to "
+                             "recomputation strategies")
 
     # -- helpers ----------------------------------------------------------
     @property
@@ -79,6 +99,15 @@ class Strategy:
         suffix = "SPLIT-auto" if ratio is None else f"SPLIT-{ratio}"
         return replace(self, split_ratio=ratio,
                        name=f"{self.name.split()[0]} {suffix}")
+
+    def with_degradation(self, max_cascade_depth: int = 0,
+                         max_restarts: int = 0,
+                         restart_backoff: float = 0.0) -> "Strategy":
+        """Copy with graceful-degradation bounds (name unchanged — the
+        bounds alter behaviour only when they trip)."""
+        return replace(self, max_cascade_depth=max_cascade_depth,
+                       max_restarts=max_restarts,
+                       restart_backoff=restart_backoff)
 
 
 # -- presets matching the paper -------------------------------------------

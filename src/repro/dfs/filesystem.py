@@ -70,6 +70,11 @@ class DistributedFileSystem:
         #: bytes stored per node (replica bytes), for storage accounting
         self.bytes_on_node: dict[int, float] = {
             n.node_id: 0.0 for n in cluster.nodes}
+        #: replicas a dead node held, keyed by node: (file, block id, size).
+        #: A transient failure restores them on rejoin (unless wiped); the
+        #: block id guards against a file deleted and recreated under the
+        #: same name while the node was down.
+        self._offline: dict[int, list[tuple[str, BlockId, float]]] = {}
 
     # ------------------------------------------------------------- metadata
     def _new_block_id(self) -> BlockId:
@@ -289,16 +294,50 @@ class DistributedFileSystem:
         """Drop all replicas held by ``node_id``; return files that lost
         at least one *block* entirely (zero replicas remain)."""
         damaged: list[FileMeta] = []
+        stash: list[tuple[str, BlockId, float]] = []
         for meta in self.files.values():
             lost_any = False
             for block in meta.blocks:
                 if block.drop_replica(node_id):
                     self.bytes_on_node[node_id] -= block.size
+                    stash.append((meta.name, block.block_id, block.size))
                     if not block.available:
                         lost_any = True
             if lost_any:
                 damaged.append(meta)
+        self._offline[node_id] = stash
         return damaged
+
+    def on_node_rejoin(self, node_id: int, data_intact: bool) -> list[str]:
+        """A dead node came back.  With ``data_intact`` its stashed replicas
+        return to the namespace (skipping files deleted — or deleted and
+        recreated — while it was down); otherwise the stash is discarded
+        (the disk was wiped during the repair).
+
+        Returns the names of files that are fully available again and had
+        at least one replica restored from this node — the candidates for
+        lineage damage healing."""
+        stash = self._offline.pop(node_id, [])
+        if not data_intact:
+            return []
+        touched: list[FileMeta] = []
+        for name, block_id, size in stash:
+            meta = self.files.get(name)
+            if meta is None:
+                continue
+            block = next((b for b in meta.blocks
+                          if b.block_id == block_id), None)
+            if block is None or node_id in block.replicas:
+                continue
+            block.replicas.append(node_id)
+            self.bytes_on_node[node_id] += size
+            touched.append(meta)
+        return [m.name for m in touched if m.available]
+
+    def discard_offline(self, node_id: int) -> None:
+        """Forget a dead node's stashed replicas (fail-stop confirmed, or
+        a wiped rejoin was detected)."""
+        self._offline.pop(node_id, None)
 
     # ------------------------------------------------------------- queries
     def files_with_tag(self, **tags) -> list[FileMeta]:

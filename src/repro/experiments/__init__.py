@@ -20,6 +20,7 @@ from repro.experiments import (
     fig13,
     fig14,
     ratios,
+    survivability,
 )
 
 ALL_FIGURES = {
@@ -32,7 +33,8 @@ ALL_FIGURES = {
     "fig13": fig13,
     "fig14": fig14,
     "ratios": ratios,
+    "survivability": survivability,
 }
 
 __all__ = ["ALL_FIGURES", "common", "fig2", "fig8", "fig9", "fig10",
-           "fig11", "fig12", "fig13", "fig14", "ratios"]
+           "fig11", "fig12", "fig13", "fig14", "ratios", "survivability"]

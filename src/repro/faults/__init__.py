@@ -1,0 +1,19 @@
+"""Generalized fault modelling and injection (beyond the paper's §V-A).
+
+* :mod:`repro.faults.model` — :class:`FaultModel` / :class:`FaultEvent`:
+  fail-stop, transient crash-recover, disk-loss and correlated rack
+  failures, planned or Poisson/MTBF-driven, plus the ``--faults`` grammar.
+* :mod:`repro.faults.detector` — :class:`HeartbeatDetector`: detection
+  latency policy (paper mode at expiry 0).
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: drives a model
+  against a cluster, byte-compatible with the legacy
+  :class:`repro.cluster.failures.FailureInjector` for planned fail-stop
+  plans.
+"""
+
+from repro.faults.detector import HeartbeatDetector
+from repro.faults.injector import FaultInjector
+from repro.faults.model import DEFAULT_DOWNTIME, KINDS, FaultEvent, FaultModel
+
+__all__ = ["DEFAULT_DOWNTIME", "KINDS", "FaultEvent", "FaultModel",
+           "FaultInjector", "HeartbeatDetector"]

@@ -1,0 +1,156 @@
+"""Drives a :class:`~repro.faults.model.FaultModel` against a cluster.
+
+Generalizes :class:`repro.cluster.failures.FailureInjector` (kept for the
+paper's exact protocol and its tests).  Compatibility is a hard
+requirement: for a model containing only planned fail-stop events, this
+injector arms the same timers and draws victims from the same
+``"failure-injector"`` RNG stream with the same draw sequence, so legacy
+FAIL plans reproduce byte-identical runs.
+
+Planned events trigger on job-start ordinals (armed when the middleware
+reports a job start) or at absolute times (armed at construction).  The
+stochastic arrival process — exponential gaps with the model's MTBF —
+runs as its own simulation process, draws from a *separate* RNG stream
+("fault-arrivals", or a dedicated seed) so it never perturbs placement or
+victim-selection streams, and is capped at ``max_stochastic`` events so
+every stochastic run terminates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from repro.cluster.topology import Cluster, Node
+from repro.faults.model import FaultEvent, FaultModel
+
+#: callback signature: (node, event) at the instant the fault lands
+FaultCallback = Callable[[Node, FaultEvent], None]
+
+
+class FaultInjector:
+    """Arms fault timers and strikes victims per the fault model."""
+
+    def __init__(self, cluster: Cluster, model: Optional[FaultModel] = None,
+                 on_fault: Optional[FaultCallback] = None,
+                 on_revive: Optional[FaultCallback] = None):
+        self.cluster = cluster
+        self.model = model or FaultModel()
+        self.on_fault = on_fault
+        self.on_revive = on_revive
+        #: (time, node_id) of every node kill, in order (fail-stop,
+        #: transient and rack events; disk losses do not kill the node)
+        self.killed: list[tuple[float, int]] = []
+        #: (time, kind, node_id) of every injected fault, in order
+        self.faults: list[tuple[float, str, int]] = []
+        self._rng = cluster.seeds.stream("failure-injector")
+        self._stopped = False
+        self._pending: dict[int, list[FaultEvent]] = {}
+        for ev in self.model.events:
+            if ev.at_job is not None:
+                self._pending.setdefault(ev.at_job, []).append(ev)
+            else:
+                self._arm_at_time(ev)
+        if self.model.stochastic:
+            self._arrival_rng = (
+                np.random.default_rng(self.model.seed)
+                if self.model.seed is not None
+                else cluster.seeds.stream("fault-arrivals"))
+            cluster.sim.process(self._arrival_loop(), name="fault-arrivals")
+
+    # -- arming ----------------------------------------------------------
+    def notify_job_start(self, job_ordinal: int) -> None:
+        """Called by the middleware whenever a job (any run) starts."""
+        for ev in self._pending.pop(job_ordinal, []):
+            self._arm(ev, ev.offset)
+
+    def _arm_at_time(self, ev: FaultEvent) -> None:
+        self._arm(ev, max(0.0, ev.at_time - self.cluster.sim.now))
+
+    def _arm(self, ev: FaultEvent, delay: float) -> None:
+        timer = self.cluster.sim.timeout(delay)
+        timer.add_callback(lambda _t, ev=ev: self._fire(ev))
+
+    def stop(self) -> None:
+        """Stop injecting (chain finished): armed timers become no-ops and
+        the arrival process winds down, letting the simulation drain."""
+        self._stopped = True
+
+    @property
+    def outstanding(self) -> int:
+        """Planned job-triggered events not yet armed."""
+        return sum(len(v) for v in self._pending.values())
+
+    # -- stochastic arrivals ---------------------------------------------
+    def _arrival_loop(self) -> Generator:
+        model = self.model
+        rng = self._arrival_rng
+        sim = self.cluster.sim
+        for _ in range(model.max_stochastic):
+            gap = float(rng.exponential(model.mtbf))
+            yield sim.timeout(max(gap, 1e-3))
+            if self._stopped:
+                return
+            kinds = model.mtbf_kinds
+            kind = kinds[int(rng.integers(len(kinds)))] if len(kinds) > 1 \
+                else kinds[0]
+            downtime = model.mtbf_downtime if kind == "transient" else 0.0
+            self._fire(FaultEvent(
+                kind=kind, at_time=sim.now, downtime=downtime,
+                wipe=model.mtbf_wipe if kind == "transient" else False))
+
+    # -- firing ----------------------------------------------------------
+    def _fire(self, ev: FaultEvent) -> None:
+        # Planned events still land after the chain finishes (the legacy
+        # injector behaves the same way); only stochastic arrivals and
+        # revives honour stop().
+        if ev.kind == "rack":
+            self._fire_rack(ev)
+            return
+        node_id = ev.node_id
+        if node_id is None:
+            candidates = self.cluster.alive_ids()
+            if not candidates:
+                return
+            node_id = int(candidates[self._rng.integers(len(candidates))])
+        node = self.cluster.nodes[node_id]
+        if not node.alive:  # pick a different victim than an already-dead one
+            candidates = self.cluster.alive_ids()
+            if not candidates:
+                return
+            node_id = int(candidates[self._rng.integers(len(candidates))])
+            node = self.cluster.nodes[node_id]
+        self._strike(node, ev)
+
+    def _fire_rack(self, ev: FaultEvent) -> None:
+        rack = ev.rack
+        if rack is None:
+            racks = self.cluster.rack_ids()
+            rack = int(racks[self._rng.integers(len(racks))])
+        victims = [n for n in self.cluster.nodes
+                   if n.rack == rack and n.alive]
+        for node in victims:
+            self._strike(node, ev)
+
+    def _strike(self, node: Node, ev: FaultEvent) -> None:
+        now = self.cluster.sim.now
+        self.faults.append((now, ev.kind, node.node_id))
+        if ev.kind == "disk-loss":
+            self.cluster.lose_disk(node.node_id)
+        else:
+            self.killed.append((now, node.node_id))
+            self.cluster.kill_node(node.node_id)
+            if ev.transient:
+                timer = self.cluster.sim.timeout(ev.downtime)
+                timer.add_callback(
+                    lambda _t, n=node, e=ev: self._revive(n, e))
+        if self.on_fault is not None:
+            self.on_fault(node, ev)
+
+    def _revive(self, node: Node, ev: FaultEvent) -> None:
+        if self._stopped or node.alive:
+            return
+        self.cluster.revive_node(node.node_id)
+        if self.on_revive is not None:
+            self.on_revive(node, ev)

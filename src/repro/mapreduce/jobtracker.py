@@ -99,6 +99,7 @@ class JobTracker:
         self.metrics = metrics
         self.shuffle_flow_budget = shuffle_flow_budget
         self._ordinal = 0
+        self._active_run: Optional[_JobRun] = None
 
     def next_ordinal(self) -> int:
         self._ordinal += 1
@@ -126,9 +127,11 @@ class JobTracker:
                            reduces=len(plan.reduce_tasks)) \
             if tracer.enabled else None
         run = _JobRun(self, plan, ordinal, record)
+        self._active_run = run
         try:
             completion = yield from run.execute()
         finally:
+            self._active_run = None
             record.end = self.cluster.sim.now
             if record.outcome == "running":
                 record.outcome = "aborted"
@@ -137,6 +140,21 @@ class JobTracker:
                 self._trace_tasks(tracer, record)
         record.outcome = "done"
         return completion
+
+    def notify_declared_loss(self, node_id: int) -> None:
+        """The failure detector declared a loss that *predates* the active
+        run: the node was already down (or had already lost its disk) when
+        the run launched, so no per-run death watcher ever fired — but the
+        plan may still reference its outputs.  Deliver the declaration to
+        the run as a detected failure, now (the detection latency has
+        already elapsed)."""
+        run = self._active_run
+        if run is None or run.finished or run.completion_event.triggered:
+            return
+        if node_id in run.dead_nodes:
+            return  # the run watched this failure itself
+        run.dead_nodes.append(node_id)
+        run.declare_death(node_id)
 
     @staticmethod
     def _trace_tasks(tracer, record: JobRecord) -> None:
@@ -169,7 +187,6 @@ class _JobRun:
 
         spec = self.cluster.spec
         self.shuffle_latency = spec.shuffle_transfer_latency
-        self.detection_timeout = spec.failure_detection_timeout
         self.task_overhead = spec.node.task_overhead
         self.cpu_map = spec.node.cpu_map_bandwidth
         self.cpu_reduce = spec.node.cpu_reduce_bandwidth
@@ -330,6 +347,12 @@ class _JobRun:
         yield self.sim.timeout(self.task_overhead)
         source = self._pick_input_source(task, state.node)
         if source is None:
+            if self._abortive():
+                # every replica died under abort mode: the pending abort
+                # cancels this run and the cascade regenerates the data;
+                # park the task instead of failing the whole chain
+                self._task_stalled(state)
+                return
             raise JobFailed(f"map {task.task_id}: no live replica of input")
         read = self._transfer(state, task.input.size,
                               self.cluster.read_path(source, state.node),
@@ -536,7 +559,15 @@ class _JobRun:
             if input_size > 0:
                 merge = self._transfer(state, input_size, [node.disk],
                                        label=f"r{task.task_id}.merge")
-                yield merge.done
+                try:
+                    yield merge.done
+                except SimulationError:
+                    # own-disk failure under the merge read (disk swap):
+                    # the spilled shuffle data is gone.  Park the attempt —
+                    # the already-scheduled failure handler restarts it
+                    # (hadoop mode) or cancels the run (abort mode).
+                    self._task_stalled(state)
+                    return
             yield self.sim.timeout(input_size / self.cpu_reduce)
 
             # -- output write (retried on replica-target death) -----------
@@ -618,7 +649,21 @@ class _JobRun:
             except SimulationError:
                 if self._abortive() or not self.cluster.nodes[dst].alive:
                     return  # job cancelled / we ourselves died; park quietly
-                mapping = yield self._redo_mapping(src)
+                mapping_event = self._redo_mapping(src)
+                if mapping_event.triggered:
+                    # The mapping resolved before this failure, so its
+                    # info may be stale (the target has since died too).
+                    # Following it costs no sim time, and chains of stale
+                    # mappings can cycle — back off first, Hadoop-fetch-
+                    # retry style, so pending declare timers fire and
+                    # refresh the redo state before we follow it.
+                    yield self.sim.timeout(
+                        self.cluster.spec.failure_detection_timeout / 10)
+                    if self._abortive() \
+                            or not self.cluster.nodes[dst].alive:
+                        return
+                    mapping_event = self._redo_mapping(src)
+                mapping = yield mapping_event
                 remaining = nbytes - chunk * per_chunk
                 subfetch = [self.sim.process(
                     self._fetch(owner, new_src, remaining * frac),
@@ -646,8 +691,9 @@ class _JobRun:
             state.record.outcome = "killed"
 
     def _task_stalled(self, state: _TaskState) -> None:
-        """Abort mode: the task saw an I/O failure; the whole job is about
-        to be cancelled, so just park the task."""
+        """The task saw an I/O failure a pending failure handler will deal
+        with (abort mode cancels the whole run; hadoop mode re-launches the
+        task), so just park the attempt."""
         state.status = "dead"
         self._abort_task_flows(state)
         if state.record is not None and state.record.end is None:
@@ -667,11 +713,13 @@ class _JobRun:
         for node in self.cluster.nodes:
             if node.alive:
                 node.on_death(self._on_node_death)
+                node.on_disk_loss(self._on_disk_loss)
                 self._death_watched.append(node)
 
     def _unwatch_deaths(self) -> None:
         for node in self._death_watched:
             node.remove_death_watcher(self._on_node_death)
+            node.remove_disk_watcher(self._on_disk_loss)
         self._death_watched.clear()
 
     def _on_node_death(self, node: Node) -> None:
@@ -679,10 +727,26 @@ class _JobRun:
         self.sim.process(self._handle_death(node.node_id),
                          name=f"death-handler-{node.node_id}")
 
+    def _on_disk_loss(self, node: Node) -> None:
+        """A node lost its data disk but keeps computing.  The master
+        experiences this like a TaskTracker death — the node's map outputs
+        are gone, its tasks must re-execute — except the node itself stays
+        schedulable.  (Within the detection window, redo maps may still see
+        the node listed among their input replicas: a deliberate
+        approximation of reads racing a disk swap.)"""
+        self.dead_nodes.append(node.node_id)
+        self.sim.process(self._handle_death(node.node_id),
+                         name=f"disk-handler-{node.node_id}")
+
     def _handle_death(self, node_id: int) -> Generator:
-        yield self.sim.timeout(self.detection_timeout)
+        yield self.sim.timeout(
+            self.cluster.detector.declare_delay(self.sim.now))
         if self.finished or self.completion_event.triggered:
             return
+        self.declare_death(node_id)
+
+    def declare_death(self, node_id: int) -> None:
+        """The master declared the failure: abort or recover the run."""
         tracer = self.sim.tracer
         if tracer.enabled:
             tracer.instant("cascade", "failure-detected", tid=node_id,
@@ -716,7 +780,14 @@ class _JobRun:
         if tracer.enabled:
             tracer.instant("cascade", "hadoop-recovery", tid=node_id,
                            job=self.ordinal, node=node_id)
+        if not self.cluster.alive_ids():
+            self._fatal(JobFailed("no alive nodes left to recover on"))
+            return
         self.board.fail_source(node_id)
+        if self.cluster.nodes[node_id].alive:
+            # disk loss, not a death: in-flight fetches just failed over to
+            # the redo path; the node itself may serve redo outputs again
+            self.board.revive_source(node_id)
         # 1. Re-execute every map task that was assigned to the dead node
         #    (completed outputs lived on its local disk and are gone).
         redo_ids: set[int] = set()
@@ -741,6 +812,11 @@ class _JobRun:
                 local = [n for n in task.input.locations
                          if self.cluster.nodes[n].alive]
                 state.node = local[0] if local else alive[i % len(alive)]
+                # the new home may be a node that died earlier and came
+                # back (transient rejoin): make the board serve it again,
+                # else fetches directed here by the redo mapping fail
+                # forever against a permanently-dead source entry
+                self.board.revive_source(state.node)
                 state.status = "pending"
                 state.is_redo = True
                 state.redo_origins.add(node_id)
@@ -783,6 +859,13 @@ class _JobRun:
             nodes = Counter(self.maps[t].node for t in ids)
             total = sum(nodes.values())
             mapping = {n: c / total for n, c in nodes.items()}
+            # every alive mapping target must be fetchable before waiting
+            # reducers are resumed (a target that was a dead source and
+            # rejoined would otherwise bounce fetches back to its own
+            # stale redo mapping, looping forever)
+            for n in mapping:
+                if self.cluster.nodes[n].alive:
+                    self.board.revive_source(n)
             event = self._redo_events.get(origin)
             if event is not None and not event.triggered:
                 event.succeed(mapping)

@@ -66,6 +66,10 @@ class RunMetrics:
 
     jobs: list[JobRecord] = field(default_factory=list)
     failures: list[tuple[float, int]] = field(default_factory=list)
+    #: (time, node, latency) of each non-instant failure detection
+    detections: list[tuple[float, int, float]] = field(default_factory=list)
+    #: (time, node) of each transient-failure rejoin
+    rejoins: list[tuple[float, int]] = field(default_factory=list)
 
     # -- recording -------------------------------------------------------
     def open_job(self, ordinal: int, logical_index: int, name: str,
@@ -76,6 +80,13 @@ class RunMetrics:
 
     def record_failure(self, now: float, node_id: int) -> None:
         self.failures.append((now, node_id))
+
+    def record_detection(self, now: float, node_id: int,
+                         latency: float) -> None:
+        self.detections.append((now, node_id, latency))
+
+    def record_rejoin(self, now: float, node_id: int) -> None:
+        self.rejoins.append((now, node_id))
 
     # -- queries -----------------------------------------------------------
     @property
@@ -136,4 +147,8 @@ class RunMetrics:
             "jobs_completed": len(self.completed_jobs()),
             "recomputations": len(self.jobs_of_kind("recompute")),
             "failures": list(self.failures),
+            "rejoins": len(self.rejoins),
+            "mean_detection_latency": (
+                float(np.mean([d[2] for d in self.detections]))
+                if self.detections else 0.0),
         }

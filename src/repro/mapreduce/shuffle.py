@@ -71,6 +71,21 @@ class ShuffleBoard:
                 ev.defused = True
                 ev.fail(SourceLost(f"map source node {node} died"))
 
+    def revive_source(self, node: int) -> None:
+        """The source is serving again — after a disk loss (the node never
+        stopped computing, only its stored map outputs vanished) or when a
+        rejoined transient node becomes a redo target.  Cached failed
+        readiness events are dropped so re-fetches wait on fresh ones; the
+        progress counter restarts (redo maps are not re-registered, so —
+        like every redo target — the node counts as immediately ready)."""
+        if node not in self._dead_sources:
+            return
+        self._dead_sources.discard(node)
+        for key in [k for k, ev in self._ready.items()
+                    if k[0] == node and ev.triggered and not ev.ok]:
+            del self._ready[key]
+        self._progress[node] = [0, 0]
+
     # -- queries -----------------------------------------------------------
     def ready(self, node: int, chunk: int) -> Event:
         """Event that fires when ``chunk`` of ``node``'s outputs is ready.

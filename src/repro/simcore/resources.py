@@ -79,6 +79,17 @@ class SlotPool:
         ev.defused = True
         ev.fail(SimulationError("slot request cancelled"))
 
+    def reset(self) -> None:
+        """Forget every held slot and pending request.  Used when a killed
+        node rejoins: the processes that held or awaited its slots died
+        with the node, so the pool restarts empty."""
+        self.in_use = 0
+        for ev in self._waiters:
+            if not ev.triggered:
+                ev.defused = True
+                ev.fail(SimulationError(f"slot pool {self.name!r} reset"))
+        self._waiters.clear()
+
 
 class Capacity:
     """A bandwidth-limited resource (a disk, a NIC direction, a core link).
@@ -274,6 +285,14 @@ class FluidNetwork:
             self.abort(flow, SimulationError(
                 f"capacity {cap.name} failed under flow {flow.label}"))
         return victims
+
+    def restore_capacity(self, cap: Capacity) -> None:
+        """Bring a failed capacity back online (transient-failure rejoin,
+        disk replacement).  Flows that crossed it were already aborted by
+        :meth:`fail_capacity`; new flows may use it immediately."""
+        cap._down = False
+        cap.armed_share = 0.0
+        cap.invalidate_share()
 
     # -- internals -------------------------------------------------------
     def _affected(self, links: Iterable[Capacity]) -> set[Flow]:

@@ -20,6 +20,36 @@ def test_parser_run_defaults():
     assert args.strategy == "rcmp"
     assert args.jobs == 7
     assert args.failures is None
+    assert args.faults is None
+    assert args.mtbf is None
+    assert args.fault_seed is None
+    assert args.heartbeat_interval is None
+    assert args.heartbeat_expiry is None
+
+
+def test_parser_rejects_failures_and_faults_together():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--failures", "2",
+                                   "--faults", "kill@job2"])
+
+
+def test_run_command_with_fault_spec(capsys):
+    assert main(["run", "--cluster", "tiny", "--jobs", "2",
+                 "--faults", "transient@job2:down=30", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "ChainResult" in out
+
+
+def test_run_command_with_mtbf_and_heartbeat(capsys):
+    assert main(["run", "--cluster", "tiny", "--jobs", "2",
+                 "--mtbf", "500", "--fault-seed", "7",
+                 "--heartbeat-interval", "3", "--heartbeat-expiry", "9"]) == 0
+    assert "ChainResult" in capsys.readouterr().out
+
+
+def test_run_command_rejects_mtbf_with_legacy_failures():
+    with pytest.raises(SystemExit):
+        main(["run", "--jobs", "2", "--failures", "2", "--mtbf", "100"])
 
 
 def test_parser_rejects_bad_scale():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments import ALL_FIGURES, fig2, fig10, fig11
+from repro.experiments import ALL_FIGURES, fig2, fig10, fig11, survivability
 from repro.experiments.common import (
     check_scale,
     dco_testbed,
@@ -41,7 +41,7 @@ def test_slowdown_factors_normalized_to_fastest():
 def test_all_figures_registry_complete():
     assert sorted(ALL_FIGURES) == ["fig10", "fig11", "fig12", "fig13",
                                    "fig14", "fig2", "fig8", "fig9",
-                                   "ratios"]
+                                   "ratios", "survivability"]
     for module in ALL_FIGURES.values():
         assert hasattr(module, "run")
 
@@ -82,3 +82,25 @@ def test_fig11_speedup_grows_with_nodes_for_split():
     report = fig11.run("ci")
     rows = {c.label: c.measured for c in report.rows}
     assert rows["N=6 RCMP SPLIT"] >= rows["N=4 RCMP SPLIT"] * 0.9
+
+
+def test_survivability_sweep_terminates_every_run():
+    """Every stochastic run ends with completed=True or a failure reason
+    (the sweep itself asserts this per run), and completion probability
+    does not *decrease* when the MTBF grows."""
+    cells = survivability.sweep("ci", seed=1)
+    mtbfs = sorted({mtbf for mtbf, _name in cells})
+    assert len(mtbfs) >= 2
+    for name in {name for _mtbf, name in cells}:
+        fracs = [sum(cells[(m, name)]["completed"])
+                 / len(cells[(m, name)]["completed"]) for m in mtbfs]
+        assert fracs == sorted(fracs), (name, fracs)
+    report = survivability.run("ci", seed=1)
+    assert all(0.0 <= c.measured <= 1.0 for c in report.rows)
+    assert len(report.rows) == len(cells)
+
+
+def test_survivability_runs_are_reproducible():
+    a = survivability.sweep("ci", seed=2)
+    b = survivability.sweep("ci", seed=2)
+    assert a == b

@@ -1,0 +1,306 @@
+"""Tests for the generalized fault model, heartbeat detection, transient
+recovery, and graceful degradation."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import presets
+from repro.cluster.failures import FailurePlan
+from repro.core import strategies
+from repro.core.middleware import run_chain
+from repro.faults import (
+    DEFAULT_DOWNTIME,
+    FaultEvent,
+    FaultModel,
+    HeartbeatDetector,
+)
+from repro.workloads.chain import build_chain
+
+MB = 1 << 20
+
+
+def chain(n_jobs=3):
+    return build_chain(n_jobs=n_jobs, per_node_input=256 * MB,
+                       block_size=64 * MB)
+
+
+# --------------------------------------------------------- legacy FAIL parse
+def test_failure_plan_parse_accepts_whitespace_and_case():
+    for spec in ("FAIL 7, 14", "fail 7,14", "  7 , 14  ", "Fail 7,\t14"):
+        plan = FailurePlan.parse(spec)
+        assert [ev.at_job for ev in plan.events] == [7, 14]
+
+
+def test_failure_plan_parse_rejects_non_positive_ordinals():
+    with pytest.raises(ValueError, match="1-based"):
+        FailurePlan.parse("0")
+    with pytest.raises(ValueError, match="1-based"):
+        FailurePlan.parse("FAIL 2,-3")
+
+
+def test_failure_plan_parse_rejects_garbage_with_clear_message():
+    with pytest.raises(ValueError, match="not a job ordinal"):
+        FailurePlan.parse("FAIL x")
+    with pytest.raises(ValueError, match="expected one or two"):
+        FailurePlan.parse("1,2,3")
+
+
+# ------------------------------------------------------------ FaultModel
+def test_fault_model_parses_legacy_fail_notation():
+    model = FaultModel.parse("FAIL 7, 14")
+    assert [ev.at_job for ev in model.events] == [7, 14]
+    assert all(ev.kind == "fail-stop" for ev in model.events)
+    assert not model.stochastic and not model.has_transient
+
+
+def test_fault_model_parse_event_clauses():
+    model = FaultModel.parse(
+        "kill@job2+5:node=3; transient@t120:down=60,wipe; disk@job3+10; "
+        "rack@t300:rack=1,down=30")
+    kinds = [ev.kind for ev in model.events]
+    assert kinds == ["fail-stop", "transient", "disk-loss", "rack"]
+    kill, transient, disk, rack = model.events
+    assert kill.at_job == 2 and kill.offset == 5.0 and kill.node_id == 3
+    assert transient.at_time == 120.0 and transient.wipe \
+        and transient.downtime == 60.0
+    assert disk.at_job == 3 and disk.offset == 10.0
+    assert rack.rack == 1 and rack.downtime == 30.0 and rack.data_survives
+    assert model.has_transient
+
+
+def test_fault_model_parse_mtbf_clause():
+    model = FaultModel.parse("mtbf=600:transient,kill,down=60,wipe,max=40")
+    assert model.mtbf == 600.0
+    assert model.mtbf_kinds == ("transient", "fail-stop")
+    assert model.mtbf_downtime == 60.0 and model.mtbf_wipe
+    assert model.max_stochastic == 40
+    assert model.stochastic and model.has_transient
+
+
+def test_fault_model_parse_rejects_bad_specs():
+    with pytest.raises(ValueError, match="trigger"):
+        FaultModel.parse("kill:node=2")
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultModel.parse("meteor@job2")
+    with pytest.raises(ValueError, match="one mtbf clause"):
+        FaultModel.parse("mtbf=10; mtbf=20")
+    with pytest.raises(ValueError, match="empty"):
+        FaultModel.parse("   ")
+
+
+def test_fault_event_validation():
+    with pytest.raises(ValueError, match="exactly one"):
+        FaultEvent(at_job=1, at_time=10.0)
+    with pytest.raises(ValueError, match="downtime"):
+        FaultEvent(kind="transient", at_job=1)
+    with pytest.raises(ValueError, match="disk-loss"):
+        FaultEvent(kind="disk-loss", at_job=1, downtime=5.0)
+    ev = FaultEvent(kind="transient", at_job=1, downtime=30.0)
+    assert ev.transient and ev.data_survives
+    assert not dataclasses.replace(ev, wipe=True).data_survives
+
+
+def test_transient_default_downtime_applied_by_parser():
+    model = FaultModel.parse("transient@job2")
+    assert model.events[0].downtime == DEFAULT_DOWNTIME
+
+
+# ------------------------------------------------------ heartbeat detector
+def test_paper_mode_detector_semantics():
+    det = HeartbeatDetector(interval=3.0, expiry=0.0, declare_timeout=30.0)
+    assert det.paper_mode
+    assert det.detection_delay(17.2) == 0.0
+    assert det.declare_delay(17.2) == 30.0
+    assert det.rejoin_delay(17.2) == 0.0
+
+
+def test_heartbeat_detector_detection_latency():
+    det = HeartbeatDetector(interval=3.0, expiry=9.0, declare_timeout=30.0)
+    assert not det.paper_mode
+    # death at t=7: last heartbeat at t=6, silence declared at 6+9=15
+    assert det.detection_delay(7.0) == pytest.approx(8.0)
+    # declare follows detection in heartbeat mode, not the fixed timeout
+    assert det.declare_delay(7.0) == pytest.approx(8.0)
+    # rejoin is noticed at the next heartbeat edge
+    assert det.rejoin_delay(7.0) == pytest.approx(2.0)
+
+
+# ------------------------------------------------- double/nested failures
+@pytest.mark.parametrize("strategy", [strategies.RCMP, strategies.REPL3,
+                                      strategies.OPTIMISTIC],
+                         ids=["rcmp", "repl3", "optimistic"])
+def test_same_job_double_failure(strategy):
+    """FAIL X,X: the second kill lands 15 s after the first within the
+    same started job; every strategy must terminate cleanly."""
+    result = run_chain(presets.tiny(6), strategy, chain=chain(3),
+                       failures="2,2")
+    assert result.completed or result.failure_reason
+    assert len(set(result.killed_nodes)) == 2
+
+
+@pytest.mark.parametrize("strategy", [strategies.RCMP, strategies.REPL3,
+                                      strategies.OPTIMISTIC],
+                         ids=["rcmp", "repl3", "optimistic"])
+def test_failure_during_recovery(strategy):
+    """Fig. 7 case f: the second failure lands while the first is being
+    recovered (for RCMP: during a recomputation run)."""
+    result = run_chain(presets.tiny(6), strategy, chain=chain(3),
+                       failures="3,4")
+    assert result.completed or result.failure_reason
+    assert len(result.metrics.failures) == 2
+
+
+# ------------------------------------------------------ transient recovery
+def test_transient_rejoin_shortens_rcmp_cascade():
+    """A crash-recover node that rejoins with its data intact heals the
+    damage, so RCMP runs measurably less recomputation than under an
+    equivalent fail-stop kill."""
+    failstop = run_chain(presets.tiny(5), strategies.RCMP, chain=chain(5),
+                         failures="kill@job3+10", seed=1)
+    transient = run_chain(presets.tiny(5), strategies.RCMP, chain=chain(5),
+                          failures="transient@job3+10:down=30", seed=1)
+    assert failstop.completed and transient.completed
+    assert len(transient.metrics.rejoins) == 1
+    assert transient.jobs_started < failstop.jobs_started
+
+    def recompute_runs(result):
+        return len([j for j in result.metrics.jobs
+                    if j.kind == "recompute"])
+
+    assert recompute_runs(transient) < recompute_runs(failstop)
+    assert transient.total_runtime < failstop.total_runtime
+
+
+def test_wiped_rejoin_cannot_heal():
+    """A transient node whose disk is wiped during the outage rejoins but
+    brings no data back: the cascade runs as under fail-stop."""
+    wiped = run_chain(presets.tiny(5), strategies.RCMP, chain=chain(5),
+                      failures="transient@job3+10:down=60,wipe", seed=1)
+    failstop = run_chain(presets.tiny(5), strategies.RCMP, chain=chain(5),
+                         failures="kill@job3+10", seed=1)
+    assert wiped.completed
+    assert wiped.jobs_started == failstop.jobs_started
+
+
+def test_disk_loss_keeps_node_computing():
+    """A disk-loss fault loses the node's stored data but not its compute:
+    no node is ever 'killed' and the chain completes."""
+    result = run_chain(presets.tiny(5), strategies.RCMP, chain=chain(4),
+                       failures="disk@job3+10", seed=1)
+    assert result.completed
+    assert result.killed_nodes == []
+    assert [kind for _t, kind, _n in result.fault_log] == ["disk-loss"]
+
+
+def test_disk_loss_under_replication_completes():
+    result = run_chain(presets.tiny(5), strategies.REPL2, chain=chain(4),
+                       failures="disk@job3+10", seed=1)
+    assert result.completed
+
+
+def test_rack_failure_strikes_whole_rack():
+    spec = dataclasses.replace(presets.tiny(6), n_racks=2)
+    result = run_chain(spec, strategies.REPL3, chain=chain(3),
+                       failures="rack@t60:rack=1", seed=2)
+    assert result.completed or result.failure_reason
+    racked = [n for _t, kind, n in result.fault_log if kind == "rack"]
+    assert len(racked) == 3  # every node of the 3-node rack
+
+
+# --------------------------------------------------- stochastic arrivals
+def test_mtbf_runs_terminate_and_are_seeded():
+    model = "mtbf=120:transient,kill,down=30,max=12"
+    strat = strategies.RCMP.with_degradation(
+        max_cascade_depth=6, max_restarts=3, restart_backoff=1.0)
+    results = [run_chain(presets.tiny(5), strat, chain=chain(4),
+                         failures=model, seed=9) for _ in range(2)]
+    for r in results:
+        assert r.completed or r.failure_reason
+    # same seed -> byte-identical fault sequence and runtime
+    assert results[0].fault_log == results[1].fault_log
+    assert results[0].total_runtime == results[1].total_runtime
+
+
+def test_dedicated_fault_seed_decouples_arrivals():
+    m1 = FaultModel(mtbf=200.0, seed=5, max_stochastic=8)
+    m2 = FaultModel(mtbf=200.0, seed=5, max_stochastic=8)
+    r1 = run_chain(presets.tiny(5), strategies.REPL2, chain=chain(3),
+                   failures=m1, seed=1)
+    r2 = run_chain(presets.tiny(5), strategies.REPL2, chain=chain(3),
+                   failures=m2, seed=1)
+    assert r1.fault_log == r2.fault_log
+
+
+# --------------------------------------------------- graceful degradation
+def test_with_degradation_validation():
+    with pytest.raises(ValueError, match="recomputation"):
+        strategies.REPL2.with_degradation(max_cascade_depth=3)
+    s = strategies.RCMP.with_degradation(max_cascade_depth=2,
+                                         max_restarts=3,
+                                         restart_backoff=1.5)
+    assert s.name == "RCMP"
+    assert (s.max_cascade_depth, s.max_restarts, s.restart_backoff) \
+        == (2, 3, 1.5)
+
+
+def test_optimistic_restart_budget_exhausts_cleanly():
+    strat = strategies.OPTIMISTIC.with_degradation(max_restarts=2,
+                                                   restart_backoff=1.0)
+    result = run_chain(presets.tiny(5), strat, chain=chain(4),
+                       failures="mtbf=40:kill,max=20", seed=3)
+    assert not result.completed
+    assert result.failure_reason
+    assert result.restarts >= 1
+
+
+# ----------------------------------------------------- paper byte-identity
+def test_expiry_zero_detector_is_byte_identical_to_paper_mode():
+    """With heartbeat_expiry=0 the detector is omniscient: changing the
+    heartbeat interval must not perturb a planned-failure run at all."""
+    base = presets.tiny(5)
+    tweaked = dataclasses.replace(base, heartbeat_interval=7.0)
+    for failures in ("2", "7,14", [(2, 15.0), (2, 30.0)]):
+        a = run_chain(base, strategies.RCMP, chain=chain(4),
+                      failures=failures, seed=4)
+        b = run_chain(tweaked, strategies.RCMP, chain=chain(4),
+                      failures=failures, seed=4)
+        assert a.total_runtime == b.total_runtime
+        assert a.killed_nodes == b.killed_nodes
+        assert a.metrics.summary() == b.metrics.summary()
+
+
+def test_legacy_plan_and_fault_model_byte_identical():
+    """A FAIL plan routed through the generalized injector reproduces the
+    legacy injector's exact draws: same victims, same timings."""
+    plan = FailurePlan.parse("7,14")
+    model = FaultModel.from_plan(plan)
+    a = run_chain(presets.tiny(5), strategies.RCMP, chain=chain(7),
+                  failures=plan, seed=2)
+    b = run_chain(presets.tiny(5), strategies.RCMP, chain=chain(7),
+                  failures=model, seed=2)
+    assert a.total_runtime == b.total_runtime
+    assert a.killed_nodes == b.killed_nodes
+
+
+# --------------------------------------------------- heartbeat-mode runs
+def test_heartbeat_mode_delays_detection_and_completes():
+    spec = dataclasses.replace(presets.tiny(5), heartbeat_interval=3.0,
+                               heartbeat_expiry=9.0)
+    result = run_chain(spec, strategies.RCMP, chain=chain(5),
+                       failures="FAIL 3", seed=4)
+    assert result.completed
+    assert len(result.metrics.detections) == 1
+    _t, _node, latency = result.metrics.detections[0]
+    assert 0.0 < latency <= 12.0
+    assert result.metrics.summary()["mean_detection_latency"] == \
+        pytest.approx(latency)
+
+
+def test_heartbeat_spec_validation():
+    with pytest.raises(ValueError):
+        dataclasses.replace(presets.tiny(4),
+                            heartbeat_interval=0.0).validate()
+    with pytest.raises(ValueError):
+        dataclasses.replace(presets.tiny(4), heartbeat_interval=5.0,
+                            heartbeat_expiry=2.0).validate()

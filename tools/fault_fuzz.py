@@ -1,0 +1,131 @@
+"""Seeded fault-model fuzzing: randomized fault configurations, fixed seeds.
+
+Used by the CI smoke job.  Each iteration draws a random (but seeded, hence
+reproducible) combination of cluster size, chain length, strategy, heartbeat
+configuration and fault input — legacy ``FAIL`` plans, explicit event specs,
+or stochastic MTBF arrivals — executes the chain **twice**, and asserts:
+
+* no crash: the run returns a ``ChainResult`` (exceptions abort the fuzz);
+* termination: the result is ``completed`` or carries a ``failure_reason``;
+* determinism: both executions produce byte-identical summaries.
+
+Usage::
+
+    PYTHONPATH=src python tools/fault_fuzz.py [--runs N] [--seed S]
+
+``FAULT_FUZZ_RUNS`` / ``FAULT_FUZZ_SEED`` env vars override the defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import random
+import sys
+
+from repro.cluster import presets
+from repro.cluster.spec import MB
+from repro.core import strategies
+from repro.core.middleware import run_chain
+from repro.faults import FaultModel
+from repro.workloads.chain import build_chain
+
+DEGRADE = dict(max_cascade_depth=6, max_restarts=4, restart_backoff=1.0)
+
+STRATEGIES = {
+    "rcmp": lambda: strategies.RCMP.with_degradation(**DEGRADE),
+    "hybrid": lambda: strategies.HYBRID.with_degradation(**DEGRADE),
+    "repl2": lambda: strategies.REPL2,
+    "optimistic": lambda: strategies.OPTIMISTIC.with_degradation(
+        max_restarts=4, restart_backoff=1.0),
+}
+
+
+def _draw_faults(rng: random.Random, n_jobs: int):
+    """One of: legacy plan string, explicit event spec, MTBF model."""
+    roll = rng.random()
+    if roll < 0.25:  # legacy FAIL notation
+        first = rng.randint(1, n_jobs)
+        if rng.random() < 0.5:
+            return str(first)
+        return f"{first},{rng.randint(first, 2 * n_jobs)}"
+    if roll < 0.65:  # explicit event clauses
+        clauses = []
+        for _ in range(rng.randint(1, 2)):
+            kind = rng.choice(["kill", "transient", "disk", "rack"])
+            anchor = (f"job{rng.randint(1, n_jobs)}+{rng.randint(0, 30)}"
+                      if rng.random() < 0.7 else f"t{rng.randint(10, 400)}")
+            opts = []
+            if kind in ("transient", "rack"):
+                opts.append(f"down={rng.randint(10, 90)}")
+                if kind == "transient" and rng.random() < 0.3:
+                    opts.append("wipe")
+            if kind == "rack":
+                opts.append(f"rack={rng.randint(0, 1)}")
+            clauses.append(f"{kind}@{anchor}" + (":" + ",".join(opts)
+                                                 if opts else ""))
+        return FaultModel.parse(";".join(clauses))
+    # stochastic arrivals
+    mtbf = rng.choice([60, 120, 300, 600])
+    mix = rng.choice(["kill", "transient,down=40", "transient,kill,down=45"])
+    return FaultModel.parse(f"mtbf={mtbf}:{mix},max=16")
+
+
+def _summary(result) -> str:
+    return repr((result.completed, result.failure_reason,
+                 round(result.total_runtime, 9), result.jobs_started,
+                 result.restarts, tuple(result.killed_nodes),
+                 tuple(result.fault_log), result.metrics.summary()))
+
+
+def fuzz_one(i: int, master_seed: int) -> None:
+    rng = random.Random(master_seed * 100_000 + i)
+    n_nodes = rng.randint(4, 6)
+    cluster = presets.tiny(n_nodes)
+    if rng.random() < 0.3:
+        cluster = dataclasses.replace(cluster, n_racks=2)
+    if rng.random() < 0.3:  # heartbeat detector instead of the paper's oracle
+        cluster = dataclasses.replace(
+            cluster, heartbeat_interval=float(rng.randint(1, 5)),
+            heartbeat_expiry=float(rng.randint(6, 15)))
+    n_jobs = rng.randint(2, 4)
+    chain = build_chain(n_jobs=n_jobs, per_node_input=256 * MB,
+                        block_size=64 * MB)
+    name = rng.choice(sorted(STRATEGIES))
+    strategy = STRATEGIES[name]()
+    faults = _draw_faults(rng, n_jobs)
+    seed = rng.randint(0, 2**31 - 1)
+
+    summaries = []
+    for _ in range(2):
+        result = run_chain(cluster, strategy, chain=chain,
+                           failures=faults, seed=seed)
+        assert result.completed or result.failure_reason, (
+            f"run {i}: neither completed nor failed cleanly "
+            f"(strategy={name}, faults={faults!r}, seed={seed})")
+        summaries.append(_summary(result))
+    assert summaries[0] == summaries[1], (
+        f"run {i}: non-deterministic summary (strategy={name}, "
+        f"faults={faults!r}, seed={seed})\n"
+        f"  first:  {summaries[0]}\n  second: {summaries[1]}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int,
+                        default=int(os.environ.get("FAULT_FUZZ_RUNS", 300)))
+    parser.add_argument("--seed", type=int,
+                        default=int(os.environ.get("FAULT_FUZZ_SEED", 1)))
+    args = parser.parse_args(argv)
+    for i in range(args.runs):
+        fuzz_one(i, args.seed)
+        if (i + 1) % 50 == 0:
+            print(f"fault-fuzz: {i + 1}/{args.runs} ok", flush=True)
+    print(f"fault-fuzz: {args.runs} randomized runs, all terminated "
+          f"deterministically (seed={args.seed})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
