@@ -7,6 +7,7 @@ Usage::
     rcmp-repro all --scale ci
     rcmp-repro run --cluster stic --strategy rcmp --failures 7
     rcmp-repro run --cluster tiny --failures 2 --trace /tmp/run.json
+    rcmp-repro exec --backend process --nodes 4 --faults "kill@job2+0.1"
     rcmp-repro analyze /tmp/run.json
 """
 
@@ -94,6 +95,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--trace", default=None, metavar="FILE", help=trace_help)
 
+    p = sub.add_parser(
+        "exec",
+        help="run a record-level chain on an execution backend")
+    p.add_argument("--backend", default="process",
+                   choices=("inproc", "process"),
+                   help="inproc = the in-process LocalCluster; process = "
+                        "real worker processes with live SIGKILL injection")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--jobs", type=int, default=3)
+    p.add_argument("--partitions", type=int, default=4)
+    p.add_argument("--records", type=int, default=64,
+                   help="chain input records per node")
+    p.add_argument("--block", type=int, default=16,
+                   help="records per map-input block")
+    p.add_argument("--value-size", type=int, default=16,
+                   help="record value bytes")
+    p.add_argument("--split-ratio", type=int, default=1,
+                   help="k-way reducer splitting during recovery "
+                        "(capped at the surviving-node count)")
+    p.add_argument("--strategy", default="rcmp",
+                   choices=("rcmp", "optimistic"))
+    p.add_argument("--faults", default=None,
+                   help='planned fail-stop kills, e.g. "kill@job1+5" or '
+                        '"kill@job2:node=3; kill@job2+0.5" (the process '
+                        'backend delivers real SIGKILLs at the wall-clock '
+                        'deadline; the inproc backend kills at the job '
+                        'boundary, ignoring +offset)')
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="RNG seed picking unpinned kill victims")
+    p.add_argument("--fault-scale", type=float, default=1.0,
+                   help="multiply fault-plan offsets (shrink simulated-"
+                        "seconds plans onto fast real runs)")
+    p.add_argument("--heartbeat-interval", type=float, default=0.05,
+                   help="worker heartbeat period, wall-clock seconds "
+                        "(process backend)")
+    p.add_argument("--heartbeat-expiry", type=float, default=0.0,
+                   help="heartbeat silence before a node is declared dead "
+                        "(0 = the paper's omniscient detector)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workdir", default=None, metavar="DIR",
+                   help="keep the per-node output directories here "
+                        "(default: a deleted temporary directory)")
+    p.add_argument("--trace", default=None, metavar="FILE", help=trace_help)
+
     p = sub.add_parser("analyze",
                        help="utilization report from a recorded trace")
     p.add_argument("trace", help="trace file written by --trace")
@@ -176,6 +221,151 @@ def _build_fault_input(args):
     return model
 
 
+def _exec_fault_model(args):
+    if not args.faults:
+        return None
+    from repro.faults import FaultModel
+
+    try:
+        return FaultModel.parse(args.faults)
+    except ValueError as exc:
+        raise SystemExit(f"rcmp-repro: {exc}")
+
+
+def _exec_process(args, chain, model, tracer):
+    import tempfile
+    from contextlib import nullcontext
+
+    from repro.runtime import Coordinator, RuntimeConfig
+
+    try:
+        config = RuntimeConfig(n_nodes=args.nodes, chain=chain,
+                               heartbeat_interval=args.heartbeat_interval,
+                               heartbeat_expiry=args.heartbeat_expiry,
+                               strategy=args.strategy)
+        workctx = (nullcontext(args.workdir) if args.workdir
+                   else tempfile.TemporaryDirectory(prefix="rcmp-exec-"))
+        with workctx as workdir:
+            with Coordinator(config, workdir, tracer=tracer,
+                             fault_model=model,
+                             fault_seed=args.fault_seed,
+                             fault_time_scale=args.fault_scale) as coord:
+                return coord.run_chain()
+    except ValueError as exc:
+        raise SystemExit(f"rcmp-repro: {exc}")
+
+
+def _exec_inproc(args, chain, model, tracer):
+    """The in-process backend: LocalCluster + the shared recovery rules.
+
+    Kills land at job boundaries — the backend has no wall clock, so a
+    ``+offset`` in the plan is ignored and time-anchored triggers
+    (``kill@t30``) are rejected."""
+    import random
+    import time
+
+    from repro.localexec import LocalCluster
+    from repro.localexec.recovery import recompute_job
+    from repro.obs import NULL_TRACER
+    from repro.runtime import RunReport, chain_checksum
+    from repro.runtime.recovery import cascade_start
+
+    if args.strategy != "rcmp":
+        raise SystemExit("rcmp-repro: the inproc backend recovers with "
+                         "rcmp only; use --backend process for "
+                         f"--strategy {args.strategy}")
+    by_job = {}
+    if model is not None:
+        if model.stochastic:
+            raise SystemExit("rcmp-repro: the inproc backend executes "
+                             "planned kills only; mtbf arrivals are "
+                             "simulator-only")
+        for ev in model.events:
+            if ev.kind != "fail-stop":
+                raise SystemExit("rcmp-repro: the inproc backend cannot "
+                                 f"inject {ev.kind!r} faults")
+            if ev.at_job is None:
+                raise SystemExit("rcmp-repro: the inproc backend has no "
+                                 "wall clock; anchor kills to jobs "
+                                 "(kill@jobN) or use --backend process")
+            by_job.setdefault(ev.at_job, []).append(ev)
+
+    tracer = tracer if tracer is not None else NULL_TRACER
+    rng = random.Random(args.fault_seed)
+    cluster = LocalCluster(args.nodes, chain)
+    t_chain = time.monotonic()
+    tracer.bind(lambda: time.monotonic() - t_chain, label="inproc-runtime")
+    deaths = []
+    job_times = []
+
+    def timed(job, kind, fn):
+        t0 = time.monotonic()
+        span = tracer.span("job", f"job-{job}", job=job, kind=kind)
+        try:
+            fn()
+        finally:
+            span.end()
+        job_times.append((job, kind, time.monotonic() - t0))
+
+    def recover_damage():
+        nxt = cluster.completed_jobs + 1
+        start = cascade_start(
+            nxt, (j for j, d in cluster.damage.items() if any(d.values())))
+        for j in range(start, nxt):
+            if any(cluster.damage.get(j, {}).values()):
+                timed(j, "recompute", lambda j=j: recompute_job(cluster, j))
+
+    span = tracer.span("chain", f"chain-x{chain.n_jobs}",
+                       nodes=args.nodes, strategy="rcmp")
+    try:
+        for job in range(1, chain.n_jobs + 1):
+            recover_damage()
+            timed(job, "run", lambda: cluster.run_job(job))
+            for ev in by_job.pop(job, ()):
+                victim = ev.node_id
+                if victim is None:
+                    candidates = sorted(cluster.alive)
+                    if len(candidates) <= 1:
+                        continue  # never strand the chain
+                    victim = rng.choice(candidates)
+                if victim in cluster.alive and len(cluster.alive) > 1:
+                    cluster.kill(victim)
+                    deaths.append((time.monotonic() - t_chain, victim))
+                    tracer.instant("cascade", "node-death", node=victim)
+        recover_damage()
+    finally:
+        span.end(deaths=len(deaths))
+    return RunReport(checksum=chain_checksum(cluster.final_output()),
+                     job_times=job_times, deaths=deaths,
+                     n_nodes=args.nodes, strategy="rcmp")
+
+
+def _cmd_exec(args) -> int:
+    from repro.localexec import LocalJobConfig
+
+    try:
+        chain = LocalJobConfig(n_jobs=args.jobs,
+                               n_partitions=args.partitions,
+                               records_per_node=args.records,
+                               records_per_block=args.block,
+                               value_size=args.value_size,
+                               split_ratio=args.split_ratio,
+                               seed=args.seed)
+    except ValueError as exc:
+        raise SystemExit(f"rcmp-repro: {exc}")
+    model = _exec_fault_model(args)
+    with _traced(args.trace) as tracer:
+        if args.backend == "process":
+            report = _exec_process(args, chain, model, tracer)
+        else:
+            report = _exec_inproc(args, chain, model, tracer)
+    print(f"backend={args.backend}  nodes={report.n_nodes}  "
+          f"strategy={report.strategy}")
+    print(report.render())
+    _export_trace(tracer, args.trace)
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -231,6 +421,8 @@ def main(argv=None) -> int:
                   f"duration={job.duration:8.1f}s")
         _export_trace(tracer, args.trace)
         return 0
+    if args.command == "exec":
+        return _cmd_exec(args)
     if args.command == "analyze":
         import json
 

@@ -22,9 +22,10 @@ from repro.localexec.records import (
     reduce_udf,
     split_of,
 )
+from repro.runtime.recovery import STRIDE  # shared hierarchical id scheme
 
-#: Same hierarchical id scheme as the performance layer.
-STRIDE = 1_000_000
+__all__ = ["STRIDE", "LocalCluster", "LocalJobConfig", "MapOutputData",
+           "PieceData"]
 
 
 @dataclass(frozen=True)

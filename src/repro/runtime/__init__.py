@@ -1,0 +1,65 @@
+"""Multi-process execution runtime: RCMP recovery on real worker processes.
+
+The packages :mod:`repro.mapreduce`/:mod:`repro.core` *model* the paper's
+timing; :mod:`repro.localexec` checks its *semantics* in one process; this
+package runs both for real — every simulated node is an OS **process**,
+persistence is real single-replica files, the shuffle moves bytes between
+processes, failures are real ``SIGKILL``s detected over a heartbeat
+channel, and the coordinator runs the RCMP protocol (cancel the in-flight
+job, recompute the cascade from surviving on-disk outputs, re-execute only
+lost work, split lost partitions ``k`` ways with the Fig. 5 guard).
+
+Modules:
+
+* :mod:`repro.runtime.recovery` — the shared pure planner (also used by
+  ``localexec``); importing it pulls no process machinery.
+* :mod:`repro.runtime.storage` — on-disk node layout, record codec,
+  coordinator-side registry with the damage inventory.
+* :mod:`repro.runtime.transport` — pipe framing, heartbeats, TCP shuffle.
+* :mod:`repro.runtime.worker` — the worker process main loop.
+* :mod:`repro.runtime.coordinator` — job DAG, dispatch, failure handling.
+* :mod:`repro.runtime.faults` — fault plan -> live ``SIGKILL`` injection.
+
+The heavier modules are re-exported lazily so that importing
+``repro.runtime`` (e.g. from ``localexec``'s planner dependency) stays
+cheap and cycle-free.
+"""
+
+from repro.runtime.recovery import (
+    JobRecoveryPlan,
+    ReduceSpec,
+    cascade_start,
+    consumer_invalidations,
+    effective_split_ratio,
+    plan_job_recovery,
+)
+
+__all__ = [
+    "Coordinator",
+    "JobRecoveryPlan",
+    "ReduceSpec",
+    "RunReport",
+    "RuntimeConfig",
+    "cascade_start",
+    "chain_checksum",
+    "consumer_invalidations",
+    "effective_split_ratio",
+    "plan_job_recovery",
+]
+
+_LAZY = {
+    "Coordinator": ("repro.runtime.coordinator", "Coordinator"),
+    "RuntimeConfig": ("repro.runtime.coordinator", "RuntimeConfig"),
+    "RunReport": ("repro.runtime.coordinator", "RunReport"),
+    "chain_checksum": ("repro.runtime.storage", "chain_checksum"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(name) from None
+    import importlib
+
+    return getattr(importlib.import_module(module), attr)

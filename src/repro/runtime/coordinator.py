@@ -1,0 +1,651 @@
+"""The coordinator: job DAG, task dispatch, and the live RCMP protocol.
+
+Holds the chain's job-dependency DAG and drives N worker **processes**
+(one per simulated node) through it.  All cluster metadata — who persists
+which map output and reducer piece, what a death destroyed — lives in the
+coordinator's :class:`~repro.runtime.storage.ClusterRegistry`; workers
+are stateless executors over their node directory.
+
+Failure path (the paper's protocol, §IV, run for real):
+
+1. a worker dies (``SIGKILL``, injected by a
+   :class:`~repro.runtime.faults.LiveFaultPlan` or a test hook);
+2. the heartbeat channel goes silent; after the detector's expiry the
+   coordinator declares the node dead (``expiry == 0`` is the paper-mode
+   omniscient detector: process exit is seen immediately);
+3. the in-flight job is cancelled — the dispatch epoch is bumped, so any
+   straggler results from before the death are discarded on arrival;
+4. the registry files the damage inventory and the shared planner
+   (:mod:`repro.runtime.recovery`, also used by ``localexec``) computes
+   the recomputation cascade from surviving on-disk outputs;
+5. damaged jobs are recomputed ascending: only lost mappers re-execute,
+   lost whole partitions are split ``k`` ways over surviving workers
+   (``k`` capped at the surviving-node count), and the Fig. 5 guard drops
+   downstream map outputs derived from split partitions before the next
+   job re-runs.
+
+Recomputed reducer pieces are buffered and committed into the registry
+atomically per job plan, so a second death mid-recovery restarts that
+job's recovery from its original damage inventory instead of seeing a
+half-regenerated partition.
+
+``strategy="optimistic"`` swaps step 5 for whole-job re-execution (the
+OPTIMISTIC baseline: correct, but recomputes everything the cascade
+touches); both strategies must produce byte-identical final output.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.faults.detector import HeartbeatDetector
+from repro.faults.model import FaultModel
+from repro.localexec.engine import LocalJobConfig
+from repro.localexec.records import Record
+from repro.obs import NULL_TRACER, Tracer
+from repro.runtime.faults import LiveFaultPlan
+from repro.runtime.recovery import (
+    cascade_start,
+    consumer_invalidations,
+    plan_job_recovery,
+)
+from repro.runtime.storage import (
+    BlockSpec,
+    ClusterRegistry,
+    MapEntry,
+    NodeStore,
+    PieceEntry,
+    chain_checksum,
+    decode_records,
+)
+from repro.runtime.transport import CHANNEL_DOWN
+from repro.runtime.worker import worker_main
+
+STRATEGIES = ("rcmp", "optimistic")
+
+#: hook callback: ``fn(event, **info)``; events: job-start, maps-done,
+#: reduce-dispatch, job-commit, death, recovery-start, chain-done
+Hooks = Callable[..., None]
+
+
+class NodeDeath(Exception):
+    """Raised by the event pump when a worker is declared dead."""
+
+    def __init__(self, node: int):
+        super().__init__(f"node {node} declared dead")
+        self.node = node
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Process-runtime shape: cluster size, chain config, detection."""
+
+    n_nodes: int = 4
+    chain: LocalJobConfig = LocalJobConfig()
+    #: worker heartbeat period (wall-clock seconds)
+    heartbeat_interval: float = 0.05
+    #: silence before declaring a node dead; 0 = paper-mode omniscient
+    #: detection (process exit is seen immediately)
+    heartbeat_expiry: float = 0.0
+    strategy: str = "rcmp"
+    #: wall-clock seconds without dispatch progress before giving up
+    io_timeout: float = 30.0
+    fig5_guard: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("need at least 1 node")
+        if self.strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {self.strategy!r}; "
+                             f"expected one of {STRATEGIES}")
+        if self.io_timeout <= 0:
+            raise ValueError("io_timeout must be positive")
+        # reuses the simulator's detector semantics (and its validation)
+        self.detector  # noqa: B018 -- construct to validate
+
+    @property
+    def detector(self) -> HeartbeatDetector:
+        return HeartbeatDetector(interval=self.heartbeat_interval,
+                                 expiry=self.heartbeat_expiry)
+
+
+@dataclass
+class _Link:
+    """Coordinator-side handles for one worker process."""
+
+    node: int
+    proc: multiprocessing.Process
+    cmd: Any                      # command pipe (send end)
+    evt: Any                      # event pipe (recv end)
+    pid: int = 0
+    port: int = 0
+    last_seen: float = 0.0
+    closed: bool = False
+
+
+@dataclass
+class RunReport:
+    """What one chain execution did, wall-clock."""
+
+    checksum: str
+    #: (job ordinal, "run" | "rerun" | "recompute", wall seconds)
+    job_times: list[tuple[int, str, float]] = field(default_factory=list)
+    #: (wall time since chain start, node) per declared death
+    deaths: list[tuple[float, int]] = field(default_factory=list)
+    n_nodes: int = 0
+    strategy: str = "rcmp"
+
+    @property
+    def wall_time(self) -> float:
+        return sum(t for _, _, t in self.job_times)
+
+    def render(self) -> str:
+        lines = [f"{'job':>4s}  {'kind':<10s}  {'wall':>9s}"]
+        for job, kind, wall in self.job_times:
+            lines.append(f"{job:>4d}  {kind:<10s}  {wall:>8.3f}s")
+        lines.append(f"deaths: {len(self.deaths)}   "
+                     f"checksum: {self.checksum}")
+        return "\n".join(lines)
+
+
+class Coordinator:
+    """Drives one multi-job chain over real worker processes."""
+
+    def __init__(self, config: RuntimeConfig, workdir: str | Path,
+                 tracer: Optional[Tracer] = None,
+                 hooks: Optional[Hooks] = None,
+                 fault_model: Optional[FaultModel] = None,
+                 fault_seed: int = 0, fault_time_scale: float = 1.0,
+                 map_assignment: Optional[Callable[[int, int, int], int]]
+                 = None):
+        """``map_assignment(job, task_id, storage_node) -> node`` overrides
+        the data-local default, mirroring ``LocalCluster``'s hook (tests
+        use it to construct the Fig. 5 hazard on real processes)."""
+        self.config = config
+        self.workdir = Path(workdir)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.hooks = hooks or (lambda event, **info: None)
+        self.map_assignment = map_assignment or (lambda j, t, node: node)
+        self.faults = (LiveFaultPlan(fault_model, seed=fault_seed,
+                                     time_scale=fault_time_scale)
+                       if fault_model is not None else None)
+        self.registry = ClusterRegistry()
+        self.alive: set[int] = set(range(config.n_nodes))
+        self.completed_jobs = 0
+        self.epoch = 0
+        self.deaths: list[tuple[float, int]] = []
+        self.job_times: list[tuple[int, str, float]] = []
+        self._links: dict[int, _Link] = {}
+        self._inbox: deque[tuple] = deque()
+        self._t0 = 0.0
+        self._started = False
+
+    # ------------------------------------------------------------ lifecycle
+    def __enter__(self) -> "Coordinator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def start(self) -> None:
+        """Fork the workers and wait for every readiness message."""
+        if self._started:
+            raise RuntimeError("already started")
+        self._started = True
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context()
+        self._t0 = time.monotonic()
+        self.tracer.bind(self._now, label="process-runtime")
+        chain = self.config.chain
+        for node in range(self.config.n_nodes):
+            cmd_recv, cmd_send = ctx.Pipe(duplex=False)
+            evt_recv, evt_send = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=worker_main,
+                args=(node, str(self.workdir), cmd_recv, evt_send,
+                      self.config.heartbeat_interval, chain.seed,
+                      chain.records_per_node, chain.value_size),
+                name=f"rcmp-worker-{node}", daemon=True)
+            proc.start()
+            cmd_recv.close()
+            evt_send.close()
+            self._links[node] = _Link(node, proc, cmd_send, evt_recv,
+                                      last_seen=time.monotonic())
+        pending = set(self._links)
+        deadline = time.monotonic() + 30.0
+        while pending:
+            if time.monotonic() > deadline:
+                raise RuntimeError(f"workers never reported ready: "
+                                   f"{sorted(pending)}")
+            msg = self._pump(check_faults=False)
+            if msg and msg[0] == "ready":
+                _, node, port, pid = msg
+                self._links[node].port = port
+                self._links[node].pid = pid
+                pending.discard(node)
+
+    def shutdown(self) -> None:
+        for link in self._links.values():
+            try:
+                link.cmd.send({"op": "stop"})
+            except CHANNEL_DOWN:
+                pass
+        for link in self._links.values():
+            link.proc.join(timeout=2.0)
+            if link.proc.is_alive():
+                link.proc.terminate()
+                link.proc.join(timeout=2.0)
+            if link.proc.is_alive():  # pragma: no cover - last resort
+                link.proc.kill()
+                link.proc.join(timeout=2.0)
+            for conn in (link.cmd, link.evt):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def _now(self) -> float:
+        return time.monotonic() - self._t0
+
+    # ---------------------------------------------------------- chain logic
+    def run_chain(self) -> RunReport:
+        """Execute the chain end to end, recovering from every death."""
+        chain = self.config.chain
+        span = self.tracer.span("chain", f"chain-x{chain.n_jobs}",
+                                nodes=self.config.n_nodes,
+                                strategy=self.config.strategy)
+        if self.faults:
+            self.faults.arm_chain_start(time.monotonic())
+        outcome = "ok"
+        try:
+            while (self.completed_jobs < chain.n_jobs
+                   or self.registry.damaged_jobs()):
+                try:
+                    if self.registry.damaged_jobs():
+                        self._recover()
+                    else:
+                        self._run_job(self.completed_jobs + 1)
+                except NodeDeath as death:
+                    self._on_death(death.node)
+        except BaseException:
+            outcome = "failed"
+            raise
+        finally:
+            span.end(outcome=outcome, deaths=len(self.deaths))
+        self.hooks("chain-done")
+        checksum = self.checksum()
+        return RunReport(checksum=checksum, job_times=list(self.job_times),
+                         deaths=list(self.deaths),
+                         n_nodes=self.config.n_nodes,
+                         strategy=self.config.strategy)
+
+    def _run_job(self, job: int, kind: str = "run") -> None:
+        """Run one job, reusing whatever committed outputs survive."""
+        chain = self.config.chain
+        t_start = time.monotonic()
+        span = self.tracer.span("job", f"job-{job}", job=job, kind=kind)
+        outcome = "cancelled"
+        try:
+            self.hooks("job-start", job=job, kind=kind)
+            if self.faults and kind == "run":
+                self.faults.arm_job_start(job, time.monotonic())
+            blocks = self._blocks_for(job)
+            todo = [b for b in blocks
+                    if (job, b.task_id) not in self.registry.map_outputs]
+            self._run_tasks(self._map_commands(job, todo), phase=f"map-{job}")
+            self.hooks("maps-done", job=job)
+
+            sources = self._sources(job)
+            alive = sorted(self.alive)
+            cmds = {}
+            for partition in range(chain.n_partitions):
+                if self.registry.covered(job, partition):
+                    continue
+                node = alive[partition % len(alive)]
+                cmds[("reduce", job, partition, 0, 1)] = (
+                    node, self._reduce_command(job, partition, 0, 1,
+                                               sources))
+            self._run_tasks(
+                cmds, phase=f"reduce-{job}",
+                after_send=lambda: self.hooks("reduce-dispatch", job=job))
+            outcome = "ok"
+        finally:
+            span.end(outcome=outcome)
+        self.completed_jobs = max(self.completed_jobs, job)
+        self.job_times.append((job, kind, time.monotonic() - t_start))
+        self.hooks("job-commit", job=job, kind=kind)
+
+    # ------------------------------------------------------------- recovery
+    def _recover(self) -> None:
+        next_job = self.completed_jobs + 1
+        damaged = self.registry.damaged_jobs()
+        start = cascade_start(next_job, damaged)
+        jobs = [j for j in range(start, next_job)
+                if any(self.registry.damage.get(j, {}).values())]
+        self.hooks("recovery-start", jobs=jobs)
+        span = self.tracer.span("cascade", "recovery", jobs=jobs,
+                                strategy=self.config.strategy)
+        outcome = "interrupted"
+        try:
+            for job in jobs:
+                if self.config.strategy == "optimistic":
+                    self._rerun_job(job)
+                else:
+                    self._recompute_job(job)
+            outcome = "ok"
+        finally:
+            span.end(outcome=outcome)
+
+    def _rerun_job(self, job: int) -> None:
+        """OPTIMISTIC recovery: re-execute the whole damaged job."""
+        chain = self.config.chain
+        self.tracer.instant("cascade", "rerun-job", job=job)
+        self.registry.drop_job(job)
+        # keep the job filed as damaged until the rerun commits: if a
+        # second death interrupts it, the next recovery pass must still
+        # see this (now fully dropped) job as needing re-execution
+        self.registry.damage[job] = {p: [(0, 1)]
+                                     for p in range(chain.n_partitions)}
+        self._run_job(job, kind="rerun")
+        self.registry.damage[job] = {}
+
+    def _recompute_job(self, job: int) -> None:
+        """RCMP recovery: re-execute exactly what the planner says."""
+        chain = self.config.chain
+        t_start = time.monotonic()
+        blocks = self._blocks_for(job)
+        plan = plan_job_recovery(
+            job, self.registry.damage[job],
+            all_map_tasks=[b.task_id for b in blocks],
+            present_map_tasks=[t for (j, t) in self.registry.map_outputs
+                               if j == job],
+            alive=self.alive,
+            split_ratio=chain.split_ratio)
+        self.tracer.instant("cascade", "recompute-plan", job=job,
+                            maps=len(plan.map_tasks),
+                            reduces=len(plan.reduces),
+                            split_partitions=list(plan.split_partitions))
+        span = self.tracer.span("job", f"job-{job}-recompute", job=job,
+                                kind="recompute")
+        outcome = "cancelled"
+        try:
+            by_task = {b.task_id: b for b in blocks}
+            self._run_tasks(
+                self._map_commands(job, [by_task[t]
+                                         for t in plan.map_tasks]),
+                phase=f"recompute-map-{job}")
+            sources = self._sources(job)
+            cmds = {}
+            for spec in plan.reduces:
+                cmds[("reduce", job, spec.partition, spec.split_index,
+                      spec.n_splits)] = (
+                    spec.node,
+                    self._reduce_command(job, spec.partition,
+                                         spec.split_index, spec.n_splits,
+                                         sources))
+            # Buffer piece commits; merge only when the whole plan lands,
+            # so a mid-recovery death restarts from the same inventory.
+            overlay: list[PieceEntry] = []
+            self._run_tasks(cmds, phase=f"recompute-reduce-{job}",
+                            on_piece=overlay.append)
+            for entry in overlay:
+                self.registry.add_piece(entry)
+            self.registry.damage[job] = {}
+            outcome = "ok"
+        finally:
+            span.end(outcome=outcome)
+        self.job_times.append((job, "recompute",
+                               time.monotonic() - t_start))
+        if self.config.fig5_guard:
+            for partition in plan.split_partitions:
+                self._invalidate_consumers(job, partition)
+
+    def _invalidate_consumers(self, job: int, partition: int) -> None:
+        """The Fig. 5 guard on real storage: drop downstream map outputs
+        derived from a split-regenerated partition."""
+        consumer = job + 1
+        doomed = consumer_invalidations(
+            ((t, m.origin) for (j, t), m in
+             self.registry.map_outputs.items() if j == consumer),
+            job, partition)
+        cmds = {}
+        for task_id in doomed:
+            entry = self.registry.drop_map(consumer, task_id)
+            self.tracer.instant("cascade", "invalidate-map", job=consumer,
+                                task=task_id, node=entry.node,
+                                split_source=[job, partition])
+            if entry.node in self.alive:
+                cmds[("drop", consumer, task_id)] = (
+                    entry.node,
+                    {"op": "drop", "job": consumer, "task": task_id})
+        self._run_tasks(cmds, phase=f"invalidate-{consumer}")
+
+    # ------------------------------------------------------------- dispatch
+    def _map_commands(self, job: int,
+                      blocks: list[BlockSpec]) -> dict:
+        chain = self.config.chain
+        ports = self._ports()
+        cmds = {}
+        for block in blocks:
+            node = self.map_assignment(job, block.task_id, block.node)
+            if node not in self.alive:
+                node = min(self.alive)
+            cmds[("map", job, block.task_id)] = (node, {
+                "op": "map", "job": job, "task": block.task_id,
+                "origin": block.origin, "source": block.source,
+                "n_partitions": chain.n_partitions, "ports": ports,
+            })
+        return cmds
+
+    def _reduce_command(self, job: int, partition: int, split_index: int,
+                        n_splits: int, sources: list) -> dict:
+        return {"op": "reduce", "job": job, "partition": partition,
+                "split": split_index, "n_splits": n_splits,
+                "sources": sources, "ports": self._ports()}
+
+    def _sources(self, job: int) -> list[tuple[int, int]]:
+        return [(t, self.registry.map_outputs[(job, t)].node)
+                for t in self.registry.map_tasks_of(job)]
+
+    def _ports(self) -> dict[int, int]:
+        return {n: self._links[n].port for n in self.alive}
+
+    def _blocks_for(self, job: int) -> list[BlockSpec]:
+        chain = self.config.chain
+        return self.registry.blocks_for(job, self.config.n_nodes,
+                                        chain.records_per_node,
+                                        chain.records_per_block)
+
+    def _send(self, node: int, cmd: dict) -> None:
+        link = self._links[node]
+        try:
+            link.cmd.send(cmd)
+        except CHANNEL_DOWN:
+            link.closed = True  # death will be declared by the pump
+
+    def _run_tasks(self, cmds: dict, phase: str,
+                   after_send: Optional[Callable[[], None]] = None,
+                   on_piece: Optional[Callable[[PieceEntry], None]]
+                   = None) -> None:
+        """Dispatch a batch of commands and pump until all complete.
+
+        Completed map outputs register immediately (they are durable and
+        reusable whatever happens next); reducer pieces go through
+        ``on_piece`` when given (recovery overlays) or register directly.
+        Raises :class:`NodeDeath` as soon as the pump declares one."""
+        outstanding: dict[tuple, tuple[int, dict]] = {}
+        spans: dict[tuple, Any] = {}
+        for key, (node, cmd) in cmds.items():
+            cmd = dict(cmd)
+            cmd["epoch"] = self.epoch
+            self._send(node, cmd)
+            outstanding[key] = (node, cmd)
+            if self.tracer.enabled:
+                spans[key] = self.tracer.span(
+                    "task", f"{phase}:{':'.join(map(str, key))}",
+                    tid=node, phase=phase)
+        if after_send is not None:
+            after_send()
+        attempts: dict[tuple, int] = {}
+        last_progress = time.monotonic()
+        while outstanding:
+            if time.monotonic() - last_progress > self.config.io_timeout:
+                raise RuntimeError(
+                    f"dispatch stalled in {phase}: "
+                    f"{sorted(outstanding)} outstanding")
+            msg = self._pump()
+            if msg is None:
+                continue
+            kind = msg[0]
+            if kind == "map-done":
+                _, node, epoch, job, task, origin, counts, pid = msg
+                key = ("map", job, task)
+                if epoch != self.epoch or key not in outstanding:
+                    continue
+                self.registry.add_map(MapEntry(job, task, node, origin,
+                                               counts))
+            elif kind == "reduce-done":
+                _, node, epoch, job, partition, s, k, n, pid = msg
+                key = ("reduce", job, partition, s, k)
+                if epoch != self.epoch or key not in outstanding:
+                    continue
+                entry = PieceEntry(job, partition, s, k, node, n)
+                if on_piece is not None:
+                    on_piece(entry)
+                else:
+                    self.registry.add_piece(entry)
+            elif kind == "dropped":
+                _, node, epoch, job, task = msg
+                key = ("drop", job, task)
+                pid = self._links[node].pid
+                if epoch != self.epoch or key not in outstanding:
+                    continue
+            elif kind == "task-failed":
+                _, node, epoch, op, key, err = msg
+                if epoch != self.epoch or key not in outstanding:
+                    continue
+                attempts[key] = attempts.get(key, 0) + 1
+                if attempts[key] < 3:
+                    # same command, same node: if the fetch source is
+                    # really dead the pump will declare it shortly
+                    self._send(node, dict(outstanding[key][1]))
+                continue
+            else:
+                continue
+            last_progress = time.monotonic()
+            if key in spans:
+                extra = {"node": node, "pid": pid}
+                if kind == "reduce-done":
+                    extra.update(split=key[3], n_splits=key[4])
+                spans[key].end(**extra)
+            del outstanding[key]
+
+    # ----------------------------------------------------------- event pump
+    def _pump(self, timeout: float = 0.02,
+              check_faults: bool = True) -> Optional[tuple]:
+        """Receive one event; fire due fault kills; declare deaths.
+
+        Returns a non-heartbeat worker message, or None on an idle tick.
+        Pending inbox messages are always delivered before a death is
+        declared, so commits that beat the kill are not lost."""
+        if check_faults and self.faults:
+            for victim in self.faults.due(time.monotonic(), self.alive):
+                self.kill_node(victim)
+        conns = {link.evt: node for node, link in self._links.items()
+                 if node in self.alive and not link.closed}
+        if conns:
+            for conn in connection_wait(list(conns), timeout=timeout):
+                node = conns[conn]
+                try:
+                    msg = conn.recv()
+                except CHANNEL_DOWN:
+                    self._links[node].closed = True
+                    continue
+                self._links[node].last_seen = time.monotonic()
+                if msg[0] != "hb":
+                    self._inbox.append(msg)
+        else:
+            time.sleep(timeout)
+        if not self._inbox:
+            dead = self._expired_nodes()
+            if dead:
+                raise NodeDeath(dead[0])
+        return self._inbox.popleft() if self._inbox else None
+
+    def _expired_nodes(self) -> list[int]:
+        detector = self.config.detector
+        now = time.monotonic()
+        dead = []
+        for node in sorted(self.alive):
+            link = self._links[node]
+            if detector.paper_mode:
+                # omniscient mode: a closed pipe or reaped process is an
+                # immediate declaration (the paper's zero-delay detector)
+                if link.closed or not link.proc.is_alive():
+                    dead.append(node)
+            elif now - link.last_seen > detector.expiry:
+                dead.append(node)
+        return dead
+
+    # -------------------------------------------------------------- failure
+    def kill_node(self, node: int) -> None:
+        """SIGKILL a worker — a real fail-stop.  Detection still flows
+        through the heartbeat channel; callers do not mark it dead."""
+        link = self._links[node]
+        if not link.pid:
+            raise RuntimeError(f"node {node} has not reported ready")
+        try:
+            os.kill(link.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+
+    def _on_death(self, node: int) -> None:
+        self.epoch += 1  # cancel the in-flight job: stale results discarded
+        self.alive.discard(node)
+        link = self._links[node]
+        link.closed = True
+        link.proc.join(timeout=1.0)
+        when = self._now()
+        self.deaths.append((when, node))
+        self.tracer.instant("cascade", "node-death", node=node,
+                            pid=link.pid, completed_jobs=self.completed_jobs)
+        if not self.alive:
+            raise RuntimeError("no surviving workers; chain unrecoverable")
+        self.registry.record_death(node, self.completed_jobs)
+        self.hooks("death", node=node)
+
+    # -------------------------------------------------------------- queries
+    def final_output(self) -> dict[int, list[Record]]:
+        """Partition -> sorted records of the last job's output, read back
+        from the surviving nodes' files (registry-driven, like any DFS
+        read)."""
+        chain = self.config.chain
+        last = self.registry.pieces.get(chain.n_jobs)
+        if last is None or not self.registry.coverage_complete(
+                chain.n_jobs, chain.n_partitions):
+            raise RuntimeError("chain has not completed")
+        out: dict[int, list[Record]] = {}
+        for partition, plist in last.items():
+            records: list[Record] = []
+            for entry in plist:
+                data = NodeStore(self.workdir, entry.node).read_piece(
+                    entry.job, entry.partition, entry.split_index,
+                    entry.n_splits)
+                records.extend(decode_records(data))
+            out[partition] = sorted(records)
+        return out
+
+    def checksum(self) -> str:
+        return chain_checksum(self.final_output())

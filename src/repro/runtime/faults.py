@@ -1,0 +1,95 @@
+"""Fault plan -> live injection: real ``SIGKILL``s on worker processes.
+
+Compiles a :class:`repro.faults.FaultModel` into wall-clock kill
+deadlines the coordinator checks on every event-pump tick.  The paper's
+trigger semantics carry over: ``kill@job2+5`` arms 5 (wall-clock) seconds
+after chain job 2 starts, ``kill@t30`` arms 30 seconds after the chain
+starts.  ``time_scale`` shrinks all offsets uniformly so plans written
+for simulated seconds stay usable on fast real runs.
+
+The process runtime executes fail-stop kills only — a killed process has
+no rejoin path (transient recovery is the simulator's territory, see
+:mod:`repro.faults.injector`); other fault kinds raise up front rather
+than silently degrade.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from repro.faults.model import FaultEvent, FaultModel
+
+
+class LiveFaultPlan:
+    """Wall-clock SIGKILL deadlines compiled from a fault model."""
+
+    def __init__(self, model: FaultModel, seed: int = 0,
+                 time_scale: float = 1.0):
+        if model.stochastic:
+            raise ValueError(
+                "the process runtime executes planned kills only; "
+                "mtbf arrivals are simulator-only")
+        for ev in model.events:
+            if ev.kind != "fail-stop":
+                raise ValueError(
+                    f"the process runtime cannot inject {ev.kind!r} "
+                    "faults; only fail-stop kills map onto SIGKILL")
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.time_scale = float(time_scale)
+        self._rng = random.Random(seed)
+        #: job ordinal -> events waiting for that job to start
+        self._by_job: dict[int, list[FaultEvent]] = {}
+        self._at_start: list[FaultEvent] = []
+        for ev in model.events:
+            if ev.at_job is not None:
+                self._by_job.setdefault(ev.at_job, []).append(ev)
+            else:
+                self._at_start.append(ev)
+        #: armed (deadline, event) pairs, unordered
+        self._armed: list[tuple[float, FaultEvent]] = []
+
+    def arm_chain_start(self, now: float) -> None:
+        for ev in self._at_start:
+            self._armed.append(
+                (now + (ev.at_time or 0.0) * self.time_scale, ev))
+        self._at_start = []
+
+    def arm_job_start(self, job: int, now: float) -> None:
+        """Arm the events triggered by chain job ``job`` starting (the
+        paper's started-job ordinal; recomputation re-runs do not count)."""
+        for ev in self._by_job.pop(job, ()):
+            self._armed.append((now + ev.offset * self.time_scale, ev))
+
+    def due(self, now: float, alive: Iterable[int]) -> list[int]:
+        """Pop every deadline at or before ``now``; returns victim nodes.
+
+        Victims without a pinned ``node_id`` are drawn from the sorted
+        alive set by the plan's own seeded RNG, so a given (plan, seed)
+        always kills the same nodes in the same order."""
+        victims: list[int] = []
+        alive_now = sorted(alive)
+        still_armed = []
+        for deadline, ev in self._armed:
+            if deadline > now:
+                still_armed.append((deadline, ev))
+                continue
+            victim = self._pick(ev, [n for n in alive_now
+                                     if n not in victims])
+            if victim is not None:
+                victims.append(victim)
+        self._armed = still_armed
+        return victims
+
+    def _pick(self, ev: FaultEvent,
+              candidates: list[int]) -> Optional[int]:
+        if ev.node_id is not None:
+            return ev.node_id if ev.node_id in candidates else None
+        if not candidates:
+            return None
+        return self._rng.choice(candidates)
+
+    @property
+    def exhausted(self) -> bool:
+        return not (self._armed or self._by_job or self._at_start)

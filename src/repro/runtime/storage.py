@@ -1,0 +1,318 @@
+"""Node-local persisted outputs and the coordinator's damage inventory.
+
+On-disk layout (``repro.dfs``-compatible: one directory per node, one
+single-replica file per stored object, exactly what a collocated
+compute/storage node loses when it dies)::
+
+    <root>/node03/map/job2/task1000007/part0.bin      one shuffle slice
+    <root>/node03/map/job2/task1000007/meta.json      task id, origin, counts
+    <root>/node03/reduce/job1/part2/s1of3.bin         one stored piece
+
+Records are framed binary — 8-byte big-endian key, 4-byte length, value —
+so a partition's bytes are a pure function of its record multiset and the
+final-output checksum is comparable byte-for-byte across backends
+(:func:`chain_checksum` is the single definition both the in-process and
+the multi-process backend report).
+
+Writes go through a temp file + ``os.replace`` so a ``SIGKILL`` mid-write
+can never surface a torn file as a committed output: the coordinator only
+learns about an output from the worker's commit message, which is sent
+after the rename.
+
+:class:`ClusterRegistry` is the coordinator-side metadata: which node
+persists which map output and which reducer piece — the same shape as
+:class:`repro.localexec.engine.LocalCluster`'s in-memory maps.  On a
+worker death it produces the damage inventory (lost piece signatures per
+partition) the shared recovery planner consumes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.localexec.records import Record
+from repro.runtime.recovery import STRIDE, PieceSignature
+
+_KEY = struct.Struct(">QI")
+
+
+# --------------------------------------------------------------- record codec
+def encode_records(records: Iterable[Record]) -> bytes:
+    """Canonical framed encoding of a record sequence."""
+    parts = []
+    for rec in records:
+        parts.append(_KEY.pack(rec.key, len(rec.value)))
+        parts.append(rec.value)
+    return b"".join(parts)
+
+
+def decode_records(data: bytes) -> list[Record]:
+    out = []
+    offset = 0
+    size = len(data)
+    while offset < size:
+        if size - offset < _KEY.size:
+            raise ValueError("truncated record header")
+        key, length = _KEY.unpack_from(data, offset)
+        offset += _KEY.size
+        if size - offset < length:
+            raise ValueError("truncated record value")
+        out.append(Record(key, data[offset:offset + length]))
+        offset += length
+    return out
+
+
+def chain_checksum(final_output: dict[int, list[Record]]) -> str:
+    """MD5 over the canonical encoding of the chain's final output.
+
+    ``final_output`` maps partition -> records (as returned by
+    ``LocalCluster.final_output`` or ``Coordinator.final_output``); records
+    are sorted per partition before hashing, so the checksum is independent
+    of piece boundaries, split ratios, and execution order."""
+    h = hashlib.md5()
+    for partition in sorted(final_output):
+        records = sorted(final_output[partition])
+        h.update(_KEY.pack(partition, len(records)))
+        h.update(encode_records(records))
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------- node store
+class NodeStore:
+    """One node's single-replica on-disk storage."""
+
+    def __init__(self, root: str | Path, node: int):
+        self.node = node
+        self.dir = Path(root) / f"node{node:03d}"
+
+    # -- paths ----------------------------------------------------------
+    def map_dir(self, job: int, task_id: int) -> Path:
+        return self.dir / "map" / f"job{job}" / f"task{task_id}"
+
+    def map_slice_path(self, job: int, task_id: int, partition: int) -> Path:
+        return self.map_dir(job, task_id) / f"part{partition}.bin"
+
+    def piece_path(self, job: int, partition: int, split_index: int,
+                   n_splits: int) -> Path:
+        return (self.dir / "reduce" / f"job{job}" / f"part{partition}"
+                / f"s{split_index}of{n_splits}.bin")
+
+    # -- writes ---------------------------------------------------------
+    @staticmethod
+    def _write_atomic(path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+
+    def write_map_output(self, job: int, task_id: int,
+                         origin: Optional[tuple[int, int]],
+                         slices: dict[int, list[Record]]) -> dict[int, int]:
+        """Persist one mapper's per-partition shuffle slices; returns the
+        per-partition record counts (the commit message payload)."""
+        counts = {}
+        for partition, records in slices.items():
+            self._write_atomic(self.map_slice_path(job, task_id, partition),
+                               encode_records(records))
+            counts[partition] = len(records)
+        meta = {"task_id": task_id, "origin": origin, "counts": counts}
+        self._write_atomic(self.map_dir(job, task_id) / "meta.json",
+                           json.dumps(meta).encode())
+        return counts
+
+    def write_piece(self, job: int, partition: int, split_index: int,
+                    n_splits: int, records: list[Record]) -> int:
+        self._write_atomic(self.piece_path(job, partition, split_index,
+                                           n_splits),
+                           encode_records(records))
+        return len(records)
+
+    # -- reads ----------------------------------------------------------
+    def read_map_slice(self, job: int, task_id: int, partition: int) -> bytes:
+        """A mapper's slice for one partition (empty when the mapper
+        produced no record for it)."""
+        try:
+            return self.map_slice_path(job, task_id, partition).read_bytes()
+        except FileNotFoundError:
+            return b""
+
+    def read_piece(self, job: int, partition: int, split_index: int,
+                   n_splits: int) -> bytes:
+        return self.piece_path(job, partition, split_index,
+                               n_splits).read_bytes()
+
+    # -- invalidation ---------------------------------------------------
+    def drop_map_output(self, job: int, task_id: int) -> None:
+        """Delete one persisted map output (the Fig. 5 guard)."""
+        directory = self.map_dir(job, task_id)
+        if not directory.is_dir():
+            return
+        for path in directory.iterdir():
+            path.unlink(missing_ok=True)
+        directory.rmdir()
+
+
+# ------------------------------------------------------------------- registry
+@dataclass(frozen=True)
+class MapEntry:
+    """Coordinator-side record of one persisted map output."""
+
+    job: int
+    task_id: int
+    node: int
+    origin: Optional[tuple[int, int]]
+    counts: dict[int, int] = field(hash=False, default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PieceEntry:
+    """Coordinator-side record of one stored reducer piece."""
+
+    job: int
+    partition: int
+    split_index: int
+    n_splits: int
+    node: int
+    n_records: int
+
+    @property
+    def signature(self) -> PieceSignature:
+        return (self.split_index, self.n_splits)
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One map-task input block under the current upstream layout.
+
+    ``source`` locates the bytes: ``("input", node, start, count)`` — a
+    slice of the node's generated chain input — or
+    ``("piece", job, partition, split_index, n_splits, node, start,
+    count)`` — a record range of a stored upstream piece."""
+
+    task_id: int
+    node: int          # where the input bytes are stored (data-locality)
+    source: tuple
+    origin: Optional[tuple[int, int]]
+
+
+class ClusterRegistry:
+    """What every node persists, and what a death destroys.
+
+    The multi-process mirror of :class:`LocalCluster`'s storage maps:
+    ``map_outputs`` and ``pieces`` track committed on-disk outputs by
+    owning node; :meth:`record_death` removes a dead node's entries and
+    files the lost piece signatures as the damage inventory the recovery
+    planner consumes."""
+
+    def __init__(self) -> None:
+        #: (job, task_id) -> MapEntry
+        self.map_outputs: dict[tuple[int, int], MapEntry] = {}
+        #: job -> partition -> list[PieceEntry], sorted like the engine
+        self.pieces: dict[int, dict[int, list[PieceEntry]]] = {}
+        #: job -> partition -> lost piece signatures
+        self.damage: dict[int, dict[int, list[PieceSignature]]] = {}
+
+    # -- commits --------------------------------------------------------
+    def add_map(self, entry: MapEntry) -> None:
+        self.map_outputs[(entry.job, entry.task_id)] = entry
+
+    def add_piece(self, entry: PieceEntry) -> None:
+        bucket = self.pieces.setdefault(entry.job, {}).setdefault(
+            entry.partition, [])
+        bucket[:] = [p for p in bucket if p.signature != entry.signature]
+        bucket.append(entry)
+        bucket.sort(key=lambda p: (p.n_splits, p.split_index))
+
+    def drop_map(self, job: int, task_id: int) -> Optional[MapEntry]:
+        return self.map_outputs.pop((job, task_id), None)
+
+    def drop_job(self, job: int) -> None:
+        """Forget every output of one job (full re-execution recovery)."""
+        for key in [k for k in self.map_outputs if k[0] == job]:
+            del self.map_outputs[key]
+        self.pieces.pop(job, None)
+        self.damage.pop(job, None)
+
+    # -- failure --------------------------------------------------------
+    def record_death(self, node: int, completed_jobs: int) -> None:
+        """Remove the dead node's outputs; file damage for completed jobs.
+
+        Losses in a not-yet-committed job are not *damage* — the job will
+        simply re-run its missing work — so only jobs up to
+        ``completed_jobs`` get signatures filed for the planner."""
+        for key in [k for k, m in self.map_outputs.items()
+                    if m.node == node]:
+            del self.map_outputs[key]
+        for job, partitions in self.pieces.items():
+            for partition, plist in list(partitions.items()):
+                lost = [p for p in plist if p.node == node]
+                if not lost:
+                    continue
+                if job <= completed_jobs:
+                    marks = self.damage.setdefault(job, {}).setdefault(
+                        partition, [])
+                    marks.extend(p.signature for p in lost)
+                partitions[partition] = [p for p in plist
+                                         if p.node != node]
+
+    def damaged_jobs(self) -> list[int]:
+        return sorted(j for j, d in self.damage.items()
+                      if any(d.values()))
+
+    # -- queries --------------------------------------------------------
+    def map_tasks_of(self, job: int) -> list[int]:
+        return sorted(t for (j, t) in self.map_outputs if j == job)
+
+    def covered(self, job: int, partition: int) -> bool:
+        """Whether the stored pieces cover the partition exactly once."""
+        plist = self.pieces.get(job, {}).get(partition, [])
+        return abs(sum(1.0 / p.n_splits for p in plist) - 1.0) <= 1e-9
+
+    def coverage_complete(self, job: int, n_partitions: int) -> bool:
+        return all(self.covered(job, p) for p in range(n_partitions))
+
+    def blocks_for(self, job: int, n_nodes: int, records_per_node: int,
+                   records_per_block: int) -> list[BlockSpec]:
+        """The map-side input blocks of ``job`` under the current layout.
+
+        Must enumerate exactly like ``LocalCluster.input_blocks`` — same
+        task ids, same record ranges, same empty-piece handling — or the
+        two backends' recomputation would diverge."""
+        blocks: list[BlockSpec] = []
+        if job == 1:
+            tid = 0
+            for node in range(n_nodes):
+                for start in range(0, records_per_node, records_per_block):
+                    count = min(records_per_block, records_per_node - start)
+                    blocks.append(BlockSpec(
+                        tid, node, ("input", node, start, count), None))
+                    tid += 1
+            return blocks
+        upstream = self.pieces.get(job - 1)
+        if upstream is None:
+            raise RuntimeError(f"job {job - 1} has not produced output")
+        if any(self.damage.get(job - 1, {}).values()):
+            raise RuntimeError(
+                f"job {job - 1} output is damaged; recompute it first")
+        for partition in sorted(upstream):
+            ordinal = 0
+            for piece in upstream[partition]:
+                for start in range(0, max(piece.n_records, 1),
+                                   records_per_block):
+                    count = min(records_per_block,
+                                max(piece.n_records - start, 0))
+                    blocks.append(BlockSpec(
+                        partition * STRIDE + ordinal, piece.node,
+                        ("piece", piece.job, piece.partition,
+                         piece.split_index, piece.n_splits, piece.node,
+                         start, count),
+                        (job - 1, partition)))
+                    ordinal += 1
+        return blocks

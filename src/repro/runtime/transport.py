@@ -1,0 +1,170 @@
+"""Process-to-process plumbing: control pipes, heartbeats, shuffle sockets.
+
+Three channels connect a worker to the rest of the runtime:
+
+* a **command pipe** (coordinator -> worker): task commands, invalidation
+  drops, stop;
+* an **event pipe** (worker -> coordinator): heartbeats, readiness, task
+  commits and failures.  The worker writes it from two threads (main loop
+  and heartbeat), serialized by :class:`LockedConnection`.  A ``SIGKILL``
+  can only tear *this worker's* pipe — the coordinator reads a broken
+  stream as an end-of-channel signal for that node alone, never a shared
+  corrupted queue;
+* a **shuffle server** (worker <-> worker): a TCP listener on the
+  loopback interface serving the node's persisted files.  Reducers fetch
+  map-output slices from mapper nodes; re-homed mappers fetch upstream
+  piece ranges.  A dead worker's socket refuses connections, which a
+  fetching worker reports as a task failure — the coordinator's heartbeat
+  expiry then declares the death and triggers recovery.
+
+Heartbeats follow :class:`repro.faults.HeartbeatDetector` semantics:
+workers beat every ``interval`` wall-clock seconds and the coordinator
+declares a node dead once ``expiry`` seconds pass without one.
+``expiry == 0`` is *paper mode* — the omniscient detector: the kernel
+closing the dead process's pipe is treated as an immediate declaration.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+import time
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from multiprocessing.connection import Connection
+
+    from repro.runtime.storage import NodeStore
+
+_LEN = struct.Struct(">Q")
+
+#: errors that mean "the other side of this channel is gone"
+CHANNEL_DOWN = (EOFError, OSError, BrokenPipeError, ConnectionError,
+                pickle.UnpicklingError)
+
+
+class FetchError(RuntimeError):
+    """A shuffle fetch could not be served (source likely dead)."""
+
+
+class LockedConnection:
+    """A pipe connection whose sends are serialized across threads."""
+
+    def __init__(self, conn: "Connection"):
+        self._conn = conn
+        self._lock = threading.Lock()
+
+    def send(self, obj) -> None:
+        with self._lock:
+            self._conn.send(obj)
+
+
+def start_heartbeat(conn: LockedConnection, node: int,
+                    interval: float) -> threading.Thread:
+    """Beat ``("hb", node)`` every ``interval`` seconds until the process
+    dies (daemon thread; a SIGKILL stops it with the process)."""
+
+    def beat() -> None:
+        while True:
+            time.sleep(interval)
+            try:
+                conn.send(("hb", node))
+            except CHANNEL_DOWN:  # coordinator gone; nothing left to do
+                return
+
+    thread = threading.Thread(target=beat, name=f"hb-node{node}",
+                              daemon=True)
+    thread.start()
+    return thread
+
+
+# ------------------------------------------------------------- shuffle server
+def _recv_exact(sock: socket.socket, size: int) -> bytes:
+    chunks = []
+    while size:
+        chunk = sock.recv(size)
+        if not chunk:
+            raise ConnectionError("shuffle peer closed mid-message")
+        chunks.append(chunk)
+        size -= len(chunk)
+    return b"".join(chunks)
+
+
+def serve_request(store: "NodeStore", request: dict) -> bytes:
+    """Resolve one shuffle request against the node's local files.
+
+    ``maps`` is the bulk-shuffle request: every requested map task's
+    slice for one partition in a single response (frame concatenation is
+    record-list concatenation, so the reducer decodes it in one go) —
+    one connection per source *node* instead of per map task."""
+    kind = request["kind"]
+    if kind == "maps":
+        return b"".join(
+            store.read_map_slice(request["job"], task, request["partition"])
+            for task in request["tasks"])
+    if kind == "piece":
+        return store.read_piece(request["job"], request["partition"],
+                                request["split"], request["n_splits"])
+    raise ValueError(f"unknown shuffle request kind {kind!r}")
+
+
+def start_shuffle_server(store: "NodeStore",
+                         timeout: float = 10.0) -> tuple[socket.socket, int]:
+    """Bind the node's shuffle listener and serve it from a daemon thread.
+
+    Returns ``(listener, port)``; the port is reported to the coordinator
+    in the worker's readiness message and distributed to fetching peers
+    inside task commands."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(64)
+    port = listener.getsockname()[1]
+
+    def serve_one(conn: socket.socket) -> None:
+        try:
+            with conn:
+                conn.settimeout(timeout)
+                size = _LEN.unpack(_recv_exact(conn, _LEN.size))[0]
+                request = pickle.loads(_recv_exact(conn, size))
+                payload = serve_request(store, request)
+                conn.sendall(_LEN.pack(len(payload)) + payload)
+        except (OSError, ConnectionError, ValueError, pickle.PickleError):
+            pass  # fetcher sees a short read and retries/reports
+
+    def accept_loop() -> None:
+        while True:
+            try:
+                conn, _addr = listener.accept()
+            except OSError:  # listener closed at shutdown
+                return
+            threading.Thread(target=serve_one, args=(conn,),
+                             daemon=True).start()
+
+    threading.Thread(target=accept_loop, name=f"shuffle-node{store.node}",
+                     daemon=True).start()
+    return listener, port
+
+
+def fetch(port: int, request: dict, timeout: float = 5.0,
+          retries: int = 3, backoff: float = 0.05) -> bytes:
+    """Fetch bytes from a peer's shuffle server.
+
+    Retries transient connection errors ``retries`` times, then raises
+    :class:`FetchError` — at which point the peer is almost certainly
+    dead and the coordinator's failure path takes over."""
+    payload = pickle.dumps(request)
+    last: Optional[Exception] = None
+    for attempt in range(retries):
+        try:
+            with socket.create_connection(("127.0.0.1", port),
+                                          timeout=timeout) as sock:
+                sock.sendall(_LEN.pack(len(payload)) + payload)
+                size = _LEN.unpack(_recv_exact(sock, _LEN.size))[0]
+                return _recv_exact(sock, size)
+        except (OSError, ConnectionError) as exc:
+            last = exc
+            time.sleep(backoff * (attempt + 1))
+    raise FetchError(f"shuffle fetch from port {port} failed: {last}")

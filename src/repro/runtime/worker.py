@@ -1,0 +1,175 @@
+"""The worker process: executes tasks against its node-local store.
+
+One worker per simulated node.  The main loop receives commands over the
+command pipe and executes them serially — exactly one task at a time, as
+one node's task slot.  Map and reduce semantics reuse the paper's UDFs
+from :mod:`repro.localexec.records`, so the bytes a worker persists are
+identical to what the in-process backend computes for the same task.
+
+A worker never talks to another worker except through the shuffle: reduce
+tasks fetch map-output slices from the mapper nodes' shuffle servers
+(local slices are read straight from disk), and a re-homed mapper fetches
+its input piece range the same way.  When a fetch fails because the
+source died, the worker reports ``task-failed`` and returns to its loop;
+the coordinator's heartbeat expiry declares the death and re-plans.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.localexec.records import (
+    Record,
+    generate_records,
+    map_udf,
+    partition_of,
+    reduce_udf,
+    split_of,
+)
+from repro.runtime import transport
+from repro.runtime.storage import NodeStore, decode_records
+
+#: multiprocessing.Process target — keep the signature pickle-friendly
+#: so a spawn start method works where fork is unavailable.
+
+
+def worker_main(node: int, root: str, cmd_conn, evt_conn,
+                heartbeat_interval: float, seed: int,
+                records_per_node: int, value_size: int) -> None:
+    store = NodeStore(root, node)
+    evt = transport.LockedConnection(evt_conn)
+    listener, port = transport.start_shuffle_server(store)
+    transport.start_heartbeat(evt, node, heartbeat_interval)
+    evt.send(("ready", node, port, os.getpid()))
+    worker = _Worker(node, store, evt, seed, records_per_node, value_size)
+    try:
+        while True:
+            try:
+                cmd = cmd_conn.recv()
+            except transport.CHANNEL_DOWN:
+                break  # coordinator is gone
+            if cmd["op"] == "stop":
+                break
+            worker.execute(cmd)
+    finally:
+        listener.close()
+
+
+class _Worker:
+    """Task execution against one node's store."""
+
+    def __init__(self, node: int, store: NodeStore,
+                 evt: transport.LockedConnection, seed: int,
+                 records_per_node: int, value_size: int):
+        self.node = node
+        self.store = store
+        self.evt = evt
+        self.seed = seed
+        self.records_per_node = records_per_node
+        self.value_size = value_size
+        self._inputs: dict[int, list[Record]] = {}
+
+    def execute(self, cmd: dict) -> None:
+        op = cmd["op"]
+        try:
+            if op == "map":
+                self._map(cmd)
+            elif op == "reduce":
+                self._reduce(cmd)
+            elif op == "drop":
+                self.store.drop_map_output(cmd["job"], cmd["task"])
+                self.evt.send(("dropped", self.node, cmd["epoch"],
+                               cmd["job"], cmd["task"]))
+            else:
+                raise ValueError(f"unknown op {op!r}")
+        except transport.FetchError as exc:
+            self.evt.send(("task-failed", self.node, cmd["epoch"], op,
+                           _task_key(cmd), str(exc)))
+
+    # -- input ----------------------------------------------------------
+    def _node_input(self, node: int) -> list[Record]:
+        """Any worker can regenerate any node's chain input: the input is
+        a pure function of the seed (the paper's randomly generated
+        binary data), so a re-homed mapper needs no fetch for job 1.
+        Memoized — the node's stored input is generated once, like
+        ``LocalCluster._make_input``."""
+        records = self._inputs.get(node)
+        if records is None:
+            records = self._inputs[node] = generate_records(
+                self.records_per_node, seed=self.seed * 1000 + node,
+                value_size=self.value_size)
+        return records
+
+    def _block_records(self, source: tuple) -> list[Record]:
+        if source[0] == "input":
+            _, node, start, count = source
+            return self._node_input(node)[start:start + count]
+        _, job, partition, split_index, n_splits, node, start, count = source
+        if node == self.node:
+            data = self.store.read_piece(job, partition, split_index,
+                                         n_splits)
+        else:
+            data = transport.fetch(
+                self._port(node),
+                {"kind": "piece", "job": job, "partition": partition,
+                 "split": split_index, "n_splits": n_splits})
+        return decode_records(data)[start:start + count]
+
+    def _port(self, node: int) -> int:
+        return self._ports[node]
+
+    # -- tasks -----------------------------------------------------------
+    def _map(self, cmd: dict) -> None:
+        self._ports = cmd.get("ports", {})
+        job, task_id = cmd["job"], cmd["task"]
+        records = self._block_records(cmd["source"])
+        slices: dict[int, list[Record]] = {}
+        for record in records:
+            out = map_udf(record, job)
+            slices.setdefault(
+                partition_of(out.key, cmd["n_partitions"]), []).append(out)
+        counts = self.store.write_map_output(job, task_id, cmd["origin"],
+                                             slices)
+        self.evt.send(("map-done", self.node, cmd["epoch"], job, task_id,
+                       cmd["origin"], counts, os.getpid()))
+
+    def _reduce(self, cmd: dict) -> None:
+        self._ports = cmd.get("ports", {})
+        job, partition = cmd["job"], cmd["partition"]
+        split_index, n_splits = cmd["split"], cmd["n_splits"]
+        by_node: dict[int, list[int]] = {}
+        for task_id, node in cmd["sources"]:
+            by_node.setdefault(node, []).append(task_id)
+        groups: dict[int, list[bytes]] = {}
+        for node, tasks in by_node.items():
+            if node == self.node:
+                data = b"".join(
+                    self.store.read_map_slice(job, task_id, partition)
+                    for task_id in tasks)
+            else:
+                data = transport.fetch(
+                    self._port(node),
+                    {"kind": "maps", "job": job, "tasks": tasks,
+                     "partition": partition})
+            for record in decode_records(data):
+                if n_splits > 1 and \
+                        split_of(record.key, n_splits) != split_index:
+                    continue
+                groups.setdefault(record.key, []).append(record.value)
+        records = [reduce_udf(key, values)
+                   for key, values in sorted(groups.items())]
+        n_records = self.store.write_piece(job, partition, split_index,
+                                           n_splits, records)
+        self.evt.send(("reduce-done", self.node, cmd["epoch"], job,
+                       partition, split_index, n_splits, n_records,
+                       os.getpid()))
+
+
+def _task_key(cmd: dict) -> Optional[tuple]:
+    if cmd["op"] == "map":
+        return ("map", cmd["job"], cmd["task"])
+    if cmd["op"] == "reduce":
+        return ("reduce", cmd["job"], cmd["partition"], cmd["split"],
+                cmd["n_splits"])
+    return None

@@ -130,6 +130,59 @@ def test_figure_command_accepts_trace(tmp_path, capsys):
     assert len(pids) > 1
 
 
+def test_parser_exec_defaults():
+    args = build_parser().parse_args(["exec"])
+    assert args.backend == "process"
+    assert args.nodes == 4 and args.jobs == 3 and args.partitions == 4
+    assert args.split_ratio == 1 and args.strategy == "rcmp"
+    assert args.faults is None and args.workdir is None
+
+
+def test_parser_exec_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["exec", "--backend", "threads"])
+
+
+def test_exec_inproc_recovers_and_prints_checksum(capsys):
+    assert main(["exec", "--backend", "inproc", "--nodes", "4",
+                 "--jobs", "3", "--records", "32", "--block", "8",
+                 "--split-ratio", "2", "--faults", "kill@job2"]) == 0
+    out = capsys.readouterr().out
+    assert "backend=inproc" in out
+    assert "recompute" in out
+    assert "deaths: 1" in out and "checksum:" in out
+
+
+def test_exec_inproc_rejects_time_anchored_faults():
+    with pytest.raises(SystemExit):
+        main(["exec", "--backend", "inproc", "--faults", "kill@t30"])
+    with pytest.raises(SystemExit):
+        main(["exec", "--backend", "inproc", "--strategy", "optimistic"])
+    with pytest.raises(SystemExit):
+        main(["exec", "--backend", "inproc", "--faults", "mtbf=600:kill"])
+
+
+def test_exec_backends_agree_byte_for_byte(tmp_path, capsys):
+    """The CLI-level differential: both backends print the same checksum
+    for the same chain, and the process trace feeds `analyze`."""
+    import re
+
+    path = str(tmp_path / "exec.json")
+    common = ["--nodes", "2", "--jobs", "2", "--partitions", "2",
+              "--records", "16", "--block", "8"]
+    assert main(["exec", "--backend", "inproc"] + common) == 0
+    inproc_out = capsys.readouterr().out
+    assert main(["exec", "--backend", "process", "--trace", path]
+                + common) == 0
+    process_out = capsys.readouterr().out
+
+    def checksum(text):
+        return re.search(r"checksum: (\w+)", text).group(1)
+
+    assert checksum(inproc_out) == checksum(process_out)
+    assert main(["analyze", path]) == 0  # runtime traces are analyzable
+
+
 def test_untraced_run_leaves_no_ambient_tracer():
     from repro.obs import NULL_TRACER, get_ambient_tracer
 

@@ -1,0 +1,136 @@
+"""Unit tests for the shared RCMP recovery planner and live fault plans.
+
+The planner (:mod:`repro.runtime.recovery`) is consumed by both execution
+backends; these tests pin its rules on plain data, independent of any
+engine.
+"""
+
+import pytest
+
+from repro.faults import FaultModel
+from repro.runtime.faults import LiveFaultPlan
+from repro.runtime.recovery import (
+    STRIDE,
+    cascade_start,
+    consumer_invalidations,
+    effective_split_ratio,
+    plan_job_recovery,
+)
+
+
+# ------------------------------------------------------------------ planner
+def test_effective_split_ratio_caps_at_survivors():
+    assert effective_split_ratio(3, 8) == 3
+    assert effective_split_ratio(3, 2) == 2
+    assert effective_split_ratio(1, 4) == 1
+    assert effective_split_ratio(0, 4) == 1  # never below one piece
+    with pytest.raises(ValueError):
+        effective_split_ratio(2, 0)
+
+
+def test_plan_requires_damage():
+    with pytest.raises(ValueError):
+        plan_job_recovery(1, {0: []}, all_map_tasks=[0, 1],
+                          present_map_tasks=[0], alive=[0, 1],
+                          split_ratio=1)
+
+
+def test_plan_reexecutes_only_missing_mappers():
+    plan = plan_job_recovery(
+        1, {2: [(0, 1)]}, all_map_tasks=[0, 1, 2, 3],
+        present_map_tasks=[0, 2], alive=[0, 1, 2], split_ratio=1)
+    assert plan.map_tasks == (1, 3)
+    assert [(r.partition, r.split_index, r.n_splits)
+            for r in plan.reduces] == [(2, 0, 1)]
+    assert not plan.split_applied
+
+
+def test_plan_splits_whole_partition_loss():
+    plan = plan_job_recovery(
+        2, {1: [(0, 1)]}, all_map_tasks=[], present_map_tasks=[],
+        alive=[0, 2, 3], split_ratio=3)
+    assert plan.split_partitions == (1,)
+    assert plan.split_applied
+    assert [(r.split_index, r.n_splits) for r in plan.reduces] == \
+        [(0, 3), (1, 3), (2, 3)]
+    # round-robin over the sorted alive set (paper §IV-B1 load spreading)
+    assert [r.node for r in plan.reduces] == [0, 2, 3]
+
+
+def test_plan_split_capped_at_surviving_nodes():
+    plan = plan_job_recovery(
+        2, {0: [(0, 1)]}, all_map_tasks=[], present_map_tasks=[],
+        alive=[1, 3], split_ratio=4)
+    assert [(r.split_index, r.n_splits) for r in plan.reduces] == \
+        [(0, 2), (1, 2)]
+
+
+def test_plan_partial_piece_loss_is_not_resplit():
+    # one split of an already-split partition lost: regenerate exactly it
+    plan = plan_job_recovery(
+        3, {2: [(1, 2)]}, all_map_tasks=[], present_map_tasks=[],
+        alive=[0, 1, 2, 3], split_ratio=4)
+    assert [(r.partition, r.split_index, r.n_splits)
+            for r in plan.reduces] == [(2, 1, 2)]
+    assert not plan.split_applied
+
+
+def test_cascade_walks_contiguous_damage_only():
+    assert cascade_start(4, []) == 4
+    assert cascade_start(4, [3]) == 3
+    assert cascade_start(4, [2, 3]) == 2
+    # job 1 damaged but job 2 intact: the cascade does not reach job 1
+    assert cascade_start(4, [1, 3]) == 3
+    assert cascade_start(1, []) == 1
+
+
+def test_consumer_invalidations_by_origin_and_id_range():
+    entries = [
+        (2 * STRIDE + 0, (1, 2)),       # in partition 2's id range
+        (2 * STRIDE + 5, None),         # id range, unknown origin
+        (3 * STRIDE + 1, (1, 3)),       # other partition
+        (7, (1, 2)),                    # origin match outside the range
+        (8, (1, 0)),                    # untouched
+    ]
+    doomed = consumer_invalidations(entries, job=1, partition=2)
+    assert sorted(doomed) == [7, 2 * STRIDE + 0, 2 * STRIDE + 5]
+
+
+# ------------------------------------------------------------- live faults
+def test_live_plan_rejects_non_fail_stop():
+    with pytest.raises(ValueError):
+        LiveFaultPlan(FaultModel.parse("transient@job2:down=30"))
+    with pytest.raises(ValueError):
+        LiveFaultPlan(FaultModel.parse("mtbf=600:kill"))
+    with pytest.raises(ValueError):
+        LiveFaultPlan(FaultModel.parse("kill@job2"), time_scale=0)
+
+
+def test_live_plan_job_anchored_deadline():
+    plan = LiveFaultPlan(FaultModel.parse("kill@job2+4:node=3"),
+                         time_scale=0.5)
+    plan.arm_chain_start(100.0)
+    assert plan.due(109.0, alive=[0, 1, 2, 3]) == []
+    plan.arm_job_start(2, 110.0)
+    assert plan.due(111.9, alive=[0, 1, 2, 3]) == []   # 4 * 0.5 = 2s
+    assert plan.due(112.0, alive=[0, 1, 2, 3]) == [3]
+    assert plan.exhausted
+
+
+def test_live_plan_pinned_victim_must_be_alive():
+    plan = LiveFaultPlan(FaultModel.parse("kill@t1:node=2"))
+    plan.arm_chain_start(0.0)
+    assert plan.due(2.0, alive=[0, 1]) == []  # node 2 already dead
+    assert plan.exhausted
+
+
+def test_live_plan_seeded_victim_is_deterministic():
+    def victims(seed):
+        plan = LiveFaultPlan(FaultModel.parse("kill@t0; kill@t0"),
+                             seed=seed)
+        plan.arm_chain_start(0.0)
+        return plan.due(1.0, alive=[0, 1, 2, 3])
+
+    first = victims(7)
+    assert first == victims(7)
+    assert len(set(first)) == 2  # one deadline never picks a dead victim
