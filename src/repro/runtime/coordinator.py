@@ -108,6 +108,12 @@ class RuntimeConfig:
                              f"expected one of {STRATEGIES}")
         if self.io_timeout <= 0:
             raise ValueError("io_timeout must be positive")
+        if self.io_timeout <= 2 * self.heartbeat_expiry:
+            raise ValueError(
+                f"io_timeout ({self.io_timeout}s) must comfortably "
+                f"exceed heartbeat_expiry ({self.heartbeat_expiry}s): "
+                "a mid-shuffle death must be declared well before "
+                "dispatch is judged stalled")
         # reuses the simulator's detector semantics (and its validation)
         self.detector  # noqa: B018 -- construct to validate
 
@@ -209,32 +215,43 @@ class Coordinator:
         self._t0 = time.monotonic()
         self.tracer.bind(self._now, label="process-runtime")
         chain = self.config.chain
-        for node in range(self.config.n_nodes):
-            cmd_recv, cmd_send = ctx.Pipe(duplex=False)
-            evt_recv, evt_send = ctx.Pipe(duplex=False)
-            proc = ctx.Process(
-                target=worker_main,
-                args=(node, str(self.workdir), cmd_recv, evt_send,
-                      self.config.heartbeat_interval, chain.seed,
-                      chain.records_per_node, chain.value_size),
-                name=f"rcmp-worker-{node}", daemon=True)
-            proc.start()
-            cmd_recv.close()
-            evt_send.close()
-            self._links[node] = _Link(node, proc, cmd_send, evt_recv,
-                                      last_seen=time.monotonic())
-        pending = set(self._links)
-        deadline = time.monotonic() + 30.0
-        while pending:
-            if time.monotonic() > deadline:
-                raise RuntimeError(f"workers never reported ready: "
-                                   f"{sorted(pending)}")
-            msg = self._pump(check_faults=False)
-            if msg and msg[0] == "ready":
-                _, node, port, pid = msg
-                self._links[node].port = port
-                self._links[node].pid = pid
-                pending.discard(node)
+        try:
+            for node in range(self.config.n_nodes):
+                cmd_recv, cmd_send = ctx.Pipe(duplex=False)
+                evt_recv, evt_send = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(node, str(self.workdir), cmd_recv, evt_send,
+                          self.config.heartbeat_interval, chain.seed,
+                          chain.records_per_node, chain.value_size),
+                    name=f"rcmp-worker-{node}", daemon=True)
+                proc.start()
+                cmd_recv.close()
+                evt_send.close()
+                self._links[node] = _Link(node, proc, cmd_send, evt_recv,
+                                          last_seen=time.monotonic())
+            pending = set(self._links)
+            deadline = time.monotonic() + 30.0
+            while pending:
+                if time.monotonic() > deadline:
+                    raise RuntimeError(f"workers never reported ready: "
+                                       f"{sorted(pending)}")
+                try:
+                    msg = self._pump(check_faults=False)
+                except NodeDeath as death:
+                    raise RuntimeError(f"worker {death.node} died during "
+                                       f"startup") from death
+                if msg and msg[0] == "ready":
+                    _, node, port, pid = msg
+                    self._links[node].port = port
+                    self._links[node].pid = pid
+                    pending.discard(node)
+        except BaseException:
+            # __enter__ has not returned yet, so the context manager will
+            # never call shutdown(); reap the live workers here or they
+            # leak until interpreter exit
+            self.shutdown()
+            raise
 
     def shutdown(self) -> None:
         for link in self._links.values():
@@ -271,9 +288,9 @@ class Coordinator:
         outcome = "ok"
         try:
             while (self.completed_jobs < chain.n_jobs
-                   or self.registry.damaged_jobs()):
+                   or self._cascade_jobs()):
                 try:
-                    if self.registry.damaged_jobs():
+                    if self._cascade_jobs():
                         self._recover()
                     else:
                         self._run_job(self.completed_jobs + 1)
@@ -328,12 +345,21 @@ class Coordinator:
         self.hooks("job-commit", job=job, kind=kind)
 
     # ------------------------------------------------------------- recovery
+    def _cascade_jobs(self) -> list[int]:
+        """Damaged jobs the live cascade must recompute, ascending.
+
+        Damage filed for a job upstream of an intact one is outside the
+        cascade (paper §IV-A: its output is not needed while its
+        consumer survives).  It stays filed — a later death can damage
+        the jobs in between and re-join it to a contiguous run — but it
+        must not drive the run loop or a recovery pass, or the chain
+        would spin recovering nothing."""
+        start = cascade_start(self.completed_jobs + 1,
+                              self.registry.damaged_jobs())
+        return [j for j in self.registry.damaged_jobs() if j >= start]
+
     def _recover(self) -> None:
-        next_job = self.completed_jobs + 1
-        damaged = self.registry.damaged_jobs()
-        start = cascade_start(next_job, damaged)
-        jobs = [j for j in range(start, next_job)
-                if any(self.registry.damage.get(j, {}).values())]
+        jobs = self._cascade_jobs()
         self.hooks("recovery-start", jobs=jobs)
         span = self.tracer.span("cascade", "recovery", jobs=jobs,
                                 strategy=self.config.strategy)
@@ -499,12 +525,19 @@ class Coordinator:
         if after_send is not None:
             after_send()
         attempts: dict[tuple, int] = {}
+        retry_at: dict[tuple, float] = {}
         last_progress = time.monotonic()
         while outstanding:
-            if time.monotonic() - last_progress > self.config.io_timeout:
+            now = time.monotonic()
+            if now - last_progress > self.config.io_timeout:
                 raise RuntimeError(
                     f"dispatch stalled in {phase}: "
                     f"{sorted(outstanding)} outstanding")
+            for key in [k for k, t in retry_at.items() if t <= now]:
+                del retry_at[key]
+                if key in outstanding:
+                    self._send(outstanding[key][0],
+                               dict(outstanding[key][1]))
             msg = self._pump()
             if msg is None:
                 continue
@@ -536,12 +569,20 @@ class Coordinator:
                 _, node, epoch, op, key, err = msg
                 if epoch != self.epoch or key not in outstanding:
                     continue
+                # re-dispatch with backoff until the fetch source's death
+                # is declared by the pump or io_timeout judges the phase
+                # stalled — never abandon a task while both are pending
                 attempts[key] = attempts.get(key, 0) + 1
-                if attempts[key] < 3:
-                    # same command, same node: if the fetch source is
-                    # really dead the pump will declare it shortly
-                    self._send(node, dict(outstanding[key][1]))
+                retry_at[key] = time.monotonic() + min(
+                    0.05 * attempts[key], 0.5)
                 continue
+            elif kind == "task-error":
+                _, node, epoch, op, key, tb = msg
+                if epoch != self.epoch:
+                    continue  # cancelled work; its error is moot
+                raise RuntimeError(
+                    f"worker {node} hit a software error in {op} task "
+                    f"{key}:\n{tb}")
             else:
                 continue
             last_progress = time.monotonic()

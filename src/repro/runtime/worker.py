@@ -17,6 +17,7 @@ the coordinator's heartbeat expiry declares the death and re-plans.
 from __future__ import annotations
 
 import os
+import traceback
 from typing import Optional
 
 from repro.localexec.records import (
@@ -71,7 +72,7 @@ class _Worker:
         self._inputs: dict[int, list[Record]] = {}
 
     def execute(self, cmd: dict) -> None:
-        op = cmd["op"]
+        op = cmd.get("op")
         try:
             if op == "map":
                 self._map(cmd)
@@ -86,6 +87,13 @@ class _Worker:
         except transport.FetchError as exc:
             self.evt.send(("task-failed", self.node, cmd["epoch"], op,
                            _task_key(cmd), str(exc)))
+        except Exception:
+            # a software bug, not a fetch casualty: stay alive and hand
+            # the coordinator the traceback, so a deterministic error
+            # surfaces as a diagnostic instead of reading as a node
+            # death and cascading through recovery
+            self.evt.send(("task-error", self.node, cmd.get("epoch", -1),
+                           op, _task_key(cmd), traceback.format_exc()))
 
     # -- input ----------------------------------------------------------
     def _node_input(self, node: int) -> list[Record]:
@@ -167,9 +175,10 @@ class _Worker:
 
 
 def _task_key(cmd: dict) -> Optional[tuple]:
-    if cmd["op"] == "map":
-        return ("map", cmd["job"], cmd["task"])
-    if cmd["op"] == "reduce":
-        return ("reduce", cmd["job"], cmd["partition"], cmd["split"],
-                cmd["n_splits"])
+    op = cmd.get("op")
+    if op == "map":
+        return ("map", cmd.get("job"), cmd.get("task"))
+    if op == "reduce":
+        return ("reduce", cmd.get("job"), cmd.get("partition"),
+                cmd.get("split"), cmd.get("n_splits"))
     return None

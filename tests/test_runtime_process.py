@@ -136,6 +136,33 @@ def test_registry_files_damage_for_committed_jobs_only():
     assert reg.damage[1][0] == [(0, 1)]
 
 
+def test_config_rejects_expiry_crowding_io_timeout():
+    """A heartbeat_expiry at or above io_timeout would turn every
+    mid-shuffle death into a 'dispatch stalled' error instead of a
+    recovery; the config must refuse the combination up front."""
+    RuntimeConfig(heartbeat_expiry=0.4, io_timeout=30.0)  # fine
+    with pytest.raises(ValueError, match="heartbeat_expiry"):
+        RuntimeConfig(heartbeat_expiry=35.0, io_timeout=30.0)
+    with pytest.raises(ValueError, match="heartbeat_expiry"):
+        RuntimeConfig(heartbeat_expiry=20.0, io_timeout=30.0)
+
+
+def test_cascade_jobs_skips_stale_upstream_damage(tmp_path):
+    """Damage filed for a job upstream of an intact one is outside the
+    cascade: it must not drive the run loop (regression — run_chain spun
+    forever recovering nothing when damaged_jobs() held only such jobs)."""
+    coord = Coordinator(RuntimeConfig(n_nodes=4, chain=CHAIN),
+                        tmp_path / "cluster")
+    coord.completed_jobs = 4
+    coord.registry.damage = {1: {0: [(0, 1)]}, 2: {1: [(0, 2)]}}
+    assert coord.registry.damaged_jobs() == [1, 2]
+    assert coord._cascade_jobs() == []  # jobs 3-4 intact: nothing to do
+    # a later death re-joining the run makes them cascade-relevant again
+    coord.registry.damage[3] = {0: [(0, 1)]}
+    coord.registry.damage[4] = {2: [(0, 1)]}
+    assert coord._cascade_jobs() == [1, 2, 3, 4]
+
+
 def test_registry_coverage_tracks_split_pieces():
     reg = ClusterRegistry()
     reg.add_piece(PieceEntry(1, 0, 0, 2, node=0, n_records=3))
@@ -180,6 +207,66 @@ def test_kill_between_commit_and_next_job_recovers(tmp_path):
     assert split_spans, "split_ratio=2 must split a whole-partition loss"
     assert len({e["args"]["pid"] for e in split_spans}) >= 2
     assert instants(tracer, "node-death")
+
+
+def test_stale_upstream_damage_does_not_hang(tmp_path):
+    """End-to-end regression for the recover-nothing spin: leftovers of
+    an earlier death (a lost job-1 piece whose consumer job is intact)
+    must not wedge run_chain once the cascade no longer needs them."""
+    class FileStaleDamage:
+        coord = None
+
+        def __call__(self, event, **info):
+            if event == "job-commit" and info.get("job") == 2:
+                reg = self.coord.registry
+                lost = reg.pieces[1][0].pop(0)
+                reg.damage.setdefault(1, {}).setdefault(0, []).append(
+                    lost.signature)
+
+    hooks = FileStaleDamage()
+    report = run_process_chain(tmp_path, hooks=hooks)
+    assert report.checksum == reference_checksum(CHAIN)
+    assert [(j, k) for j, k, _ in report.job_times] == \
+        [(1, "run"), (2, "run"), (3, "run")]
+
+
+def test_worker_software_error_surfaces_with_traceback(tmp_path,
+                                                       monkeypatch):
+    """A deterministic bug inside a task must surface as a coordinator
+    error carrying the worker's traceback — not masquerade as a node
+    death and cascade through recovery killing node after node."""
+    def buggy_udf(record, job):
+        raise ValueError("deterministic UDF bug")
+
+    # fork start method: the patched module state is inherited by workers
+    monkeypatch.setattr("repro.runtime.worker.map_udf", buggy_udf)
+    with pytest.raises(RuntimeError,
+                       match="deterministic UDF bug") as excinfo:
+        run_process_chain(tmp_path)
+    assert "software error" in str(excinfo.value)
+
+
+def test_startup_death_cleans_up_workers(tmp_path, monkeypatch):
+    """A worker dying before readiness fails start() — which must reap
+    the surviving workers rather than leak them until interpreter exit."""
+    import multiprocessing
+
+    import repro.runtime.coordinator as coord_mod
+
+    real_main = coord_mod.worker_main
+
+    def flaky_main(node, *args, **kwargs):
+        if node == 2:
+            os._exit(1)
+        real_main(node, *args, **kwargs)
+
+    monkeypatch.setattr(coord_mod, "worker_main", flaky_main)
+    before = len(multiprocessing.active_children())
+    coord = Coordinator(RuntimeConfig(n_nodes=4, chain=CHAIN),
+                        tmp_path / "cluster")
+    with pytest.raises(RuntimeError, match="died during startup"):
+        coord.start()
+    assert len(multiprocessing.active_children()) == before
 
 
 # --------------------------------------------------- crash-timing matrix
