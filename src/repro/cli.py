@@ -39,6 +39,17 @@ CLUSTERS = {
 }
 
 
+def _split_ratio(text: str):
+    """argparse type for --split-ratio: an int, or "auto" (-> None)."""
+    if text.lower() == "auto":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rcmp-repro",
@@ -111,11 +122,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="records per map-input block")
     p.add_argument("--value-size", type=int, default=16,
                    help="record value bytes")
-    p.add_argument("--split-ratio", type=int, default=1,
-                   help="k-way reducer splitting during recovery "
-                        "(capped at the surviving-node count)")
+    p.add_argument("--split-ratio", type=_split_ratio, default=None,
+                   metavar="K",
+                   help='k-way reducer splitting during recovery, or '
+                        '"auto" (the default) for survivors-1 — the '
+                        "paper's choice, matching the simulator's "
+                        "Strategy.effective_split; capped at the "
+                        "surviving-node count")
     p.add_argument("--strategy", default="rcmp",
-                   choices=("rcmp", "optimistic"))
+                   choices=("rcmp", "optimistic", "repl2", "repl3",
+                            "hybrid"))
+    p.add_argument("--hybrid-interval", type=int, default=2,
+                   help="replicate every k-th job output "
+                        "(--strategy hybrid)")
+    p.add_argument("--hybrid-replication", type=int, default=2,
+                   help="replication factor at hybrid anchors")
+    p.add_argument("--hybrid-reclaim", action="store_true",
+                   help="reclaim persisted outputs behind each intact "
+                        "hybrid anchor")
     p.add_argument("--faults", default=None,
                    help='planned fail-stop kills, e.g. "kill@job1+5" or '
                         '"kill@job2:node=3; kill@job2+0.5" (the process '
@@ -239,10 +263,15 @@ def _exec_process(args, chain, model, tracer):
     from repro.runtime import Coordinator, RuntimeConfig
 
     try:
+        kwargs = {}
+        if args.strategy == "hybrid":
+            kwargs = {"hybrid_interval": args.hybrid_interval,
+                      "hybrid_replication": args.hybrid_replication,
+                      "hybrid_reclaim": args.hybrid_reclaim}
         config = RuntimeConfig(n_nodes=args.nodes, chain=chain,
                                heartbeat_interval=args.heartbeat_interval,
                                heartbeat_expiry=args.heartbeat_expiry,
-                               strategy=args.strategy)
+                               strategy=args.strategy, **kwargs)
         workctx = (nullcontext(args.workdir) if args.workdir
                    else tempfile.TemporaryDirectory(prefix="rcmp-exec-"))
         with workctx as workdir:

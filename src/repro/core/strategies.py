@@ -74,6 +74,11 @@ class Strategy:
             raise ValueError("hybrid_interval must be >= 0")
         if self.hybrid_interval and not self.recompute:
             raise ValueError("hybrid mode requires recomputation")
+        if self.hybrid_reclaim and self.hybrid_interval <= 0:
+            raise ValueError("hybrid_reclaim requires hybrid_interval > 0 "
+                             "(there is no anchor to reclaim behind)")
+        if self.hybrid_interval and self.hybrid_replication < 2:
+            raise ValueError("hybrid_replication must be >= 2")
         if self.max_cascade_depth < 0 or self.max_restarts < 0:
             raise ValueError("degradation bounds must be >= 0")
         if self.restart_backoff < 0:
@@ -135,8 +140,15 @@ def repl(factor: int) -> Strategy:
 
 
 def rcmp(split_ratio: Optional[int] = None,
-         hybrid_interval: int = 0) -> Strategy:
-    """RCMP with an explicit split ratio and optional hybrid replication."""
+         hybrid_interval: int = 0,
+         hybrid_replication: int = 2,
+         hybrid_reclaim: bool = False) -> Strategy:
+    """RCMP with an explicit split ratio and optional hybrid replication.
+
+    ``hybrid_replication`` and ``hybrid_reclaim`` configure the §IV-C
+    anchors exactly as on :class:`Strategy`; they only take effect with
+    ``hybrid_interval > 0`` (``hybrid_reclaim`` without an interval is
+    rejected — there is no anchor to reclaim behind)."""
     name = "RCMP"
     if split_ratio == 1:
         name = "RCMP NO-SPLIT"
@@ -144,5 +156,9 @@ def rcmp(split_ratio: Optional[int] = None,
         name = f"RCMP SPLIT-{split_ratio}"
     if hybrid_interval:
         name += f" HYBRID-{hybrid_interval}"
+        if hybrid_reclaim:
+            name += " RECLAIM"
     return Strategy(name, replication=1, recompute=True,
-                    split_ratio=split_ratio, hybrid_interval=hybrid_interval)
+                    split_ratio=split_ratio, hybrid_interval=hybrid_interval,
+                    hybrid_replication=hybrid_replication,
+                    hybrid_reclaim=hybrid_reclaim)

@@ -37,13 +37,17 @@ class LocalJobConfig:
     records_per_node: int = 64
     records_per_block: int = 16
     value_size: int = 16
-    split_ratio: int = 1          # reducer splitting during recomputation
+    #: reducer splitting during recomputation; ``None`` = auto
+    #: (``survivors - 1``, matching ``Strategy.effective_split``)
+    split_ratio: Optional[int] = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
         if min(self.n_jobs, self.n_partitions, self.records_per_node,
-               self.records_per_block, self.split_ratio) < 1:
+               self.records_per_block) < 1:
             raise ValueError("all config values must be >= 1")
+        if self.split_ratio is not None and self.split_ratio < 1:
+            raise ValueError("split_ratio must be >= 1 (or None for auto)")
 
 
 @dataclass

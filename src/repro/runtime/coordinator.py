@@ -31,7 +31,21 @@ half-regenerated partition.
 
 ``strategy="optimistic"`` swaps step 5 for whole-job re-execution (the
 OPTIMISTIC baseline: correct, but recomputes everything the cascade
-touches); both strategies must produce byte-identical final output.
+touches).
+
+``strategy="repl2"`` / ``"repl3"`` are the Hadoop baselines: every
+committed job output is replicated to k node-local stores (pipelined
+copies over the shuffle transport), a death *promotes* surviving replicas
+instead of filing damage, under-replicated pieces are re-replicated in
+the background of the chain, and no recomputation cascade ever fires.
+
+``strategy="hybrid"`` is §IV-C: RCMP recovery plus replication of every
+``hybrid_interval``-th job's output (an *anchor*) at commit time.  The
+recomputation cascade is bounded below by the last intact anchor, and
+``hybrid_reclaim`` deletes the persisted map/reduce files behind the
+anchor with real unlinks (mirroring ``PersistedStore.reclaim_jobs``).
+
+Every strategy must produce byte-identical final output.
 """
 
 from __future__ import annotations
@@ -69,7 +83,10 @@ from repro.runtime.storage import (
 from repro.runtime.transport import CHANNEL_DOWN
 from repro.runtime.worker import worker_main
 
-STRATEGIES = ("rcmp", "optimistic")
+STRATEGIES = ("rcmp", "optimistic", "repl2", "repl3", "hybrid")
+
+#: intermediate-output replication factor per strategy (REPL-k baselines)
+_REPLICATION = {"repl2": 2, "repl3": 3}
 
 #: hook callback: ``fn(event, **info)``; events: job-start, maps-done,
 #: reduce-dispatch, job-commit, death, recovery-start, chain-done
@@ -99,6 +116,13 @@ class RuntimeConfig:
     #: wall-clock seconds without dispatch progress before giving up
     io_timeout: float = 30.0
     fig5_guard: bool = True
+    #: replicate every k-th job's output as a cascade-bounding anchor
+    #: (strategy "hybrid" only; paper §IV-C)
+    hybrid_interval: int = 2
+    #: replication factor applied at hybrid anchors
+    hybrid_replication: int = 2
+    #: delete persisted map/reduce files behind each committed anchor
+    hybrid_reclaim: bool = False
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -106,6 +130,16 @@ class RuntimeConfig:
         if self.strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {self.strategy!r}; "
                              f"expected one of {STRATEGIES}")
+        if self.strategy == "hybrid" and self.hybrid_interval < 1:
+            raise ValueError("hybrid strategy needs hybrid_interval >= 1")
+        if self.hybrid_replication < 2:
+            raise ValueError("hybrid_replication must be >= 2")
+        if self.hybrid_reclaim and self.strategy != "hybrid":
+            raise ValueError("hybrid_reclaim requires strategy='hybrid'")
+        if self.replication > 1 and self.n_nodes < self.replication:
+            raise ValueError(
+                f"strategy {self.strategy!r} needs at least "
+                f"{self.replication} nodes to place its replicas")
         if self.io_timeout <= 0:
             raise ValueError("io_timeout must be positive")
         if self.io_timeout <= 2 * self.heartbeat_expiry:
@@ -121,6 +155,30 @@ class RuntimeConfig:
     def detector(self) -> HeartbeatDetector:
         return HeartbeatDetector(interval=self.heartbeat_interval,
                                  expiry=self.heartbeat_expiry)
+
+    @property
+    def replication(self) -> int:
+        """Replication factor every committed job output maintains."""
+        return _REPLICATION.get(self.strategy, 1)
+
+    @property
+    def recomputes(self) -> bool:
+        """Whether recovery recomputes (RCMP family) — the REPL-k and
+        OPTIMISTIC baselines never run a recomputation cascade."""
+        return self.strategy in ("rcmp", "hybrid")
+
+    def is_anchor(self, job: int) -> bool:
+        """Hybrid replication point (§IV-C) — every ``hybrid_interval``-th
+        job except the last (whose output is the final result)."""
+        return (self.strategy == "hybrid"
+                and job % self.hybrid_interval == 0
+                and job < self.chain.n_jobs)
+
+    def replication_for(self, job: int) -> int:
+        """Copies ``job``'s committed output must hold on distinct nodes."""
+        if self.is_anchor(job):
+            return self.hybrid_replication
+        return self.replication
 
 
 @dataclass
@@ -142,21 +200,31 @@ class RunReport:
     """What one chain execution did, wall-clock."""
 
     checksum: str
-    #: (job ordinal, "run" | "rerun" | "recompute", wall seconds)
+    #: (job ordinal, "run" | "rerun" | "recompute" | "re-replicate",
+    #: wall seconds)
     job_times: list[tuple[int, str, float]] = field(default_factory=list)
     #: (wall time since chain start, node) per declared death
     deaths: list[tuple[float, int]] = field(default_factory=list)
     n_nodes: int = 0
     strategy: str = "rcmp"
+    #: (anchor job, bytes freed) per hybrid reclamation pass
+    reclaims: list[tuple[int, int]] = field(default_factory=list)
 
     @property
     def wall_time(self) -> float:
         return sum(t for _, _, t in self.job_times)
 
+    @property
+    def reclaimed_bytes(self) -> int:
+        return sum(b for _, b in self.reclaims)
+
     def render(self) -> str:
-        lines = [f"{'job':>4s}  {'kind':<10s}  {'wall':>9s}"]
+        lines = [f"{'job':>4s}  {'kind':<12s}  {'wall':>9s}"]
         for job, kind, wall in self.job_times:
-            lines.append(f"{job:>4d}  {kind:<10s}  {wall:>8.3f}s")
+            lines.append(f"{job:>4d}  {kind:<12s}  {wall:>8.3f}s")
+        for anchor, freed in self.reclaims:
+            lines.append(f"{anchor:>4d}  {'reclaim':<12s}  "
+                         f"{freed:>8d}B freed behind anchor")
         lines.append(f"deaths: {len(self.deaths)}   "
                      f"checksum: {self.checksum}")
         return "\n".join(lines)
@@ -189,6 +257,7 @@ class Coordinator:
         self.epoch = 0
         self.deaths: list[tuple[float, int]] = []
         self.job_times: list[tuple[int, str, float]] = []
+        self.reclaims: list[tuple[int, int]] = []
         self._links: dict[int, _Link] = {}
         self._inbox: deque[tuple] = deque()
         self._t0 = 0.0
@@ -288,10 +357,13 @@ class Coordinator:
         outcome = "ok"
         try:
             while (self.completed_jobs < chain.n_jobs
-                   or self._cascade_jobs()):
+                   or self._cascade_jobs()
+                   or self._under_replicated()):
                 try:
                     if self._cascade_jobs():
                         self._recover()
+                    elif self._under_replicated():
+                        self._re_replicate()
                     else:
                         self._run_job(self.completed_jobs + 1)
                 except NodeDeath as death:
@@ -306,7 +378,8 @@ class Coordinator:
         return RunReport(checksum=checksum, job_times=list(self.job_times),
                          deaths=list(self.deaths),
                          n_nodes=self.config.n_nodes,
-                         strategy=self.config.strategy)
+                         strategy=self.config.strategy,
+                         reclaims=list(self.reclaims))
 
     def _run_job(self, job: int, kind: str = "run") -> None:
         """Run one job, reusing whatever committed outputs survive."""
@@ -337,6 +410,10 @@ class Coordinator:
             self._run_tasks(
                 cmds, phase=f"reduce-{job}",
                 after_send=lambda: self.hooks("reduce-dispatch", job=job))
+            if self.config.replication_for(job) > 1:
+                self._replicate_job_output(job)
+                if self.config.is_anchor(job) and self.config.hybrid_reclaim:
+                    self._reclaim_behind(job)
             outcome = "ok"
         finally:
             span.end(outcome=outcome)
@@ -344,7 +421,110 @@ class Coordinator:
         self.job_times.append((job, kind, time.monotonic() - t_start))
         self.hooks("job-commit", job=job, kind=kind)
 
+    # ---------------------------------------------------------- replication
+    def _replica_commands(self, entries) -> dict:
+        """Replication commands bringing each piece up to its job's
+        target holder count: each missing copy is fetched from the
+        primary holder by the target node over the shuffle transport."""
+        ports = self._ports()
+        alive = sorted(self.alive)
+        cmds = {}
+        rr = 0
+        for entry in entries:
+            want = min(self.registry.replicated_jobs.get(
+                entry.job, self.config.replication_for(entry.job)),
+                len(alive))
+            holders = self.registry.holders(*entry.key)
+            candidates = [n for n in alive if n not in holders]
+            for _ in range(want - len(holders)):
+                if not candidates:
+                    break
+                node = candidates.pop(rr % len(candidates))
+                rr += 1
+                cmds[("replicate", *entry.key, node)] = (node, {
+                    "op": "replicate", "job": entry.job,
+                    "partition": entry.partition,
+                    "split": entry.split_index,
+                    "n_splits": entry.n_splits,
+                    "source": entry.node, "target": node, "ports": ports,
+                })
+        return cmds
+
+    def _replicate_job_output(self, job: int) -> None:
+        """Copy ``job``'s committed pieces to its replication target
+        (REPL-k: every job; HYBRID: the anchor jobs).  The job only
+        counts as replication-tracked once every copy has committed, so
+        a death mid-replication simply re-enters the job and dispatches
+        the still-missing copies."""
+        entries = [e for plist in self.registry.pieces.get(job, {}).values()
+                   for e in plist]
+        self._run_tasks(
+            self._replica_commands(entries), phase=f"replicate-{job}",
+            after_send=lambda: self.hooks("replicate-dispatch", job=job))
+        self.registry.mark_replicated(
+            job, self.config.replication_for(job))
+        self.tracer.instant("cascade", "replicated", job=job,
+                            target=self.config.replication_for(job),
+                            anchor=self.config.is_anchor(job))
+
+    def _under_replicated(self) -> list:
+        return self.registry.under_replicated(len(self.alive))
+
+    def _re_replicate(self) -> None:
+        """Restore lost copies of replication-tracked pieces after a
+        death (the HDFS re-replication the REPL baselines lean on, and
+        what keeps hybrid anchors intact across repeated failures)."""
+        entries = self._under_replicated()
+        jobs = sorted({e.job for e in entries})
+        t_start = time.monotonic()
+        span = self.tracer.span("cascade", "re-replicate", jobs=jobs,
+                                pieces=len(entries))
+        outcome = "interrupted"
+        try:
+            self._run_tasks(self._replica_commands(entries),
+                            phase="re-replicate")
+            outcome = "ok"
+        finally:
+            span.end(outcome=outcome)
+        wall = time.monotonic() - t_start
+        for job in jobs:
+            self.job_times.append((job, "re-replicate", wall / len(jobs)))
+
+    def _reclaim_behind(self, anchor: int) -> None:
+        """Hybrid reclamation (§IV-C): with ``anchor``'s output safely
+        replicated, delete the persisted map outputs of jobs < anchor
+        and the reducer pieces of jobs < anchor - 1 with real unlinks
+        (``PersistedStore.reclaim_jobs`` semantics).  Files at or after
+        the anchor are never touched — they are the recovery floor."""
+        if anchor < 2:
+            return
+        map_upto, piece_upto = anchor - 1, anchor - 2
+        self.registry.reclaim_through(map_upto, piece_upto)
+        cmds = {}
+        for node in sorted(self.alive):
+            cmds[("reclaim", anchor, node)] = (node, {
+                "op": "reclaim", "anchor": anchor,
+                "map_upto": map_upto, "piece_upto": piece_upto})
+        freed_box = [0]
+        self._run_tasks(cmds, phase=f"reclaim-{anchor}",
+                        on_freed=lambda n: freed_box.__setitem__(
+                            0, freed_box[0] + n))
+        self.reclaims.append((anchor, freed_box[0]))
+        self.tracer.instant("cascade", "reclaimed", anchor=anchor,
+                            bytes=freed_box[0])
+
     # ------------------------------------------------------------- recovery
+    def _intact_anchors(self) -> list[int]:
+        """Hybrid anchors whose replicated output is currently intact —
+        fully covered with no outstanding damage — and therefore bound
+        the recomputation cascade from below."""
+        if self.config.strategy != "hybrid":
+            return []
+        chain = self.config.chain
+        return [j for j in sorted(self.registry.replicated_jobs)
+                if not any(self.registry.damage.get(j, {}).values())
+                and self.registry.coverage_complete(j, chain.n_partitions)]
+
     def _cascade_jobs(self) -> list[int]:
         """Damaged jobs the live cascade must recompute, ascending.
 
@@ -353,13 +533,21 @@ class Coordinator:
         consumer survives).  It stays filed — a later death can damage
         the jobs in between and re-join it to a contiguous run — but it
         must not drive the run loop or a recovery pass, or the chain
-        would spin recovering nothing."""
+        would spin recovering nothing.  An intact hybrid anchor bounds
+        the cascade from below the same way (§IV-C)."""
         start = cascade_start(self.completed_jobs + 1,
-                              self.registry.damaged_jobs())
+                              self.registry.damaged_jobs(),
+                              intact_anchors=self._intact_anchors())
         return [j for j in self.registry.damaged_jobs() if j >= start]
 
     def _recover(self) -> None:
         jobs = self._cascade_jobs()
+        if not self.config.recomputes \
+                and self.config.strategy != "optimistic":
+            raise RuntimeError(
+                f"irrecoverable data loss under {self.config.strategy}: "
+                f"every replica of some piece in jobs {jobs} is gone "
+                f"(replication was insufficient)")
         self.hooks("recovery-start", jobs=jobs)
         span = self.tracer.span("cascade", "recovery", jobs=jobs,
                                 strategy=self.config.strategy)
@@ -384,8 +572,21 @@ class Coordinator:
         # see this (now fully dropped) job as needing re-execution
         self.registry.damage[job] = {p: [(0, 1)]
                                      for p in range(chain.n_partitions)}
+        self._sweep_job_files(job)
         self._run_job(job, kind="rerun")
         self.registry.damage[job] = {}
+
+    def _sweep_job_files(self, job: int) -> None:
+        """Delete a dropped job's files from every surviving node's disk.
+        ``drop_job`` forgets the *metadata* only; without the sweep the
+        job's map slices and reducer pieces linger as orphans across
+        reruns — leaking storage and hiding any accidental stale-path
+        read (a rerun may place work on different nodes)."""
+        cmds = {}
+        for node in sorted(self.alive):
+            cmds[("drop-job", job, node)] = (
+                node, {"op": "drop-job", "job": job})
+        self._run_tasks(cmds, phase=f"sweep-{job}")
 
     def _recompute_job(self, job: int) -> None:
         """RCMP recovery: re-execute exactly what the planner says."""
@@ -504,12 +705,16 @@ class Coordinator:
     def _run_tasks(self, cmds: dict, phase: str,
                    after_send: Optional[Callable[[], None]] = None,
                    on_piece: Optional[Callable[[PieceEntry], None]]
+                   = None,
+                   on_freed: Optional[Callable[[int], None]]
                    = None) -> None:
         """Dispatch a batch of commands and pump until all complete.
 
         Completed map outputs register immediately (they are durable and
         reusable whatever happens next); reducer pieces go through
-        ``on_piece`` when given (recovery overlays) or register directly.
+        ``on_piece`` when given (recovery overlays) or register directly;
+        committed replicas register on arrival; ``on_freed`` receives the
+        bytes each reclaim/sweep reply reports.
         Raises :class:`NodeDeath` as soon as the pump declares one."""
         outstanding: dict[tuple, tuple[int, dict]] = {}
         spans: dict[tuple, Any] = {}
@@ -559,12 +764,34 @@ class Coordinator:
                     on_piece(entry)
                 else:
                     self.registry.add_piece(entry)
+            elif kind == "replica-done":
+                _, node, epoch, job, partition, s, k, pid = msg
+                key = ("replicate", job, partition, s, k, node)
+                if epoch != self.epoch or key not in outstanding:
+                    continue
+                self.registry.add_replica(job, partition, s, k, node)
             elif kind == "dropped":
                 _, node, epoch, job, task = msg
                 key = ("drop", job, task)
                 pid = self._links[node].pid
                 if epoch != self.epoch or key not in outstanding:
                     continue
+            elif kind == "job-dropped":
+                _, node, epoch, job, freed = msg
+                key = ("drop-job", job, node)
+                pid = self._links[node].pid
+                if epoch != self.epoch or key not in outstanding:
+                    continue
+                if on_freed is not None:
+                    on_freed(freed)
+            elif kind == "reclaimed":
+                _, node, epoch, anchor, freed = msg
+                key = ("reclaim", anchor, node)
+                pid = self._links[node].pid
+                if epoch != self.epoch or key not in outstanding:
+                    continue
+                if on_freed is not None:
+                    on_freed(freed)
             elif kind == "task-failed":
                 _, node, epoch, op, key, err = msg
                 if epoch != self.epoch or key not in outstanding:

@@ -32,7 +32,7 @@ import hashlib
 import json
 import os
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Optional
 
@@ -134,6 +134,14 @@ class NodeStore:
                            encode_records(records))
         return len(records)
 
+    def write_piece_bytes(self, job: int, partition: int, split_index: int,
+                          n_splits: int, data: bytes) -> None:
+        """Persist an already-encoded piece verbatim (replica writes: the
+        bytes arrive over the shuffle transport from the primary holder
+        and must land byte-identical, behind the same atomic rename)."""
+        self._write_atomic(self.piece_path(job, partition, split_index,
+                                           n_splits), data)
+
     # -- reads ----------------------------------------------------------
     def read_map_slice(self, job: int, task_id: int, partition: int) -> bytes:
         """A mapper's slice for one partition (empty when the mapper
@@ -157,6 +165,51 @@ class NodeStore:
         for path in directory.iterdir():
             path.unlink(missing_ok=True)
         directory.rmdir()
+
+    @staticmethod
+    def _rm_tree(directory: Path) -> int:
+        """Delete a job subtree bottom-up with real ``os.unlink``s;
+        returns the bytes freed."""
+        freed = 0
+        if not directory.is_dir():
+            return 0
+        for path in sorted(directory.rglob("*"), reverse=True):
+            if path.is_dir():
+                path.rmdir()
+            else:
+                freed += path.stat().st_size
+                path.unlink(missing_ok=True)
+        directory.rmdir()
+        return freed
+
+    def drop_job(self, job: int) -> int:
+        """Delete every file of one job — map slices, metas, and reducer
+        pieces (orphan sweep before an OPTIMISTIC rerun).  Returns the
+        bytes freed."""
+        return (self._rm_tree(self.dir / "map" / f"job{job}")
+                + self._rm_tree(self.dir / "reduce" / f"job{job}"))
+
+    def reclaim_jobs(self, map_upto: int, piece_upto: int) -> int:
+        """Hybrid reclamation (§IV-C): delete persisted map outputs of
+        jobs ``<= map_upto`` and reducer pieces of jobs ``<= piece_upto``
+        (mirrors ``PersistedStore.reclaim_jobs`` — the data behind an
+        anchor sits safely in the replicated anchor output).  Returns the
+        bytes freed."""
+        freed = 0
+        for kind, upto in (("map", map_upto), ("reduce", piece_upto)):
+            root = self.dir / kind
+            if not root.is_dir():
+                continue
+            for directory in root.iterdir():
+                if not directory.name.startswith("job"):
+                    continue
+                try:
+                    job = int(directory.name[3:])
+                except ValueError:
+                    continue
+                if job <= upto:
+                    freed += self._rm_tree(directory)
+        return freed
 
 
 # ------------------------------------------------------------------- registry
@@ -186,6 +239,10 @@ class PieceEntry:
     def signature(self) -> PieceSignature:
         return (self.split_index, self.n_splits)
 
+    @property
+    def key(self) -> tuple[int, int, int, int]:
+        return (self.job, self.partition, self.split_index, self.n_splits)
+
 
 @dataclass(frozen=True)
 class BlockSpec:
@@ -209,7 +266,15 @@ class ClusterRegistry:
     ``map_outputs`` and ``pieces`` track committed on-disk outputs by
     owning node; :meth:`record_death` removes a dead node's entries and
     files the lost piece signatures as the damage inventory the recovery
-    planner consumes."""
+    planner consumes.
+
+    Replication (REPL-k baselines and hybrid anchors, §IV-C): every
+    stored piece has a *holder set* — the nodes with a byte-identical
+    copy on disk.  ``pieces`` keeps exactly one entry per signature (the
+    primary, whose node serves reads); ``replicas`` tracks the full
+    holder set.  A death removes the dead node from every holder set and
+    **promotes** a surviving holder to primary instead of filing damage —
+    only a piece whose last copy died becomes damage."""
 
     def __init__(self) -> None:
         #: (job, task_id) -> MapEntry
@@ -218,6 +283,11 @@ class ClusterRegistry:
         self.pieces: dict[int, dict[int, list[PieceEntry]]] = {}
         #: job -> partition -> lost piece signatures
         self.damage: dict[int, dict[int, list[PieceSignature]]] = {}
+        #: piece key -> holder nodes (primary included)
+        self.replicas: dict[tuple[int, int, int, int], set[int]] = {}
+        #: job -> replication target its output must maintain (REPL-k:
+        #: every committed job; HYBRID: the anchor jobs)
+        self.replicated_jobs: dict[int, int] = {}
 
     # -- commits --------------------------------------------------------
     def add_map(self, entry: MapEntry) -> None:
@@ -226,41 +296,115 @@ class ClusterRegistry:
     def add_piece(self, entry: PieceEntry) -> None:
         bucket = self.pieces.setdefault(entry.job, {}).setdefault(
             entry.partition, [])
+        for old in bucket:
+            if old.signature == entry.signature:
+                self.replicas.pop(old.key, None)
         bucket[:] = [p for p in bucket if p.signature != entry.signature]
         bucket.append(entry)
         bucket.sort(key=lambda p: (p.n_splits, p.split_index))
+        self.replicas[entry.key] = {entry.node}
+
+    def add_replica(self, job: int, partition: int, split_index: int,
+                    n_splits: int, node: int) -> None:
+        """Register one committed replica copy of a stored piece."""
+        key = (job, partition, split_index, n_splits)
+        if key not in self.replicas:
+            raise KeyError(f"no primary piece for replica {key}")
+        self.replicas[key].add(node)
+
+    def holders(self, job: int, partition: int, split_index: int,
+                n_splits: int) -> set[int]:
+        return set(self.replicas.get(
+            (job, partition, split_index, n_splits), ()))
+
+    def mark_replicated(self, job: int, target: int) -> None:
+        """Record that ``job``'s output must maintain ``target`` copies
+        (re-replication restores the invariant after deaths)."""
+        self.replicated_jobs[job] = target
+
+    def under_replicated(self, n_alive: int) -> list[PieceEntry]:
+        """Pieces of replication-tracked jobs holding fewer copies than
+        their target (capped at the surviving-node count), ascending."""
+        out: list[PieceEntry] = []
+        for job in sorted(self.replicated_jobs):
+            want = min(self.replicated_jobs[job], n_alive)
+            for partition in sorted(self.pieces.get(job, {})):
+                for entry in self.pieces[job][partition]:
+                    if len(self.replicas.get(entry.key, ())) < want:
+                        out.append(entry)
+        return out
 
     def drop_map(self, job: int, task_id: int) -> Optional[MapEntry]:
         return self.map_outputs.pop((job, task_id), None)
 
-    def drop_job(self, job: int) -> None:
-        """Forget every output of one job (full re-execution recovery)."""
+    def drop_job(self, job: int) -> tuple[list[MapEntry],
+                                          list[tuple[PieceEntry,
+                                                     set[int]]]]:
+        """Forget every output of one job (full re-execution recovery).
+
+        Returns the dropped map entries and ``(piece, holder set)``
+        pairs so the coordinator can sweep the backing files off the
+        worker disks — dropping metadata alone leaks orphan files."""
+        maps = []
         for key in [k for k in self.map_outputs if k[0] == job]:
-            del self.map_outputs[key]
-        self.pieces.pop(job, None)
+            maps.append(self.map_outputs.pop(key))
+        dropped_pieces = []
+        for plist in self.pieces.pop(job, {}).values():
+            for entry in plist:
+                dropped_pieces.append(
+                    (entry, self.replicas.pop(entry.key, {entry.node})))
         self.damage.pop(job, None)
+        self.replicated_jobs.pop(job, None)
+        return maps, dropped_pieces
+
+    def reclaim_through(self, map_upto: int, piece_upto: int) -> None:
+        """Forget reclaimed outputs (hybrid §IV-C): map outputs of jobs
+        ``<= map_upto``, pieces of jobs ``<= piece_upto``.  The files are
+        deleted by the workers; the registry must forget them too or a
+        later death would file damage pointing at unlinked paths."""
+        for key in [k for k in self.map_outputs if k[0] <= map_upto]:
+            del self.map_outputs[key]
+        for job in [j for j in self.pieces if j <= piece_upto]:
+            for plist in self.pieces.pop(job).values():
+                for entry in plist:
+                    self.replicas.pop(entry.key, None)
+            self.damage.pop(job, None)
+            self.replicated_jobs.pop(job, None)
 
     # -- failure --------------------------------------------------------
     def record_death(self, node: int, completed_jobs: int) -> None:
         """Remove the dead node's outputs; file damage for completed jobs.
 
-        Losses in a not-yet-committed job are not *damage* — the job will
-        simply re-run its missing work — so only jobs up to
-        ``completed_jobs`` get signatures filed for the planner."""
+        A piece with surviving replica holders is *promoted* — its
+        primary entry re-points to a surviving holder — and never becomes
+        damage.  Losses in a not-yet-committed job are not damage either:
+        the job will simply re-run its missing work.  Only last-copy
+        losses in jobs up to ``completed_jobs`` get signatures filed for
+        the planner."""
         for key in [k for k, m in self.map_outputs.items()
                     if m.node == node]:
             del self.map_outputs[key]
         for job, partitions in self.pieces.items():
             for partition, plist in list(partitions.items()):
-                lost = [p for p in plist if p.node == node]
-                if not lost:
+                if not any(p.node == node for p in plist):
                     continue
-                if job <= completed_jobs:
-                    marks = self.damage.setdefault(job, {}).setdefault(
-                        partition, [])
-                    marks.extend(p.signature for p in lost)
-                partitions[partition] = [p for p in plist
-                                         if p.node != node]
+                kept: list[PieceEntry] = []
+                for p in plist:
+                    if p.node != node:
+                        kept.append(p)
+                        continue
+                    survivors = self.replicas.get(p.key, set()) - {node}
+                    if survivors:
+                        self.replicas[p.key] = survivors
+                        kept.append(replace(p, node=min(survivors)))
+                        continue
+                    self.replicas.pop(p.key, None)
+                    if job <= completed_jobs:
+                        self.damage.setdefault(job, {}).setdefault(
+                            partition, []).append(p.signature)
+                partitions[partition] = kept
+        for holders in self.replicas.values():
+            holders.discard(node)
 
     def damaged_jobs(self) -> list[int]:
         return sorted(j for j, d in self.damage.items()

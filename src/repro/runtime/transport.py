@@ -168,3 +168,14 @@ def fetch(port: int, request: dict, timeout: float = 5.0,
             last = exc
             time.sleep(backoff * (attempt + 1))
     raise FetchError(f"shuffle fetch from port {port} failed: {last}")
+
+
+def fetch_piece(port: int, job: int, partition: int, split_index: int,
+                n_splits: int) -> bytes:
+    """Fetch one stored piece's bytes from a peer's shuffle server.
+
+    Shared by re-homed mappers reading upstream piece ranges and replica
+    writers copying a piece from its primary holder (the REPL-k /
+    hybrid-anchor pipelined replication path)."""
+    return fetch(port, {"kind": "piece", "job": job, "partition": partition,
+                        "split": split_index, "n_splits": n_splits})

@@ -78,10 +78,21 @@ class _Worker:
                 self._map(cmd)
             elif op == "reduce":
                 self._reduce(cmd)
+            elif op == "replicate":
+                self._replicate(cmd)
             elif op == "drop":
                 self.store.drop_map_output(cmd["job"], cmd["task"])
                 self.evt.send(("dropped", self.node, cmd["epoch"],
                                cmd["job"], cmd["task"]))
+            elif op == "drop-job":
+                freed = self.store.drop_job(cmd["job"])
+                self.evt.send(("job-dropped", self.node, cmd["epoch"],
+                               cmd["job"], freed))
+            elif op == "reclaim":
+                freed = self.store.reclaim_jobs(cmd["map_upto"],
+                                                cmd["piece_upto"])
+                self.evt.send(("reclaimed", self.node, cmd["epoch"],
+                               cmd["anchor"], freed))
             else:
                 raise ValueError(f"unknown op {op!r}")
         except transport.FetchError as exc:
@@ -118,10 +129,8 @@ class _Worker:
             data = self.store.read_piece(job, partition, split_index,
                                          n_splits)
         else:
-            data = transport.fetch(
-                self._port(node),
-                {"kind": "piece", "job": job, "partition": partition,
-                 "split": split_index, "n_splits": n_splits})
+            data = transport.fetch_piece(self._port(node), job, partition,
+                                         split_index, n_splits)
         return decode_records(data)[start:start + count]
 
     def _port(self, node: int) -> int:
@@ -173,6 +182,26 @@ class _Worker:
                        partition, split_index, n_splits, n_records,
                        os.getpid()))
 
+    def _replicate(self, cmd: dict) -> None:
+        """Copy one stored piece from its primary holder to this node's
+        disk (REPL-k / hybrid anchors): fetch the encoded bytes over the
+        shuffle transport and commit them behind the same atomic rename
+        as a locally computed piece — a SIGKILL mid-copy can never leave
+        a torn committed replica."""
+        self._ports = cmd.get("ports", {})
+        job, partition = cmd["job"], cmd["partition"]
+        split_index, n_splits = cmd["split"], cmd["n_splits"]
+        source = cmd["source"]
+        if source == self.node:
+            raise ValueError(f"node {self.node} asked to replicate its "
+                             f"own piece")
+        data = transport.fetch_piece(self._port(source), job, partition,
+                                     split_index, n_splits)
+        self.store.write_piece_bytes(job, partition, split_index, n_splits,
+                                     data)
+        self.evt.send(("replica-done", self.node, cmd["epoch"], job,
+                       partition, split_index, n_splits, os.getpid()))
+
 
 def _task_key(cmd: dict) -> Optional[tuple]:
     op = cmd.get("op")
@@ -181,4 +210,7 @@ def _task_key(cmd: dict) -> Optional[tuple]:
     if op == "reduce":
         return ("reduce", cmd.get("job"), cmd.get("partition"),
                 cmd.get("split"), cmd.get("n_splits"))
+    if op == "replicate":
+        return ("replicate", cmd.get("job"), cmd.get("partition"),
+                cmd.get("split"), cmd.get("n_splits"), cmd.get("target"))
     return None

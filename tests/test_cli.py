@@ -134,8 +134,20 @@ def test_parser_exec_defaults():
     args = build_parser().parse_args(["exec"])
     assert args.backend == "process"
     assert args.nodes == 4 and args.jobs == 3 and args.partitions == 4
-    assert args.split_ratio == 1 and args.strategy == "rcmp"
+    assert args.split_ratio is None and args.strategy == "rcmp"
+    assert args.hybrid_interval == 2 and args.hybrid_replication == 2
+    assert args.hybrid_reclaim is False
     assert args.faults is None and args.workdir is None
+
+
+def test_parser_exec_split_ratio_auto():
+    parser = build_parser()
+    assert parser.parse_args(["exec", "--split-ratio", "auto"]) \
+        .split_ratio is None
+    assert parser.parse_args(["exec", "--split-ratio", "3"]) \
+        .split_ratio == 3
+    with pytest.raises(SystemExit):
+        parser.parse_args(["exec", "--split-ratio", "half"])
 
 
 def test_parser_exec_rejects_unknown_backend():

@@ -63,11 +63,32 @@ class KillAt:
                 self.coord.kill_node(self.victims.pop(0))
 
 
+class KillPlan:
+    """Hook: one SIGKILL per (event, job, victim) trigger — kills spaced
+    across different jobs, which KillAt's single trigger cannot express."""
+
+    def __init__(self, *triggers: tuple[str, int, int]):
+        self.triggers = list(triggers)
+        self.coord = None
+
+    @property
+    def victims(self):
+        return sorted(v for _, _, v in self.triggers)
+
+    def __call__(self, event, **info):
+        for trigger in list(self.triggers):
+            ev, job, victim = trigger
+            if event == ev and info.get("job") == job:
+                self.triggers.remove(trigger)
+                self.coord.kill_node(victim)
+
+
 def run_process_chain(tmp_path, chain=CHAIN, n_nodes=4, hooks=None,
                       tracer=None, **kwargs):
     config_kwargs = {k: kwargs.pop(k) for k in
                      ("strategy", "heartbeat_interval", "heartbeat_expiry",
-                      "fig5_guard") if k in kwargs}
+                      "fig5_guard", "hybrid_interval", "hybrid_replication",
+                      "hybrid_reclaim") if k in kwargs}
     config = RuntimeConfig(n_nodes=n_nodes, chain=chain, **config_kwargs)
     with Coordinator(config, tmp_path / "cluster", tracer=tracer,
                      hooks=hooks, **kwargs) as coord:
@@ -85,6 +106,30 @@ def spans(tracer, cat=None, prefix=""):
 def instants(tracer, name):
     return [e for e in tracer.events
             if e["ph"] == "i" and e["name"] == name]
+
+
+def on_disk_orphans(coord, jobs):
+    """Files of ``jobs`` on *surviving* nodes' disks that the registry
+    does not account for (every committed file must be some entry's
+    primary copy or a registered replica)."""
+    orphans = []
+    reg = coord.registry
+    for node in sorted(coord.alive):
+        store = NodeStore(coord.workdir, node)
+        for task_dir in sorted(store.dir.glob("map/job*/task*")):
+            job = int(task_dir.parent.name[3:])
+            task = int(task_dir.name[4:])
+            entry = reg.map_outputs.get((job, task))
+            if job in jobs and (entry is None or entry.node != node):
+                orphans.append(str(task_dir.relative_to(coord.workdir)))
+        for path in sorted(store.dir.glob("reduce/job*/part*/*.bin")):
+            job = int(path.parent.parent.name[3:])
+            partition = int(path.parent.name[4:])
+            split, n_splits = map(int, path.stem[1:].split("of"))
+            if job in jobs and node not in reg.holders(job, partition,
+                                                       split, n_splits):
+                orphans.append(str(path.relative_to(coord.workdir)))
+    return orphans
 
 
 # ----------------------------------------------------------------- storage
@@ -161,6 +206,94 @@ def test_cascade_jobs_skips_stale_upstream_damage(tmp_path):
     coord.registry.damage[3] = {0: [(0, 1)]}
     coord.registry.damage[4] = {2: [(0, 1)]}
     assert coord._cascade_jobs() == [1, 2, 3, 4]
+
+
+def test_registry_promotes_replica_instead_of_filing_damage():
+    reg = ClusterRegistry()
+    reg.add_piece(PieceEntry(1, 0, 0, 1, node=1, n_records=4))
+    reg.add_replica(1, 0, 0, 1, node=3)
+    reg.mark_replicated(1, 2)
+    reg.record_death(1, completed_jobs=1)
+    # the surviving copy takes over as primary; no damage is filed
+    assert reg.damaged_jobs() == []
+    [entry] = reg.pieces[1][0]
+    assert entry.node == 3 and reg.holders(1, 0, 0, 1) == {3}
+    # ...but the piece is now below its replication target
+    assert reg.under_replicated(n_alive=3) == [entry]
+    reg.add_replica(1, 0, 0, 1, node=0)
+    assert reg.under_replicated(n_alive=3) == []
+    with pytest.raises(KeyError):
+        reg.add_replica(9, 0, 0, 1, node=2)  # replica without a primary
+
+
+def test_registry_last_copy_loss_is_damage_even_with_replication():
+    reg = ClusterRegistry()
+    reg.add_piece(PieceEntry(1, 0, 0, 1, node=1, n_records=4))
+    reg.add_replica(1, 0, 0, 1, node=2)
+    reg.record_death(1, completed_jobs=1)
+    reg.record_death(2, completed_jobs=1)
+    assert reg.damaged_jobs() == [1]
+    assert reg.damage[1][0] == [(0, 1)]
+
+
+def test_registry_recompute_resets_stale_holder_sets():
+    """A recomputed piece replaces the same-signature entry; the old
+    entry's holder set must go with it or re-replication would count
+    copies of bytes that no longer exist."""
+    reg = ClusterRegistry()
+    reg.add_piece(PieceEntry(1, 0, 0, 1, node=0, n_records=4))
+    reg.add_replica(1, 0, 0, 1, node=2)
+    reg.add_piece(PieceEntry(1, 0, 0, 1, node=3, n_records=4))
+    assert reg.holders(1, 0, 0, 1) == {3}
+
+
+def test_registry_reclaim_through_forgets_metadata():
+    reg = ClusterRegistry()
+    reg.add_map(MapEntry(1, 0, node=0, origin=None, counts={0: 4}))
+    reg.add_map(MapEntry(2, 0, node=0, origin=None, counts={0: 4}))
+    reg.add_piece(PieceEntry(1, 0, 0, 1, node=0, n_records=4))
+    reg.add_piece(PieceEntry(2, 0, 0, 1, node=1, n_records=4))
+    reg.mark_replicated(1, 2)
+    reg.reclaim_through(map_upto=1, piece_upto=1)
+    assert reg.map_tasks_of(1) == [] and reg.map_tasks_of(2) == [0]
+    assert 1 not in reg.pieces and 1 not in reg.replicated_jobs
+    # a death after reclamation must not file damage for unlinked files
+    reg.record_death(0, completed_jobs=2)
+    assert reg.damaged_jobs() == []
+
+
+def test_node_store_drop_job_and_reclaim(tmp_path):
+    store = NodeStore(tmp_path, 0)
+    records = generate_records(8, seed=3)
+    for job in (1, 2, 3):
+        store.write_map_output(job, 0, None, {0: records})
+        store.write_piece(job, 0, 0, 1, records)
+    freed = store.reclaim_jobs(map_upto=2, piece_upto=1)
+    assert freed > 0
+    # behind the bounds: gone; at/after them: untouched
+    assert not (store.dir / "map" / "job1").exists()
+    assert not (store.dir / "map" / "job2").exists()
+    assert (store.dir / "map" / "job3").is_dir()
+    assert not (store.dir / "reduce" / "job1").exists()
+    assert store.read_piece(2, 0, 0, 1) == encode_records(records)
+    assert store.drop_job(2) > 0
+    assert not (store.dir / "reduce" / "job2").exists()
+    assert store.drop_job(2) == 0  # idempotent on swept jobs
+
+
+def test_config_strategy_validation():
+    RuntimeConfig(strategy="repl2", n_nodes=2)
+    with pytest.raises(ValueError, match="replicas"):
+        RuntimeConfig(strategy="repl3", n_nodes=2)
+    with pytest.raises(ValueError, match="hybrid"):
+        RuntimeConfig(strategy="rcmp", hybrid_reclaim=True)
+    with pytest.raises(ValueError, match="hybrid_interval"):
+        RuntimeConfig(strategy="hybrid", hybrid_interval=0)
+    # anchors fall on interval multiples, never on the final job
+    config = RuntimeConfig(strategy="hybrid", hybrid_interval=2,
+                           chain=LocalJobConfig(n_jobs=5))
+    assert [j for j in range(1, 6) if config.is_anchor(j)] == [2, 4]
+    assert config.replication_for(2) == 2 and config.replication_for(3) == 1
 
 
 def test_registry_coverage_tracks_split_pieces():
@@ -366,6 +499,171 @@ def test_differential_matrix(tmp_path, seed, scenario, strategy):
     assert report.checksum == reference_checksum(chain)
     assert sorted(n for _, n in report.deaths) == victims
     assert report.strategy == strategy
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("strategy", ["repl2", "hybrid"])
+@pytest.mark.parametrize("scenario", ["none", "single", "double"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_differential_matrix_replicated_strategies(tmp_path, seed,
+                                                   scenario, strategy):
+    """The replication side of the acceptance matrix.  Double kills are
+    spaced across job commits: re-replication restores the REPL-2 holder
+    count between them (losing both copies of a piece at once is
+    genuinely unrecoverable without recomputation)."""
+    chain = LocalJobConfig(n_jobs=3, n_partitions=4, records_per_node=48,
+                           records_per_block=16, split_ratio=2, seed=seed)
+    triggers = {"none": [],
+                "single": [("job-commit", 2, 1)],
+                "double": [("job-commit", 1, 1),
+                           ("job-commit", 2, 2)]}[scenario]
+    hooks = KillPlan(*triggers) if triggers else None
+    report = run_process_chain(tmp_path, chain=chain, hooks=hooks,
+                               strategy=strategy)
+    assert report.checksum == reference_checksum(chain)
+    assert sorted(n for _, n in report.deaths) == \
+        sorted(v for _, _, v in triggers)
+    assert report.strategy == strategy
+    if strategy == "repl2":  # the Hadoop baseline never recomputes
+        assert not any(k == "recompute" for _, k, _ in report.job_times)
+
+
+@pytest.mark.slow
+def test_hybrid_anchor_bounds_the_cascade(tmp_path):
+    """A death after an anchor recomputes only the jobs behind it: the
+    anchor's replicated output survives as the recovery floor, even
+    though a pre-anchor job is also damaged (§IV-C)."""
+    chain = LocalJobConfig(n_jobs=4, n_partitions=4, records_per_node=48,
+                           records_per_block=16, split_ratio=2, seed=0)
+    tracer = RecordingTracer()
+    hooks = KillAt("job-commit", job=3, victims=[1])
+    report = run_process_chain(tmp_path, chain=chain, hooks=hooks,
+                               tracer=tracer, strategy="hybrid",
+                               hybrid_interval=2)
+    assert report.checksum == reference_checksum(chain)
+    # only job 3 recomputed: job 1's damage sits behind the job-2 anchor
+    assert [(j, k) for j, k, _ in report.job_times
+            if k == "recompute"] == [(3, "recompute")]
+    [recovery] = [e for e in spans(tracer, "cascade")
+                  if e["name"] == "recovery"]
+    assert recovery["args"]["jobs"] == [3]
+    assert instants(tracer, "replicated")
+
+
+@pytest.mark.slow
+def test_hybrid_death_at_anchor_commit_recovers(tmp_path):
+    """SIGKILL lands while the anchor's replicas are being written: the
+    job is not yet committed, so the coordinator re-enters it, restores
+    the missing pieces and copies, and the anchor ends fully
+    replicated."""
+    chain = LocalJobConfig(n_jobs=3, n_partitions=4, records_per_node=48,
+                           records_per_block=16, split_ratio=2, seed=0)
+    hooks = KillAt("replicate-dispatch", job=2, victims=[1])
+    config = RuntimeConfig(n_nodes=4, chain=chain, strategy="hybrid",
+                           hybrid_interval=2)
+    with Coordinator(config, tmp_path / "cluster", hooks=hooks) as coord:
+        hooks.coord = coord
+        report = coord.run_chain()
+        assert report.checksum == reference_checksum(chain)
+        assert [n for _, n in report.deaths] == [1]
+        assert coord.registry.replicated_jobs == {2: 2}
+        for plist in coord.registry.pieces[2].values():
+            for entry in plist:
+                assert len(coord.registry.holders(*entry.key)) >= 2
+
+
+@pytest.mark.slow
+def test_kill_mid_replica_write_leaves_no_torn_replica(tmp_path):
+    """SIGKILL during the replication phase: whatever the victim was
+    writing dies with it; every *committed* replica on a surviving node
+    is byte-identical to its primary and no temp file leaks."""
+    chain = LocalJobConfig(n_jobs=3, n_partitions=4, records_per_node=48,
+                           records_per_block=16, split_ratio=2, seed=0)
+    hooks = KillAt("replicate-dispatch", job=1, victims=[2])
+    config = RuntimeConfig(n_nodes=4, chain=chain, strategy="repl2")
+    with Coordinator(config, tmp_path / "cluster", hooks=hooks) as coord:
+        hooks.coord = coord
+        report = coord.run_chain()
+        assert report.checksum == reference_checksum(chain)
+        for node in coord.alive:
+            assert not list(NodeStore(coord.workdir, node)
+                            .dir.rglob("*.tmp"))
+        for key, holders in coord.registry.replicas.items():
+            datas = {NodeStore(coord.workdir, n).read_piece(*key)
+                     for n in holders}
+            assert len(holders) >= 2 and len(datas) == 1
+
+
+@pytest.mark.slow
+def test_hybrid_reclaim_frees_files_behind_the_anchor(tmp_path):
+    """Reclamation really unlinks: map outputs and pieces behind each
+    committed anchor disappear from every node's disk, files at/after
+    the last anchor stay, and a post-reclaim death still recovers (the
+    cascade never needs the reclaimed files)."""
+    chain = LocalJobConfig(n_jobs=5, n_partitions=4, records_per_node=48,
+                           records_per_block=16, split_ratio=2, seed=0)
+    hooks = KillAt("job-commit", job=4, victims=[1])
+    config = RuntimeConfig(n_nodes=4, chain=chain, strategy="hybrid",
+                           hybrid_interval=2, hybrid_reclaim=True)
+    with Coordinator(config, tmp_path / "cluster", hooks=hooks) as coord:
+        hooks.coord = coord
+        report = coord.run_chain()
+        assert report.checksum == reference_checksum(chain)
+        # anchors at jobs 2 and 4 each ran a reclamation pass
+        assert [a for a, _ in report.reclaims] == [2, 4]
+        assert report.reclaimed_bytes > 0
+        assert "B freed behind anchor" in report.render()
+        # post-anchor death never recomputed anything behind the anchor
+        assert not any(j < 4 for j, k, _ in report.job_times
+                       if k == "recompute")
+        stores = [NodeStore(coord.workdir, n) for n in sorted(coord.alive)]
+        # behind the last anchor: gone from every surviving disk
+        for store in stores:
+            for job in (1, 2, 3):
+                assert not (store.dir / "map" / f"job{job}").exists()
+            for job in (1, 2):
+                assert not (store.dir / "reduce" / f"job{job}").exists()
+        # at/after the last intact anchor: never touched
+        assert any((s.dir / "map" / "job4").is_dir() for s in stores)
+        assert any((s.dir / "reduce" / "job4").is_dir() for s in stores)
+        assert any((s.dir / "reduce" / "job5").is_dir() for s in stores)
+
+
+@pytest.mark.slow
+def test_optimistic_rerun_leaves_no_orphan_files(tmp_path):
+    """The rerun sweep: re-executed jobs place their reducers over the
+    *surviving* nodes, so without the on-disk sweep the old placement's
+    files linger as orphans on nodes the rerun no longer uses."""
+    hooks = KillAt("job-commit", job=2, victims=[1])
+    config = RuntimeConfig(n_nodes=4, chain=CHAIN, strategy="optimistic")
+    with Coordinator(config, tmp_path / "cluster", hooks=hooks) as coord:
+        hooks.coord = coord
+        report = coord.run_chain()
+        assert report.checksum == reference_checksum(CHAIN)
+        assert [(j, k) for j, k, _ in report.job_times] == \
+            [(1, "run"), (2, "run"), (1, "rerun"), (2, "rerun"), (3, "run")]
+        assert on_disk_orphans(coord, jobs={1, 2}) == []
+
+
+@pytest.mark.slow
+def test_repl2_simultaneous_double_copy_loss_is_irrecoverable(tmp_path):
+    """Losing both holders of a piece at once exceeds what REPL-2 can
+    mask — the coordinator must fail loudly, not return wrong bytes.
+    (Replica placement varies run to run, so the victims are the actual
+    holder set of one committed piece, read at kill time.)"""
+    class KillAllHolders:
+        coord = None
+
+        def __call__(self, event, **info):
+            if event == "job-commit" and info.get("job") == 2:
+                reg = self.coord.registry
+                entry = reg.pieces[2][0][0]
+                for node in sorted(reg.holders(*entry.key)):
+                    self.coord.kill_node(node)
+
+    with pytest.raises(RuntimeError, match="irrecoverable"):
+        run_process_chain(tmp_path, hooks=KillAllHolders(),
+                          strategy="repl2")
 
 
 @pytest.mark.slow

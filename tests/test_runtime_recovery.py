@@ -75,6 +75,14 @@ def test_plan_partial_piece_loss_is_not_resplit():
     assert not plan.split_applied
 
 
+def test_effective_split_ratio_auto_is_survivors_minus_one():
+    # None = auto, the paper's choice (Strategy.effective_split)
+    assert effective_split_ratio(None, 4) == 3
+    assert effective_split_ratio(None, 9) == 8
+    assert effective_split_ratio(None, 2) == 1
+    assert effective_split_ratio(None, 1) == 1  # never below one piece
+
+
 def test_cascade_walks_contiguous_damage_only():
     assert cascade_start(4, []) == 4
     assert cascade_start(4, [3]) == 3
@@ -82,6 +90,18 @@ def test_cascade_walks_contiguous_damage_only():
     # job 1 damaged but job 2 intact: the cascade does not reach job 1
     assert cascade_start(4, [1, 3]) == 3
     assert cascade_start(1, []) == 1
+
+
+def test_cascade_bounded_below_by_intact_anchor():
+    # an intact hybrid anchor (§IV-C) floors the walk: damage at or
+    # behind it is served by the anchor's replicas, not recomputation
+    assert cascade_start(6, [2, 4, 5], intact_anchors=[3]) == 4
+    assert cascade_start(4, [1, 3], intact_anchors=[2]) == 3
+    # the floor is the *last* intact anchor
+    assert cascade_start(8, [1, 3, 5, 6, 7], intact_anchors=[2, 4]) == 5
+    # an anchor above the damage run changes nothing
+    assert cascade_start(4, [2, 3], intact_anchors=[]) == 2
+    assert cascade_start(6, [5], intact_anchors=[2]) == 5
 
 
 def test_consumer_invalidations_by_origin_and_id_range():

@@ -53,3 +53,18 @@ def test_factory_names():
     assert rcmp(split_ratio=1).name == "RCMP NO-SPLIT"
     assert rcmp(hybrid_interval=5).name == "RCMP HYBRID-5"
     assert repl(3).name == "HADOOP REPL-3"
+
+
+def test_factory_threads_hybrid_replication_and_reclaim():
+    """Regression: rcmp() used to silently drop the hybrid knobs, so a
+    reclaiming hybrid strategy could only be built via replace()."""
+    s = rcmp(hybrid_interval=3, hybrid_replication=3, hybrid_reclaim=True)
+    assert s.hybrid_interval == 3
+    assert s.hybrid_replication == 3
+    assert s.hybrid_reclaim
+    assert s.name == "RCMP HYBRID-3 RECLAIM"
+    # reclamation needs an anchor to reclaim behind
+    with pytest.raises(ValueError, match="hybrid_interval"):
+        rcmp(hybrid_reclaim=True)
+    with pytest.raises(ValueError, match="hybrid_replication"):
+        rcmp(hybrid_interval=3, hybrid_replication=1)
