@@ -3,7 +3,8 @@
 
 Runs the same record-level chain under every runtime strategy — same
 nodes, same kill plan, real worker processes — and writes a side-by-side
-table to ``benchmarks/exec_strategies.md`` (untracked output, the
+table to ``benchmarks/exec_strategies.md`` plus a machine-readable
+``exec_strategies.json`` next to it (untracked output, the
 ``last_run.md`` convention).  Every run's checksum is verified against
 the failure-free in-process reference, so the numbers are only reported
 for *correct* recoveries.
@@ -18,6 +19,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import tempfile
 import time
 from pathlib import Path
@@ -93,6 +95,7 @@ def main() -> int:
             "reruns": kinds.count("rerun"),
             "re_repl": kinds.count("re-replicate"),
             "reclaimed": report.reclaimed_bytes,
+            "shuffle_bytes": report.total_shuffle_bytes,
             "ok": report.checksum == expected,
         })
         print(f"{strategy:<12s} {wall:7.2f}s  deaths={len(report.deaths)}"
@@ -114,7 +117,16 @@ def main() -> int:
     out = Path(args.out) if args.out else \
         Path(__file__).parent / "exec_strategies.md"
     out.write_text(header + "\n".join(table) + "\n")
-    print(f"\nwritten to {out}")
+    payload = {
+        "chain": {"jobs": args.jobs, "partitions": args.partitions,
+                  "records_per_node": args.records, "nodes": args.nodes,
+                  "seed": args.seed},
+        "faults": args.faults or None,
+        "rows": rows,
+    }
+    json_out = out.with_suffix(".json")
+    json_out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwritten to {out} and {json_out}")
     return 0 if all(row["ok"] for row in rows) else 1
 
 

@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Pipelined-shuffle benchmark: bytes shipped and wall-clock, A/B.
+
+Two experiments on the 4-node process backend, both checksum-verified
+against the failure-free in-process reference:
+
+* **split-filter**: a kill forces a 2-way split recomputation; the run
+  is repeated with server-side split filtering on and off and the
+  recompute-reduce shuffle bytes are compared.  Filtering must ship
+  about ``1/k`` of the unfiltered bytes (each split reducer receives
+  only its share of the partition instead of all of it).
+* **pipeline**: the same failure-free chain on the serial data plane
+  (1 task slot, 1 fetch at a time, connection-per-request, client-side
+  filtering — the pre-pipelining runtime) versus the pipelined one
+  (4 slots, 4-way parallel fetch, persistent connections); wall-clock
+  is the metric.
+
+Results land in ``benchmarks/BENCH_shuffle.json`` (committed — the perf
+trajectory record).  ``--check`` re-runs at a reduced scale and fails
+non-zero if filtering ships more than ``1/k * (1 + eps)`` of the
+unfiltered bytes or the pipelined plane is slower than the margin allows
+— the CI smoke for the data plane's two headline claims.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_shuffle_bench.py
+    PYTHONPATH=src python benchmarks/run_shuffle_bench.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.faults import FaultModel
+from repro.localexec import LocalCluster, LocalJobConfig
+from repro.runtime import Coordinator, RuntimeConfig, chain_checksum
+
+#: wall-clock slack for the pipelined-vs-serial comparison: on a
+#: single-core host the slot threads only overlap I/O, so the win is
+#: smaller and noisier (same convention as the 4-vs-1-node test)
+WALL_MARGIN = 1.25 if (os.cpu_count() or 1) < 2 else 1.05
+SPLIT_EPS = 0.25
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=256,
+                        help="chain input records per node")
+    parser.add_argument("--value-size", type=int, default=64)
+    parser.add_argument("--jobs", type=int, default=3)
+    parser.add_argument("--partitions", type=int, default=8)
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="wall-clock runs per data plane (best-of)")
+    parser.add_argument("--check", action="store_true",
+                        help="reduced scale + hard assertions (CI smoke)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: "
+                             "benchmarks/BENCH_shuffle.json)")
+    return parser.parse_args()
+
+
+def reference_checksum(chain: LocalJobConfig, n_nodes: int = 4) -> str:
+    cluster = LocalCluster(n_nodes, chain)
+    cluster.run_chain()
+    return chain_checksum(cluster.final_output())
+
+
+def run_chain(chain: LocalJobConfig, expected: str, faults: str = "",
+              **config_kwargs):
+    config = RuntimeConfig(n_nodes=4, chain=chain, **config_kwargs)
+    model = FaultModel.parse(faults) if faults else None
+    with tempfile.TemporaryDirectory(prefix="rcmp-shuffle-") as workdir:
+        t0 = time.perf_counter()
+        with Coordinator(config, workdir, fault_model=model) as coord:
+            report = coord.run_chain()
+        wall = time.perf_counter() - t0
+    if report.checksum != expected:
+        raise SystemExit(f"checksum mismatch under {config_kwargs}: "
+                         f"{report.checksum} != {expected}")
+    # report.wall_time sums the job phases — worker fork/startup (which
+    # no data plane can touch) is excluded from the comparison
+    return report, wall
+
+
+def split_filter_ab(chain: LocalJobConfig, expected: str) -> dict:
+    """Kill node 1 after job 2 commits -> a split_ratio-way split
+    recomputation; compare recompute-reduce shuffle bytes A/B."""
+    result = {"split_ratio": chain.split_ratio}
+    for label, filtered in (("filtered", True), ("unfiltered", False)):
+        report, wall = run_chain(chain, expected,
+                                 faults="kill@job2+0:node=1",
+                                 server_split_filter=filtered)
+        recompute_bytes = sum(
+            n for phase, n in report.shuffle_bytes.items()
+            if phase.startswith("recompute-reduce"))
+        result[label] = {
+            "recompute_reduce_bytes": recompute_bytes,
+            "total_shuffle_bytes": report.total_shuffle_bytes,
+            "wall_s": round(wall, 3),
+        }
+    result["bytes_ratio"] = round(
+        result["filtered"]["recompute_reduce_bytes"]
+        / max(1, result["unfiltered"]["recompute_reduce_bytes"]), 4)
+    return result
+
+
+def pipeline_ab(chain: LocalJobConfig, expected: str, repeat: int,
+                faults: str = "") -> dict:
+    """Serial vs pipelined data plane on the same chain, best-of-N.
+    ``faults`` adds a kill so the comparison covers the recovery hot
+    path (split recomputation) as well as the failure-free chain."""
+    planes = {
+        "serial": dict(task_slots=1, fetch_parallelism=1,
+                       persistent_connections=False,
+                       server_split_filter=False),
+        "pipelined": dict(task_slots=4, fetch_parallelism=4,
+                          persistent_connections=True,
+                          server_split_filter=True),
+    }
+    result = {}
+    for label, knobs in planes.items():
+        walls = []
+        for _ in range(repeat):
+            report, _outer = run_chain(chain, expected, faults=faults,
+                                       **knobs)
+            walls.append(report.wall_time)
+        result[label] = {
+            "wall_s": round(min(walls), 3),
+            "walls_s": [round(w, 3) for w in walls],
+            "total_shuffle_bytes": report.total_shuffle_bytes,
+            "knobs": knobs,
+        }
+    result["speedup"] = round(result["serial"]["wall_s"]
+                              / result["pipelined"]["wall_s"], 3)
+    return result
+
+
+def main() -> int:
+    args = parse_args()
+    records = 96 if args.check else args.records
+    value_size = 32 if args.check else args.value_size
+    repeat = 2 if args.check else args.repeat
+    chain = LocalJobConfig(n_jobs=args.jobs,
+                           n_partitions=args.partitions,
+                           records_per_node=records,
+                           records_per_block=16,
+                           value_size=value_size,
+                           split_ratio=2, seed=0)
+    expected = reference_checksum(chain)
+
+    split = split_filter_ab(chain, expected)
+    k = split["split_ratio"]
+    print(f"split-filter: filtered "
+          f"{split['filtered']['recompute_reduce_bytes']}B vs unfiltered "
+          f"{split['unfiltered']['recompute_reduce_bytes']}B "
+          f"(ratio {split['bytes_ratio']}, target <= "
+          f"{round((1 + SPLIT_EPS) / k, 3)})")
+
+    pipe = pipeline_ab(chain, expected, repeat)
+    print(f"pipeline (clean): serial {pipe['serial']['wall_s']}s vs "
+          f"pipelined {pipe['pipelined']['wall_s']}s "
+          f"(speedup {pipe['speedup']}x, margin {WALL_MARGIN})")
+    pipe_kill = pipeline_ab(chain, expected, repeat,
+                            faults="kill@job2+0:node=1")
+    print(f"pipeline (kill):  serial {pipe_kill['serial']['wall_s']}s vs "
+          f"pipelined {pipe_kill['pipelined']['wall_s']}s "
+          f"(speedup {pipe_kill['speedup']}x)")
+
+    payload = {
+        "chain": {"jobs": args.jobs, "partitions": args.partitions,
+                  "records_per_node": records, "value_size": value_size,
+                  "nodes": 4, "split_ratio": k},
+        "check_mode": args.check,
+        "cpu_count": os.cpu_count(),
+        "split_filter": split,
+        "pipeline": pipe,
+        "pipeline_with_kill": pipe_kill,
+    }
+    out = Path(args.out) if args.out else \
+        Path(__file__).parent / "BENCH_shuffle.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"written to {out}")
+
+    failures = []
+    if split["bytes_ratio"] > (1 + SPLIT_EPS) / k:
+        failures.append(
+            f"split filtering shipped {split['bytes_ratio']} of the "
+            f"unfiltered bytes (allowed {(1 + SPLIT_EPS) / k:.3f})")
+    best_speedup = max(pipe["speedup"], pipe_kill["speedup"])
+    if args.check and best_speedup * WALL_MARGIN < 1.0:
+        failures.append(
+            f"pipelined plane too slow: best speedup {best_speedup}x "
+            f"(clean {pipe['speedup']}x, kill {pipe_kill['speedup']}x, "
+            f"margin {WALL_MARGIN})")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,6 +50,20 @@ def _split_ratio(text: str):
             f"expected an integer or 'auto', got {text!r}")
 
 
+def _task_slots(text: str):
+    """argparse type for --task-slots: a positive int, or "auto"."""
+    if text.lower() == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError("--task-slots must be >= 1")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rcmp-repro",
@@ -151,6 +165,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-scale", type=float, default=1.0,
                    help="multiply fault-plan offsets (shrink simulated-"
                         "seconds plans onto fast real runs)")
+    p.add_argument("--task-slots", type=_task_slots, default=1,
+                   metavar="N",
+                   help='concurrent tasks per worker process: 1 (the '
+                        'default) keeps classic single-slot semantics, '
+                        'N > 1 runs tasks on a slot thread pool, "auto" '
+                        "splits the host's cores across the workers "
+                        "(process backend)")
+    p.add_argument("--fetch-parallelism", type=int, default=4,
+                   metavar="N",
+                   help="concurrent shuffle fetches per reduce/replicate "
+                        "task — source nodes are fetched in parallel and "
+                        "merged as responses land (process backend)")
+    p.add_argument("--no-server-filter", action="store_true",
+                   help="disable server-side split filtering: k-way "
+                        "split reducers pull the full partition bytes "
+                        "and filter client-side (the pre-pipelining "
+                        "data plane; for A/B measurement)")
     p.add_argument("--heartbeat-interval", type=float, default=0.05,
                    help="worker heartbeat period, wall-clock seconds "
                         "(process backend)")
@@ -271,7 +302,11 @@ def _exec_process(args, chain, model, tracer):
         config = RuntimeConfig(n_nodes=args.nodes, chain=chain,
                                heartbeat_interval=args.heartbeat_interval,
                                heartbeat_expiry=args.heartbeat_expiry,
-                               strategy=args.strategy, **kwargs)
+                               strategy=args.strategy,
+                               task_slots=args.task_slots,
+                               fetch_parallelism=args.fetch_parallelism,
+                               server_split_filter=not args.no_server_filter,
+                               **kwargs)
         workctx = (nullcontext(args.workdir) if args.workdir
                    else tempfile.TemporaryDirectory(prefix="rcmp-exec-"))
         with workctx as workdir:

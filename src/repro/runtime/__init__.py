@@ -15,7 +15,9 @@ Modules:
   ``localexec``); importing it pulls no process machinery.
 * :mod:`repro.runtime.storage` — on-disk node layout, record codec,
   coordinator-side registry with the damage inventory.
-* :mod:`repro.runtime.transport` — pipe framing, heartbeats, TCP shuffle.
+* :mod:`repro.runtime.transport` — pipe framing, heartbeats, and the
+  pipelined TCP shuffle (persistent per-peer connections, server-side
+  split filtering).
 * :mod:`repro.runtime.worker` — the worker process main loop.
 * :mod:`repro.runtime.coordinator` — job DAG, dispatch, failure handling.
 * :mod:`repro.runtime.faults` — fault plan -> live ``SIGKILL`` injection.
@@ -37,9 +39,11 @@ from repro.runtime.recovery import (
 __all__ = [
     "Coordinator",
     "JobRecoveryPlan",
+    "PeerPool",
     "ReduceSpec",
     "RunReport",
     "RuntimeConfig",
+    "ShuffleServer",
     "cascade_start",
     "chain_checksum",
     "consumer_invalidations",
@@ -52,6 +56,8 @@ _LAZY = {
     "RuntimeConfig": ("repro.runtime.coordinator", "RuntimeConfig"),
     "RunReport": ("repro.runtime.coordinator", "RunReport"),
     "chain_checksum": ("repro.runtime.storage", "chain_checksum"),
+    "PeerPool": ("repro.runtime.transport", "PeerPool"),
+    "ShuffleServer": ("repro.runtime.transport", "ShuffleServer"),
 }
 
 

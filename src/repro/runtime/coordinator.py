@@ -116,6 +116,22 @@ class RuntimeConfig:
     #: wall-clock seconds without dispatch progress before giving up
     io_timeout: float = 30.0
     fig5_guard: bool = True
+    #: concurrent tasks per worker process: 1 = classic single-slot
+    #: semantics, N > 1 = a slot thread pool, "auto" = cores-aware
+    #: (cpu count split across the co-hosted workers)
+    task_slots: int | str = 1
+    #: concurrent shuffle fetches per reduce/replicate task
+    fetch_parallelism: int = 4
+    #: per-attempt shuffle fetch timeout; must sit well under io_timeout
+    #: so a dead source resolves to task-failed before dispatch is
+    #: judged stalled
+    fetch_timeout: float = 5.0
+    #: filter map slices by reducer split on the serving node (ship 1/k
+    #: of the partition bytes for a k-way split) instead of client-side
+    server_split_filter: bool = True
+    #: keep one pooled connection per peer (False = connection per
+    #: request, the pre-pipelining data plane, kept for A/B benching)
+    persistent_connections: bool = True
     #: replicate every k-th job's output as a cascade-bounding anchor
     #: (strategy "hybrid" only; paper §IV-C)
     hybrid_interval: int = 2
@@ -148,6 +164,20 @@ class RuntimeConfig:
                 f"exceed heartbeat_expiry ({self.heartbeat_expiry}s): "
                 "a mid-shuffle death must be declared well before "
                 "dispatch is judged stalled")
+        if self.task_slots != "auto" and (
+                not isinstance(self.task_slots, int)
+                or self.task_slots < 1):
+            raise ValueError("task_slots must be a positive int or 'auto'")
+        if self.fetch_parallelism < 1:
+            raise ValueError("fetch_parallelism must be >= 1")
+        if self.fetch_timeout <= 0:
+            raise ValueError("fetch_timeout must be positive")
+        if self.fetch_timeout >= self.io_timeout:
+            raise ValueError(
+                f"fetch_timeout ({self.fetch_timeout}s) must be below "
+                f"io_timeout ({self.io_timeout}s): a single fetch "
+                "attempt may not consume the whole dispatch-stall "
+                "budget")
         # reuses the simulator's detector semantics (and its validation)
         self.detector  # noqa: B018 -- construct to validate
 
@@ -160,6 +190,25 @@ class RuntimeConfig:
     def replication(self) -> int:
         """Replication factor every committed job output maintains."""
         return _REPLICATION.get(self.strategy, 1)
+
+    @property
+    def resolved_task_slots(self) -> int:
+        """``task_slots`` with ``"auto"`` resolved: the host's cores
+        split across the co-hosted workers, at least 1."""
+        if self.task_slots == "auto":
+            return max(1, (os.cpu_count() or 1) // self.n_nodes)
+        return int(self.task_slots)
+
+    def worker_options(self) -> dict:
+        """The data-plane knobs each forked worker receives."""
+        return {
+            "task_slots": self.resolved_task_slots,
+            "fetch_parallelism": self.fetch_parallelism,
+            "fetch_timeout": self.fetch_timeout,
+            "server_timeout": self.io_timeout,
+            "server_split_filter": self.server_split_filter,
+            "persistent_connections": self.persistent_connections,
+        }
 
     @property
     def recomputes(self) -> bool:
@@ -193,6 +242,9 @@ class _Link:
     port: int = 0
     last_seen: float = 0.0
     closed: bool = False
+    #: epoch whose peer-port map this worker has cached (ports are
+    #: broadcast once per epoch instead of riding on every command)
+    ports_epoch: int = -1
 
 
 @dataclass
@@ -209,10 +261,16 @@ class RunReport:
     strategy: str = "rcmp"
     #: (anchor job, bytes freed) per hybrid reclamation pass
     reclaims: list[tuple[int, int]] = field(default_factory=list)
+    #: dispatch phase -> bytes the phase's tasks pulled over the shuffle
+    shuffle_bytes: dict[str, int] = field(default_factory=dict)
 
     @property
     def wall_time(self) -> float:
         return sum(t for _, _, t in self.job_times)
+
+    @property
+    def total_shuffle_bytes(self) -> int:
+        return sum(self.shuffle_bytes.values())
 
     @property
     def reclaimed_bytes(self) -> int:
@@ -226,6 +284,7 @@ class RunReport:
             lines.append(f"{anchor:>4d}  {'reclaim':<12s}  "
                          f"{freed:>8d}B freed behind anchor")
         lines.append(f"deaths: {len(self.deaths)}   "
+                     f"shuffle: {self.total_shuffle_bytes}B   "
                      f"checksum: {self.checksum}")
         return "\n".join(lines)
 
@@ -258,6 +317,7 @@ class Coordinator:
         self.deaths: list[tuple[float, int]] = []
         self.job_times: list[tuple[int, str, float]] = []
         self.reclaims: list[tuple[int, int]] = []
+        self.shuffle_bytes: dict[str, int] = {}
         self._links: dict[int, _Link] = {}
         self._inbox: deque[tuple] = deque()
         self._t0 = 0.0
@@ -292,7 +352,8 @@ class Coordinator:
                     target=worker_main,
                     args=(node, str(self.workdir), cmd_recv, evt_send,
                           self.config.heartbeat_interval, chain.seed,
-                          chain.records_per_node, chain.value_size),
+                          chain.records_per_node, chain.value_size,
+                          self.config.worker_options()),
                     name=f"rcmp-worker-{node}", daemon=True)
                 proc.start()
                 cmd_recv.close()
@@ -379,7 +440,8 @@ class Coordinator:
                          deaths=list(self.deaths),
                          n_nodes=self.config.n_nodes,
                          strategy=self.config.strategy,
-                         reclaims=list(self.reclaims))
+                         reclaims=list(self.reclaims),
+                         shuffle_bytes=dict(self.shuffle_bytes))
 
     def _run_job(self, job: int, kind: str = "run") -> None:
         """Run one job, reusing whatever committed outputs survive."""
@@ -426,7 +488,6 @@ class Coordinator:
         """Replication commands bringing each piece up to its job's
         target holder count: each missing copy is fetched from the
         primary holder by the target node over the shuffle transport."""
-        ports = self._ports()
         alive = sorted(self.alive)
         cmds = {}
         rr = 0
@@ -446,7 +507,7 @@ class Coordinator:
                     "partition": entry.partition,
                     "split": entry.split_index,
                     "n_splits": entry.n_splits,
-                    "source": entry.node, "target": node, "ports": ports,
+                    "source": entry.node, "target": node,
                 })
         return cmds
 
@@ -663,7 +724,6 @@ class Coordinator:
     def _map_commands(self, job: int,
                       blocks: list[BlockSpec]) -> dict:
         chain = self.config.chain
-        ports = self._ports()
         cmds = {}
         for block in blocks:
             node = self.map_assignment(job, block.task_id, block.node)
@@ -672,7 +732,7 @@ class Coordinator:
             cmds[("map", job, block.task_id)] = (node, {
                 "op": "map", "job": job, "task": block.task_id,
                 "origin": block.origin, "source": block.source,
-                "n_partitions": chain.n_partitions, "ports": ports,
+                "n_partitions": chain.n_partitions,
             })
         return cmds
 
@@ -680,7 +740,7 @@ class Coordinator:
                         n_splits: int, sources: list) -> dict:
         return {"op": "reduce", "job": job, "partition": partition,
                 "split": split_index, "n_splits": n_splits,
-                "sources": sources, "ports": self._ports()}
+                "sources": sources}
 
     def _sources(self, job: int) -> list[tuple[int, int]]:
         return [(t, self.registry.map_outputs[(job, t)].node)
@@ -702,6 +762,16 @@ class Coordinator:
         except CHANNEL_DOWN:
             link.closed = True  # death will be declared by the pump
 
+    def _ensure_ports(self, node: int) -> None:
+        """Broadcast the peer-port map to ``node`` once per epoch (the
+        map only changes when a death bumps the epoch), instead of
+        resending the full dict on every task command."""
+        link = self._links[node]
+        if link.ports_epoch != self.epoch:
+            self._send(node, {"op": "ports", "epoch": self.epoch,
+                              "ports": self._ports()})
+            link.ports_epoch = self.epoch
+
     def _run_tasks(self, cmds: dict, phase: str,
                    after_send: Optional[Callable[[], None]] = None,
                    on_piece: Optional[Callable[[PieceEntry], None]]
@@ -721,6 +791,7 @@ class Coordinator:
         for key, (node, cmd) in cmds.items():
             cmd = dict(cmd)
             cmd["epoch"] = self.epoch
+            self._ensure_ports(node)
             self._send(node, cmd)
             outstanding[key] = (node, cmd)
             if self.tracer.enabled:
@@ -748,48 +819,53 @@ class Coordinator:
                 continue
             kind = msg[0]
             if kind == "map-done":
-                _, node, epoch, job, task, origin, counts, pid = msg
+                _, node, epoch, job, task, origin, counts, pid, fetched = msg
                 key = ("map", job, task)
                 if epoch != self.epoch or key not in outstanding:
                     continue
+                self._count_shuffle(phase, fetched)
                 self.registry.add_map(MapEntry(job, task, node, origin,
                                                counts))
             elif kind == "reduce-done":
-                _, node, epoch, job, partition, s, k, n, pid = msg
+                _, node, epoch, job, partition, s, k, n, pid, fetched = msg
                 key = ("reduce", job, partition, s, k)
                 if epoch != self.epoch or key not in outstanding:
                     continue
+                self._count_shuffle(phase, fetched)
                 entry = PieceEntry(job, partition, s, k, node, n)
                 if on_piece is not None:
                     on_piece(entry)
                 else:
                     self.registry.add_piece(entry)
             elif kind == "replica-done":
-                _, node, epoch, job, partition, s, k, pid = msg
+                _, node, epoch, job, partition, s, k, pid, fetched = msg
                 key = ("replicate", job, partition, s, k, node)
                 if epoch != self.epoch or key not in outstanding:
                     continue
+                self._count_shuffle(phase, fetched)
                 self.registry.add_replica(job, partition, s, k, node)
             elif kind == "dropped":
                 _, node, epoch, job, task = msg
                 key = ("drop", job, task)
-                pid = self._links[node].pid
                 if epoch != self.epoch or key not in outstanding:
                     continue
+                # the link lookup must stay behind the guard: a stale
+                # message may name a node whose link no longer exists
+                pid = self._links[node].pid
             elif kind == "job-dropped":
                 _, node, epoch, job, freed = msg
                 key = ("drop-job", job, node)
-                pid = self._links[node].pid
                 if epoch != self.epoch or key not in outstanding:
                     continue
+                pid = self._links[node].pid
                 if on_freed is not None:
                     on_freed(freed)
             elif kind == "reclaimed":
                 _, node, epoch, anchor, freed = msg
                 key = ("reclaim", anchor, node)
-                pid = self._links[node].pid
                 if epoch != self.epoch or key not in outstanding:
                     continue
+                pid = self._links[node].pid
                 if on_freed is not None:
                     on_freed(freed)
             elif kind == "task-failed":
@@ -819,6 +895,12 @@ class Coordinator:
                     extra.update(split=key[3], n_splits=key[4])
                 spans[key].end(**extra)
             del outstanding[key]
+
+    def _count_shuffle(self, phase: str, fetched: int) -> None:
+        """Credit one committed task's shuffle traffic to its phase."""
+        if fetched:
+            self.shuffle_bytes[phase] = (
+                self.shuffle_bytes.get(phase, 0) + fetched)
 
     # ----------------------------------------------------------- event pump
     def _pump(self, timeout: float = 0.02,

@@ -32,11 +32,12 @@ import hashlib
 import json
 import os
 import struct
+import threading
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Optional
 
-from repro.localexec.records import Record
+from repro.localexec.records import Record, split_of
 from repro.runtime.recovery import STRIDE, PieceSignature
 
 _KEY = struct.Struct(">QI")
@@ -52,20 +53,62 @@ def encode_records(records: Iterable[Record]) -> bytes:
     return b"".join(parts)
 
 
-def decode_records(data: bytes) -> list[Record]:
-    out = []
+def iter_record_frames(data: bytes):
+    """Yield ``(key, start, end)`` raw frame spans of the framed encoding.
+
+    The streaming primitive behind :func:`decode_records` and
+    :func:`filter_split`: walking the frames costs two struct reads per
+    record and never materializes a ``Record``, which is what the shuffle
+    serve path wants — it only needs keys (for split routing) and raw
+    byte spans (to forward verbatim)."""
     offset = 0
     size = len(data)
     while offset < size:
         if size - offset < _KEY.size:
             raise ValueError("truncated record header")
         key, length = _KEY.unpack_from(data, offset)
-        offset += _KEY.size
-        if size - offset < length:
+        end = offset + _KEY.size + length
+        if end > size:
             raise ValueError("truncated record value")
-        out.append(Record(key, data[offset:offset + length]))
-        offset += length
-    return out
+        yield key, offset, end
+        offset = end
+
+
+def iter_records(data: bytes):
+    """Lazily decode the framed encoding into :class:`Record`s."""
+    for key, start, end in iter_record_frames(data):
+        yield Record(key, data[start + _KEY.size:end])
+
+
+def decode_records(data: bytes) -> list[Record]:
+    return list(iter_records(data))
+
+
+def filter_split(data: bytes, split_index: int, n_splits: int) -> bytes:
+    """Keep only the frames whose key routes to ``split_index`` of a
+    ``n_splits``-way reducer split.
+
+    Operates on raw frame spans — no ``Record`` objects, no re-encoding —
+    so the shuffle server can filter a requested slice before shipping
+    it: a k-way split recomputation then ships 1/k of the partition
+    bytes instead of sending everything and letting each split reducer
+    throw (k-1)/k of it away client-side.  Frame order is preserved, so
+    the concatenation of all ``n_splits`` filtrations is a permutation-
+    free repartition of ``data`` and decoding is unchanged."""
+    if n_splits <= 1:
+        return data
+    spans = [(start, end) for key, start, end in iter_record_frames(data)
+             if split_of(key, n_splits) == split_index]
+    if not spans:
+        return b""
+    # coalesce adjacent kept frames into single slices
+    merged: list[list[int]] = []
+    for start, end in spans:
+        if merged and merged[-1][1] == start:
+            merged[-1][1] = end
+        else:
+            merged.append([start, end])
+    return b"".join(data[start:end] for start, end in merged)
 
 
 def chain_checksum(final_output: dict[int, list[Record]]) -> str:
@@ -107,7 +150,12 @@ class NodeStore:
     @staticmethod
     def _write_atomic(path: Path, data: bytes) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(path.suffix + ".tmp")
+        # the tmp name carries pid + thread id: a multi-slot worker may
+        # execute a re-dispatched duplicate of a task concurrently with
+        # the original attempt, and two writers sharing one tmp path
+        # could interleave into a torn rename
+        tmp = path.with_suffix(
+            path.suffix + f".{os.getpid()}-{threading.get_ident()}.tmp")
         with open(tmp, "wb") as fh:
             fh.write(data)
         os.replace(tmp, path)

@@ -5,17 +5,32 @@ Three channels connect a worker to the rest of the runtime:
 * a **command pipe** (coordinator -> worker): task commands, invalidation
   drops, stop;
 * an **event pipe** (worker -> coordinator): heartbeats, readiness, task
-  commits and failures.  The worker writes it from two threads (main loop
-  and heartbeat), serialized by :class:`LockedConnection`.  A ``SIGKILL``
-  can only tear *this worker's* pipe — the coordinator reads a broken
-  stream as an end-of-channel signal for that node alone, never a shared
-  corrupted queue;
+  commits and failures.  The worker writes it from several threads (slot
+  threads and heartbeat), serialized by :class:`LockedConnection`.  A
+  ``SIGKILL`` can only tear *this worker's* pipe — the coordinator reads
+  a broken stream as an end-of-channel signal for that node alone, never
+  a shared corrupted queue;
 * a **shuffle server** (worker <-> worker): a TCP listener on the
   loopback interface serving the node's persisted files.  Reducers fetch
   map-output slices from mapper nodes; re-homed mappers fetch upstream
   piece ranges.  A dead worker's socket refuses connections, which a
   fetching worker reports as a task failure — the coordinator's heartbeat
   expiry then declares the death and triggers recovery.
+
+The shuffle data plane is **pipelined**:
+
+* :class:`ShuffleServer` speaks a framed request/response protocol over
+  *kept-alive* connections — one connection per fetching peer instead of
+  one per request — and can filter a ``maps`` slice by reducer split
+  before shipping it (``split``/``n_splits`` in the request), so a k-way
+  split recomputation ships 1/k of the partition bytes;
+* :class:`PeerPool` is the client side: one persistent connection per
+  peer port, shared across a worker's task slots (a per-peer lock
+  serializes request/response framing).  A broken connection falls back
+  to a clean reconnect — the retry/backoff budget is exactly what the
+  old connection-per-request ``fetch`` spent, so death detection
+  semantics are unchanged: a genuinely dead peer still surfaces as
+  :class:`FetchError` after ``retries`` attempts.
 
 Heartbeats follow :class:`repro.faults.HeartbeatDetector` semantics:
 workers beat every ``interval`` wall-clock seconds and the coordinator
@@ -32,6 +47,8 @@ import struct
 import threading
 import time
 from typing import TYPE_CHECKING, Optional
+
+from repro.runtime.storage import filter_split
 
 if TYPE_CHECKING:  # pragma: no cover
     from multiprocessing.connection import Connection
@@ -98,84 +115,258 @@ def serve_request(store: "NodeStore", request: dict) -> bytes:
     ``maps`` is the bulk-shuffle request: every requested map task's
     slice for one partition in a single response (frame concatenation is
     record-list concatenation, so the reducer decodes it in one go) —
-    one connection per source *node* instead of per map task."""
+    one connection per source *node* instead of per map task.  When the
+    request carries ``split``/``n_splits``, each slice is filtered by
+    ``split_of`` *server-side* before shipping: the reducer of one split
+    receives exactly its 1/k of the keys instead of the whole partition
+    (the paper's reducer-splitting hot path, §IV-B1)."""
     kind = request["kind"]
     if kind == "maps":
-        return b"".join(
-            store.read_map_slice(request["job"], task, request["partition"])
-            for task in request["tasks"])
+        split = request.get("split")
+        slices = (store.read_map_slice(request["job"], task,
+                                       request["partition"])
+                  for task in request["tasks"])
+        if split is None:
+            return b"".join(slices)
+        n_splits = request["n_splits"]
+        return b"".join(filter_split(data, split, n_splits)
+                        for data in slices)
     if kind == "piece":
         return store.read_piece(request["job"], request["partition"],
                                 request["split"], request["n_splits"])
     raise ValueError(f"unknown shuffle request kind {kind!r}")
 
 
-def start_shuffle_server(store: "NodeStore",
-                         timeout: float = 10.0) -> tuple[socket.socket, int]:
-    """Bind the node's shuffle listener and serve it from a daemon thread.
+class ShuffleServer:
+    """The node's shuffle listener: framed requests over kept-alive
+    connections, served from daemon threads (one per *peer connection*,
+    not one per request).
 
-    Returns ``(listener, port)``; the port is reported to the coordinator
-    in the worker's readiness message and distributed to fetching peers
-    inside task commands."""
-    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-    listener.bind(("127.0.0.1", 0))
-    listener.listen(64)
-    port = listener.getsockname()[1]
+    ``timeout`` bounds how long one connection may sit mid-request (and
+    how long an idle pooled connection is kept before the server drops
+    it — the client's :class:`PeerPool` transparently reconnects).  It
+    is plumbed from ``RuntimeConfig.io_timeout`` so a user raising the
+    dispatch-stall budget raises the shuffle patience with it."""
 
-    def serve_one(conn: socket.socket) -> None:
+    def __init__(self, store: "NodeStore", timeout: float = 30.0,
+                 port: int = 0):
+        self.store = store
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._conns: set[socket.socket] = set()
+        self.connections_accepted = 0
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if hasattr(socket, "SO_REUSEPORT"):  # pragma: no branch
+            # a restarted server must rebind its advertised port even
+            # while old peer connections linger in FIN_WAIT
+            self._listener.setsockopt(socket.SOL_SOCKET,
+                                      socket.SO_REUSEPORT, 1)
+        self._listener.bind(("127.0.0.1", port))
+        self._listener.listen(64)
+        self.port = self._listener.getsockname()[1]
+        self._closed = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"shuffle-node{store.node}",
+            daemon=True)
+        self._accept_thread.start()
+
+    def _serve_conn(self, conn: socket.socket) -> None:
         try:
             with conn:
-                conn.settimeout(timeout)
-                size = _LEN.unpack(_recv_exact(conn, _LEN.size))[0]
-                request = pickle.loads(_recv_exact(conn, size))
-                payload = serve_request(store, request)
-                conn.sendall(_LEN.pack(len(payload)) + payload)
+                while True:
+                    conn.settimeout(self.timeout)
+                    size = _LEN.unpack(_recv_exact(conn, _LEN.size))[0]
+                    request = pickle.loads(_recv_exact(conn, size))
+                    payload = serve_request(self.store, request)
+                    conn.sendall(_LEN.pack(len(payload)) + payload)
         except (OSError, ConnectionError, ValueError, pickle.PickleError):
-            pass  # fetcher sees a short read and retries/reports
+            pass  # peer closed / idle timeout / bad frame: connection done
+        finally:
+            with self._lock:
+                self._conns.discard(conn)
 
-    def accept_loop() -> None:
+    def _accept_loop(self) -> None:
         while True:
             try:
-                conn, _addr = listener.accept()
-            except OSError:  # listener closed at shutdown
+                conn, _addr = self._listener.accept()
+            except OSError:  # listener shut down
                 return
-            threading.Thread(target=serve_one, args=(conn,),
+            if self._closed:  # pragma: no cover - shutdown race
+                conn.close()
+                return
+            with self._lock:
+                self._conns.add(conn)
+                self.connections_accepted += 1
+            threading.Thread(target=self._serve_conn, args=(conn,),
                              daemon=True).start()
 
-    threading.Thread(target=accept_loop, name=f"shuffle-node{store.node}",
-                     daemon=True).start()
-    return listener, port
+    def close(self) -> None:
+        """Stop accepting and tear down every live peer connection.
+
+        The accept thread is woken (``shutdown`` on the listening
+        socket) and joined *before* the listener fd is closed: closing
+        an fd another thread is blocked in ``accept()`` on lets a new
+        socket reuse the fd number and the stale thread steal its
+        connections."""
+        self._closed = True
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # not connected / already closed: accept still wakes
+        self._accept_thread.join(timeout=2.0)
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+def start_shuffle_server(store: "NodeStore",
+                         timeout: float = 30.0) -> tuple[ShuffleServer, int]:
+    """Bind the node's shuffle listener; returns ``(server, port)``."""
+    server = ShuffleServer(store, timeout=timeout)
+    return server, server.port
+
+
+# ------------------------------------------------------------- fetch clients
+class _Peer:
+    """One peer's pooled connection + the lock framing its use."""
+
+    __slots__ = ("lock", "sock")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.sock: Optional[socket.socket] = None
+
+
+class PeerPool:
+    """Persistent per-peer shuffle connections, shared across task slots.
+
+    ``fetch`` holds the peer's lock for one request/response exchange
+    at a time, so concurrent fetches to *different* peers run in
+    parallel while fetches to the same peer serialize on its one
+    connection (and back off concurrently when it is down).  A
+    connection that breaks (peer died, or the server dropped an idle
+    connection) is discarded and rebuilt on the next attempt; after
+    ``retries`` failed attempts the peer is declared unreachable via
+    :class:`FetchError` — the same budget the old one-shot ``fetch``
+    spent, so the coordinator's failure path sees identical timing.
+
+    ``persistent=False`` degrades to connection-per-request (the
+    pre-pipelining data plane; kept for A/B benchmarking)."""
+
+    def __init__(self, timeout: float = 5.0, retries: int = 3,
+                 backoff: float = 0.05, persistent: bool = True):
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.persistent = persistent
+        self._lock = threading.Lock()
+        self._peers: dict[int, _Peer] = {}
+
+    def _peer(self, port: int) -> _Peer:
+        with self._lock:
+            peer = self._peers.get(port)
+            if peer is None:
+                peer = self._peers[port] = _Peer()
+            return peer
+
+    @staticmethod
+    def _drop(peer: _Peer) -> None:
+        sock, peer.sock = peer.sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def fetch(self, port: int, request: dict) -> bytes:
+        """Fetch bytes from the peer's shuffle server (idempotent reads:
+        a retry after a mid-response break simply re-sends the request).
+
+        The peer's lock is held per *attempt* — one full framed
+        request/response exchange — never across a backoff sleep, so
+        concurrent tasks retrying against a dead peer back off in
+        parallel instead of queueing each other's full retry budgets."""
+        payload = pickle.dumps(request)
+        peer = self._peer(port)
+        last: Optional[Exception] = None
+        for attempt in range(self.retries):
+            sock: Optional[socket.socket] = None
+            try:
+                with peer.lock:
+                    sock = peer.sock
+                    if sock is None:
+                        sock = socket.create_connection(
+                            ("127.0.0.1", port), timeout=self.timeout)
+                        peer.sock = sock
+                    sock.sendall(_LEN.pack(len(payload)) + payload)
+                    size = _LEN.unpack(_recv_exact(sock, _LEN.size))[0]
+                    data = _recv_exact(sock, size)
+                    if not self.persistent:
+                        self._drop(peer)
+                    return data
+            except (OSError, ConnectionError) as exc:
+                last = exc
+                with peer.lock:
+                    # only un-pool the socket *we* failed on: another
+                    # thread may already be mid-exchange on a fresh one
+                    if peer.sock is sock:
+                        peer.sock = None
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                time.sleep(self.backoff * (attempt + 1))
+        raise FetchError(f"shuffle fetch from port {port} failed: {last}")
+
+    def fetch_piece(self, port: int, job: int, partition: int,
+                    split_index: int, n_splits: int) -> bytes:
+        """Fetch one stored piece's bytes from a peer's shuffle server.
+
+        Shared by re-homed mappers reading upstream piece ranges and
+        replica writers copying a piece from its primary holder (the
+        REPL-k / hybrid-anchor pipelined replication path)."""
+        return self.fetch(port, {"kind": "piece", "job": job,
+                                 "partition": partition,
+                                 "split": split_index,
+                                 "n_splits": n_splits})
+
+    def close(self) -> None:
+        with self._lock:
+            peers = list(self._peers.values())
+            self._peers.clear()
+        for peer in peers:
+            self._drop(peer)
 
 
 def fetch(port: int, request: dict, timeout: float = 5.0,
           retries: int = 3, backoff: float = 0.05) -> bytes:
-    """Fetch bytes from a peer's shuffle server.
-
-    Retries transient connection errors ``retries`` times, then raises
-    :class:`FetchError` — at which point the peer is almost certainly
-    dead and the coordinator's failure path takes over."""
-    payload = pickle.dumps(request)
-    last: Optional[Exception] = None
-    for attempt in range(retries):
-        try:
-            with socket.create_connection(("127.0.0.1", port),
-                                          timeout=timeout) as sock:
-                sock.sendall(_LEN.pack(len(payload)) + payload)
-                size = _LEN.unpack(_recv_exact(sock, _LEN.size))[0]
-                return _recv_exact(sock, size)
-        except (OSError, ConnectionError) as exc:
-            last = exc
-            time.sleep(backoff * (attempt + 1))
-    raise FetchError(f"shuffle fetch from port {port} failed: {last}")
+    """One-shot fetch from a peer's shuffle server (fresh connection per
+    request).  Workers use a :class:`PeerPool`; this stays for tools and
+    tests that want a single stateless request."""
+    pool = PeerPool(timeout=timeout, retries=retries, backoff=backoff,
+                    persistent=False)
+    try:
+        return pool.fetch(port, request)
+    finally:
+        pool.close()
 
 
 def fetch_piece(port: int, job: int, partition: int, split_index: int,
                 n_splits: int) -> bytes:
-    """Fetch one stored piece's bytes from a peer's shuffle server.
-
-    Shared by re-homed mappers reading upstream piece ranges and replica
-    writers copying a piece from its primary holder (the REPL-k /
-    hybrid-anchor pipelined replication path)."""
+    """One-shot piece fetch (see :meth:`PeerPool.fetch_piece`)."""
     return fetch(port, {"kind": "piece", "job": job, "partition": partition,
                         "split": split_index, "n_splits": n_splits})

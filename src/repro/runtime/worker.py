@@ -1,24 +1,41 @@
 """The worker process: executes tasks against its node-local store.
 
 One worker per simulated node.  The main loop receives commands over the
-command pipe and executes them serially — exactly one task at a time, as
-one node's task slot.  Map and reduce semantics reuse the paper's UDFs
-from :mod:`repro.localexec.records`, so the bytes a worker persists are
-identical to what the in-process backend computes for the same task.
+command pipe; with ``task_slots == 1`` (the default) it executes them
+serially — exactly one task at a time, the classic single-slot node —
+and with ``task_slots > 1`` it feeds a small pool of slot threads so one
+worker process keeps several tasks in flight (the paper's surviving
+parallelism, exploited *within* a node).  Map and reduce semantics reuse
+the paper's UDFs from :mod:`repro.localexec.records`, so the bytes a
+worker persists are identical to what the in-process backend computes
+for the same task.
 
-A worker never talks to another worker except through the shuffle: reduce
-tasks fetch map-output slices from the mapper nodes' shuffle servers
-(local slices are read straight from disk), and a re-homed mapper fetches
-its input piece range the same way.  When a fetch fails because the
-source died, the worker reports ``task-failed`` and returns to its loop;
-the coordinator's heartbeat expiry declares the death and re-plans.
+A worker never talks to another worker except through the shuffle:
+reduce tasks fetch map-output slices from the mapper nodes' shuffle
+servers (local slices are read straight from disk), and a re-homed
+mapper fetches its input piece range the same way.  Fetches from
+distinct source nodes run **concurrently** through a bounded fetcher
+pool over :class:`~repro.runtime.transport.PeerPool`'s persistent
+connections, and each response is merged into the reduce groups as it
+lands.  When a fetch fails because the source died, the worker reports
+``task-failed`` and returns to its loop; the coordinator's heartbeat
+expiry declares the death and re-plans.
+
+Epoch hygiene: the coordinator bumps the dispatch epoch on every death
+and discards stale results, so the worker skips queued commands from a
+cancelled epoch outright, and — before running the first command of a
+new epoch — drains the slot pool, so recovery work never interleaves
+with a cancelled epoch's stragglers on the same disk.
 """
 
 from __future__ import annotations
 
 import os
+import queue
+import threading
 import traceback
-from typing import Optional
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Callable, Optional
 
 from repro.localexec.records import (
     Record,
@@ -26,24 +43,37 @@ from repro.localexec.records import (
     map_udf,
     partition_of,
     reduce_udf,
-    split_of,
 )
 from repro.runtime import transport
-from repro.runtime.storage import NodeStore, decode_records
+from repro.runtime.storage import NodeStore, filter_split, iter_records
 
 #: multiprocessing.Process target — keep the signature pickle-friendly
 #: so a spawn start method works where fork is unavailable.
 
+#: data-plane defaults, overridden per run by ``RuntimeConfig``
+DEFAULT_OPTIONS = {
+    "task_slots": 1,
+    "fetch_parallelism": 4,
+    "fetch_timeout": 5.0,
+    "server_timeout": 30.0,
+    "server_split_filter": True,
+    "persistent_connections": True,
+}
+
 
 def worker_main(node: int, root: str, cmd_conn, evt_conn,
                 heartbeat_interval: float, seed: int,
-                records_per_node: int, value_size: int) -> None:
+                records_per_node: int, value_size: int,
+                options: Optional[dict] = None) -> None:
+    opts = dict(DEFAULT_OPTIONS)
+    opts.update(options or {})
     store = NodeStore(root, node)
     evt = transport.LockedConnection(evt_conn)
-    listener, port = transport.start_shuffle_server(store)
+    server = transport.ShuffleServer(store, timeout=opts["server_timeout"])
     transport.start_heartbeat(evt, node, heartbeat_interval)
-    evt.send(("ready", node, port, os.getpid()))
-    worker = _Worker(node, store, evt, seed, records_per_node, value_size)
+    evt.send(("ready", node, server.port, os.getpid()))
+    worker = _Worker(node, store, evt, seed, records_per_node, value_size,
+                     opts)
     try:
         while True:
             try:
@@ -52,27 +82,106 @@ def worker_main(node: int, root: str, cmd_conn, evt_conn,
                 break  # coordinator is gone
             if cmd["op"] == "stop":
                 break
-            worker.execute(cmd)
+            worker.dispatch(cmd)
     finally:
-        listener.close()
+        server.close()
+        worker.close()
+
+
+class _SlotPool:
+    """N daemon slot threads pulling task commands off one queue."""
+
+    def __init__(self, n: int, run: Callable[[dict], None]):
+        self._queue: queue.Queue = queue.Queue()
+        self._run = run
+        for i in range(n):
+            threading.Thread(target=self._loop, name=f"slot{i}",
+                             daemon=True).start()
+
+    def _loop(self) -> None:
+        while True:
+            cmd = self._queue.get()
+            try:
+                self._run(cmd)
+            finally:
+                self._queue.task_done()
+
+    def submit(self, cmd: dict) -> None:
+        self._queue.put(cmd)
+
+    def drain(self) -> None:
+        """Block until every queued and running command has finished."""
+        self._queue.join()
 
 
 class _Worker:
     """Task execution against one node's store."""
 
+    #: ops that run on a slot thread (everything else — ports updates,
+    #: drops, sweeps, reclaims — executes inline on the command loop,
+    #: which the epoch drain keeps free of concurrent task stragglers)
+    TASK_OPS = ("map", "reduce", "replicate")
+
     def __init__(self, node: int, store: NodeStore,
                  evt: transport.LockedConnection, seed: int,
-                 records_per_node: int, value_size: int):
+                 records_per_node: int, value_size: int,
+                 options: Optional[dict] = None):
+        opts = dict(DEFAULT_OPTIONS)
+        opts.update(options or {})
         self.node = node
         self.store = store
         self.evt = evt
         self.seed = seed
         self.records_per_node = records_per_node
         self.value_size = value_size
+        self.fetch_parallelism = max(1, int(opts["fetch_parallelism"]))
+        self.server_split_filter = bool(opts["server_split_filter"])
+        self.pool = transport.PeerPool(
+            timeout=opts["fetch_timeout"],
+            persistent=opts["persistent_connections"])
+        # one long-lived fetcher pool shared by every task slot — a
+        # per-call thread spawn would cost more than the overlap buys
+        self._fetchers = (ThreadPoolExecutor(
+            max_workers=self.fetch_parallelism,
+            thread_name_prefix=f"fetch-node{node}")
+            if self.fetch_parallelism > 1 else None)
+        slots = max(1, int(opts["task_slots"]))
+        self._slots = _SlotPool(slots, self.execute) if slots > 1 else None
+        self._ports: dict[int, int] = {}
+        self._latest_epoch = -1
         self._inputs: dict[int, list[Record]] = {}
+        self._inputs_lock = threading.Lock()
+
+    def close(self) -> None:
+        if self._fetchers is not None:
+            self._fetchers.shutdown(wait=False)
+        self.pool.close()
+
+    # -- command routing -------------------------------------------------
+    def dispatch(self, cmd: dict) -> None:
+        """Route one command from the pipe (main loop thread only)."""
+        epoch = cmd.get("epoch")
+        if epoch is not None and epoch > self._latest_epoch:
+            # first command of a new epoch: quiesce the cancelled
+            # epoch's in-flight tasks before anything newer touches the
+            # store (queued stale commands fast-skip on the epoch check)
+            self._latest_epoch = epoch
+            if self._slots is not None:
+                self._slots.drain()
+        if cmd["op"] == "ports":
+            # epoch-cached peer port map: sent once per epoch instead of
+            # riding on every task command
+            self._ports = dict(cmd["ports"])
+            return
+        if self._slots is not None and cmd["op"] in self.TASK_OPS:
+            self._slots.submit(cmd)
+        else:
+            self.execute(cmd)
 
     def execute(self, cmd: dict) -> None:
         op = cmd.get("op")
+        if cmd.get("epoch", self._latest_epoch) < self._latest_epoch:
+            return  # cancelled epoch: the coordinator discards the result
         try:
             if op == "map":
                 self._map(cmd)
@@ -113,34 +222,81 @@ class _Worker:
         binary data), so a re-homed mapper needs no fetch for job 1.
         Memoized — the node's stored input is generated once, like
         ``LocalCluster._make_input``."""
-        records = self._inputs.get(node)
-        if records is None:
-            records = self._inputs[node] = generate_records(
-                self.records_per_node, seed=self.seed * 1000 + node,
-                value_size=self.value_size)
-        return records
+        with self._inputs_lock:
+            records = self._inputs.get(node)
+            if records is None:
+                records = self._inputs[node] = generate_records(
+                    self.records_per_node, seed=self.seed * 1000 + node,
+                    value_size=self.value_size)
+            return records
 
-    def _block_records(self, source: tuple) -> list[Record]:
+    def _block_records(self, source: tuple,
+                       ports: dict[int, int]) -> tuple[list[Record], int]:
+        """Resolve one map-input block; returns ``(records, bytes fetched
+        over the shuffle)``."""
         if source[0] == "input":
             _, node, start, count = source
-            return self._node_input(node)[start:start + count]
+            return self._node_input(node)[start:start + count], 0
         _, job, partition, split_index, n_splits, node, start, count = source
         if node == self.node:
             data = self.store.read_piece(job, partition, split_index,
                                          n_splits)
+            fetched = 0
         else:
-            data = transport.fetch_piece(self._port(node), job, partition,
+            data = self.pool.fetch_piece(ports[node], job, partition,
                                          split_index, n_splits)
-        return decode_records(data)[start:start + count]
+            fetched = len(data)
+        records = list(iter_records(data))
+        return records[start:start + count], fetched
 
-    def _port(self, node: int) -> int:
-        return self._ports[node]
+    @staticmethod
+    def _cmd_ports(cmd: dict, cached: dict[int, int]) -> dict[int, int]:
+        """A command may carry an explicit ``ports`` override (unit
+        tests, back-compat); otherwise the epoch-cached map applies."""
+        return cmd.get("ports", cached)
+
+    # -- parallel fetch --------------------------------------------------
+    def _fetch_merge(self, requests: list[tuple[int, dict]],
+                     ports: dict[int, int],
+                     merge: Callable[[int, bytes], None]) -> int:
+        """Fetch from every source node concurrently (bounded fetcher
+        pool over persistent connections) and merge each response *as it
+        lands* on the calling task thread.  Returns total bytes fetched;
+        raises the first :class:`transport.FetchError` after all fetchers
+        settle (no fetcher thread is left dangling mid-kill — a dead
+        source resolves through the pool's bounded retries)."""
+        if not requests:
+            return 0
+        if self._fetchers is None or len(requests) <= 1:
+            total = 0
+            for node, request in requests:
+                data = self.pool.fetch(ports[node], request)
+                total += len(data)
+                merge(node, data)
+            return total
+        futures = {self._fetchers.submit(self.pool.fetch, ports[node],
+                                         request): node
+                   for node, request in requests}
+        total = 0
+        error: Optional[Exception] = None
+        for future in as_completed(futures):
+            node = futures[future]
+            try:
+                data = future.result()
+            except Exception as exc:  # noqa: BLE001 — relayed below
+                error = error or exc
+                continue
+            total += len(data)
+            merge(node, data)
+        if error is not None:
+            raise error
+        return total
 
     # -- tasks -----------------------------------------------------------
     def _map(self, cmd: dict) -> None:
-        self._ports = cmd.get("ports", {})
+        ports = self._cmd_ports(cmd, self._ports)
         job, task_id = cmd["job"], cmd["task"]
-        records = self._block_records(cmd["source"])
+        records, fetched = self._block_records(cmd["source"], ports)
         slices: dict[int, list[Record]] = {}
         for record in records:
             out = map_udf(record, job)
@@ -149,38 +305,49 @@ class _Worker:
         counts = self.store.write_map_output(job, task_id, cmd["origin"],
                                              slices)
         self.evt.send(("map-done", self.node, cmd["epoch"], job, task_id,
-                       cmd["origin"], counts, os.getpid()))
+                       cmd["origin"], counts, os.getpid(), fetched))
 
     def _reduce(self, cmd: dict) -> None:
-        self._ports = cmd.get("ports", {})
+        ports = self._cmd_ports(cmd, self._ports)
         job, partition = cmd["job"], cmd["partition"]
         split_index, n_splits = cmd["split"], cmd["n_splits"]
         by_node: dict[int, list[int]] = {}
         for task_id, node in cmd["sources"]:
             by_node.setdefault(node, []).append(task_id)
+        server_filter = self.server_split_filter and n_splits > 1
         groups: dict[int, list[bytes]] = {}
-        for node, tasks in by_node.items():
-            if node == self.node:
-                data = b"".join(
-                    self.store.read_map_slice(job, task_id, partition)
-                    for task_id in tasks)
-            else:
-                data = transport.fetch(
-                    self._port(node),
-                    {"kind": "maps", "job": job, "tasks": tasks,
-                     "partition": partition})
-            for record in decode_records(data):
-                if n_splits > 1 and \
-                        split_of(record.key, n_splits) != split_index:
-                    continue
+
+        def merge(node: int, data: bytes, filtered: bool) -> None:
+            if n_splits > 1 and not filtered:
+                data = filter_split(data, split_index, n_splits)
+            for record in iter_records(data):
                 groups.setdefault(record.key, []).append(record.value)
+
+        requests = []
+        for node, tasks in sorted(by_node.items()):
+            if node == self.node:
+                continue
+            request = {"kind": "maps", "job": job, "tasks": tasks,
+                       "partition": partition}
+            if server_filter:
+                request["split"] = split_index
+                request["n_splits"] = n_splits
+            requests.append((node, request))
+        fetched = self._fetch_merge(
+            requests, ports,
+            lambda node, data: merge(node, data, filtered=server_filter))
+        if self.node in by_node:  # local slices never touch the network
+            local = b"".join(
+                self.store.read_map_slice(job, task_id, partition)
+                for task_id in by_node[self.node])
+            merge(self.node, local, filtered=False)
         records = [reduce_udf(key, values)
                    for key, values in sorted(groups.items())]
         n_records = self.store.write_piece(job, partition, split_index,
                                            n_splits, records)
         self.evt.send(("reduce-done", self.node, cmd["epoch"], job,
                        partition, split_index, n_splits, n_records,
-                       os.getpid()))
+                       os.getpid(), fetched))
 
     def _replicate(self, cmd: dict) -> None:
         """Copy one stored piece from its primary holder to this node's
@@ -188,19 +355,20 @@ class _Worker:
         shuffle transport and commit them behind the same atomic rename
         as a locally computed piece — a SIGKILL mid-copy can never leave
         a torn committed replica."""
-        self._ports = cmd.get("ports", {})
+        ports = self._cmd_ports(cmd, self._ports)
         job, partition = cmd["job"], cmd["partition"]
         split_index, n_splits = cmd["split"], cmd["n_splits"]
         source = cmd["source"]
         if source == self.node:
             raise ValueError(f"node {self.node} asked to replicate its "
                              f"own piece")
-        data = transport.fetch_piece(self._port(source), job, partition,
+        data = self.pool.fetch_piece(ports[source], job, partition,
                                      split_index, n_splits)
         self.store.write_piece_bytes(job, partition, split_index, n_splits,
                                      data)
         self.evt.send(("replica-done", self.node, cmd["epoch"], job,
-                       partition, split_index, n_splits, os.getpid()))
+                       partition, split_index, n_splits, os.getpid(),
+                       len(data)))
 
 
 def _task_key(cmd: dict) -> Optional[tuple]:

@@ -88,7 +88,10 @@ def run_process_chain(tmp_path, chain=CHAIN, n_nodes=4, hooks=None,
     config_kwargs = {k: kwargs.pop(k) for k in
                      ("strategy", "heartbeat_interval", "heartbeat_expiry",
                       "fig5_guard", "hybrid_interval", "hybrid_replication",
-                      "hybrid_reclaim") if k in kwargs}
+                      "hybrid_reclaim", "task_slots", "fetch_parallelism",
+                      "fetch_timeout", "server_split_filter",
+                      "persistent_connections", "io_timeout")
+                     if k in kwargs}
     config = RuntimeConfig(n_nodes=n_nodes, chain=chain, **config_kwargs)
     with Coordinator(config, tmp_path / "cluster", tracer=tracer,
                      hooks=hooks, **kwargs) as coord:
