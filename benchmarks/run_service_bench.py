@@ -1,0 +1,239 @@
+#!/usr/bin/env python
+"""Chain-service benchmark: multi-tenant throughput and kill isolation.
+
+Two experiments on a resident :class:`ChainService` (one shared 4-node
+pool of 2-slot workers), every chain checksum-verified against its
+failure-free in-process reference:
+
+* **isolation**: three chains multiplexed concurrently; node 3 is
+  SIGKILLed once the wide chains have committed pieces onto it.  Chain
+  ``b`` (2 partitions) never places pieces on node 3, so the kill must
+  cascade only the wide chains — ``b``'s job timeline stays pure
+  ``run`` entries — while every chain still produces byte-identical
+  output.
+* **throughput**: a seeded Poisson arrival stream of chains against the
+  service under seeded MTBF kills (with dead-node replacement);
+  reported as chains/sec plus p50/p99 submission-to-completion latency.
+
+Results land in ``benchmarks/BENCH_service.json`` (committed — the perf
+trajectory record).  ``--check`` runs a reduced-scale stream and fails
+non-zero unless >= 3 chains ran concurrently on the shared pool, every
+checksum matched, and the kill cascaded only the chains holding pieces
+on the dead node — the CI smoke for the service's headline claims.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_service_bench.py
+    PYTHONPATH=src python benchmarks/run_service_bench.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import tempfile
+import time
+from pathlib import Path
+
+from repro.localexec import LocalCluster, LocalJobConfig
+from repro.runtime import ChainService, MTBFKills, RuntimeConfig
+from repro.runtime.storage import chain_checksum
+
+POOL_NODES = 4
+TASK_SLOTS = 2
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chains", type=int, default=12,
+                        help="chains in the Poisson arrival stream")
+    parser.add_argument("--records", type=int, default=48,
+                        help="chain input records per node")
+    parser.add_argument("--mean-gap", type=float, default=0.3,
+                        help="mean inter-arrival gap (seconds)")
+    parser.add_argument("--mtbf", type=float, default=2.0,
+                        help="mean time between injected kills (seconds)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--check", action="store_true",
+                        help="reduced scale + hard assertions (CI smoke)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: "
+                             "benchmarks/BENCH_service.json)")
+    return parser.parse_args()
+
+
+_REFS: dict[LocalJobConfig, str] = {}
+
+
+def reference_checksum(chain: LocalJobConfig) -> str:
+    if chain not in _REFS:
+        cluster = LocalCluster(POOL_NODES, chain)
+        cluster.run_chain()
+        _REFS[chain] = chain_checksum(cluster.final_output())
+    return _REFS[chain]
+
+
+def pool_config() -> RuntimeConfig:
+    return RuntimeConfig(n_nodes=POOL_NODES, chain=LocalJobConfig(),
+                         task_slots=TASK_SLOTS)
+
+
+def job_row(job, chain: LocalJobConfig) -> dict:
+    return {
+        "id": job.id,
+        "state": job.state,
+        "latency_s": round(job.finished - job.submitted, 3),
+        "job_kinds": [k for _, k, _ in job.report.job_times]
+        if job.report else None,
+        "checksum_ok": bool(job.report and job.report.checksum
+                            == reference_checksum(chain)),
+        "error": job.error,
+    }
+
+
+def wait_until(predicate, deadline: float = 120.0) -> None:
+    t_end = time.monotonic() + deadline
+    while time.monotonic() < t_end:
+        if predicate():
+            return
+        time.sleep(0.005)
+    raise SystemExit("bench: kill window never opened")
+
+
+def isolation_experiment(records: int) -> dict:
+    """Three concurrent chains, one kill: only the chains with pieces on
+    the dead node may cascade; every checksum must stay byte-exact."""
+    chains = {
+        "a": LocalJobConfig(n_jobs=4, n_partitions=4,
+                            records_per_node=records,
+                            records_per_block=16, seed=7),
+        # 2 partitions -> pieces only ever on nodes 0-1: isolated
+        "b": LocalJobConfig(n_jobs=4, n_partitions=2,
+                            records_per_node=records,
+                            records_per_block=16, seed=8),
+        "c": LocalJobConfig(n_jobs=3, n_partitions=4,
+                            records_per_node=records,
+                            records_per_block=16, seed=9),
+    }
+    with tempfile.TemporaryDirectory(prefix="rcmp-svc-") as workdir:
+        with ChainService(pool_config(), workdir,
+                          max_concurrent=3) as service:
+            jobs = {name: service.submit(chain=cfg)
+                    for name, cfg in chains.items()}
+            # kill node 3 once the wide chains have committed job 1 (its
+            # pieces now sit on node 3) but are still mid-chain
+            wait_until(lambda: all(
+                jobs[n].run is not None
+                and jobs[n].run.completed_jobs >= 1 for n in ("a", "b")))
+            service.pool.kill_node(3)
+            for job in jobs.values():
+                service.wait(job.id, timeout=300)
+            rows = {name: job_row(jobs[name], cfg)
+                    for name, cfg in chains.items()}
+            return {
+                "chains": rows,
+                "concurrent_peak": service.running_peak,
+                "deaths": len(service.pool.deaths),
+                "dead_node": 3,
+            }
+
+
+def throughput_experiment(n_chains: int, records: int, mean_gap: float,
+                          mtbf: float, seed: int) -> dict:
+    """Poisson arrivals under MTBF kills: chains/sec and latency tails."""
+    shapes = [LocalJobConfig(n_jobs=2, n_partitions=4,
+                             records_per_node=records,
+                             records_per_block=16, seed=s)
+              for s in range(n_chains)]
+    rng = random.Random(seed)
+    kills = MTBFKills(mtbf=mtbf, seed=seed, min_alive=2)
+    with tempfile.TemporaryDirectory(prefix="rcmp-svc-") as workdir:
+        with ChainService(pool_config(), workdir, max_concurrent=4,
+                          faults=kills, replace_dead=True) as service:
+            t0 = time.perf_counter()
+            jobs = []
+            for chain in shapes:
+                jobs.append((service.submit(chain=chain), chain))
+                time.sleep(rng.expovariate(1.0 / mean_gap))
+            for job, _ in jobs:
+                service.wait(job.id, timeout=600)
+            wall = time.perf_counter() - t0
+            latencies = sorted(job.finished - job.submitted
+                               for job, _ in jobs)
+            rows = [job_row(job, chain) for job, chain in jobs]
+            return {
+                "n_chains": n_chains,
+                "wall_s": round(wall, 3),
+                "chains_per_sec": round(n_chains / wall, 3),
+                "latency_p50_s": round(
+                    latencies[len(latencies) // 2], 3),
+                "latency_p99_s": round(
+                    latencies[min(len(latencies) - 1,
+                                  round(0.99 * len(latencies)))], 3),
+                "deaths": len(service.pool.deaths),
+                "concurrent_peak": service.running_peak,
+                "mean_gap_s": mean_gap,
+                "mtbf_s": mtbf,
+                "chains": rows,
+            }
+
+
+def main() -> int:
+    args = parse_args()
+    n_chains = 6 if args.check else args.chains
+    records = 32 if args.check else args.records
+
+    isolation = isolation_experiment(args.records)
+    iso_rows = isolation["chains"]
+    print(f"isolation: peak {isolation['concurrent_peak']} concurrent, "
+          f"{isolation['deaths']} death(s); "
+          f"a={iso_rows['a']['job_kinds']} b={iso_rows['b']['job_kinds']}")
+
+    stream = throughput_experiment(n_chains, records, args.mean_gap,
+                                   args.mtbf, args.seed)
+    print(f"stream: {stream['n_chains']} chains in {stream['wall_s']}s "
+          f"({stream['chains_per_sec']} chains/s), "
+          f"p50 {stream['latency_p50_s']}s p99 {stream['latency_p99_s']}s, "
+          f"{stream['deaths']} death(s), peak {stream['concurrent_peak']}")
+
+    payload = {
+        "pool": {"nodes": POOL_NODES, "task_slots": TASK_SLOTS},
+        "check_mode": args.check,
+        "cpu_count": os.cpu_count(),
+        "isolation": isolation,
+        "stream": stream,
+    }
+    out = Path(args.out) if args.out else \
+        Path(__file__).parent / "BENCH_service.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"written to {out}")
+
+    failures = []
+    if isolation["concurrent_peak"] < 3:
+        failures.append(f"only {isolation['concurrent_peak']} chains ran "
+                        "concurrently on the shared pool (need >= 3)")
+    for name, row in {**iso_rows,
+                      **{r["id"]: r for r in stream["chains"]}}.items():
+        if row["state"] != "done" or not row["checksum_ok"]:
+            failures.append(f"chain {name}: state={row['state']} "
+                            f"checksum_ok={row['checksum_ok']} "
+                            f"error={row['error']}")
+    if not any(k in ("recompute", "rerun")
+               for k in iso_rows["a"]["job_kinds"] or []):
+        failures.append("the kill never cascaded chain a "
+                        f"({iso_rows['a']['job_kinds']})")
+    if iso_rows["b"]["job_kinds"] != ["run"] * 4:
+        failures.append("chain b held no pieces on the dead node but its "
+                        f"timeline was disturbed: "
+                        f"{iso_rows['b']['job_kinds']}")
+    if stream["deaths"] < 1:
+        failures.append("the MTBF arrivals never fired during the stream")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

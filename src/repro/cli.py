@@ -8,6 +8,9 @@ Usage::
     rcmp-repro run --cluster stic --strategy rcmp --failures 7
     rcmp-repro run --cluster tiny --failures 2 --trace /tmp/run.json
     rcmp-repro exec --backend process --nodes 4 --faults "kill@job2+0.1"
+    rcmp-repro serve --nodes 4 --port 7421 --task-slots 2 --mtbf 30
+    rcmp-repro submit --port 7421 --jobs 3 --records 64 --wait
+    rcmp-repro status --port 7421
     rcmp-repro analyze /tmp/run.json
 """
 
@@ -193,6 +196,68 @@ def build_parser() -> argparse.ArgumentParser:
                    help="keep the per-node output directories here "
                         "(default: a deleted temporary directory)")
     p.add_argument("--trace", default=None, metavar="FILE", help=trace_help)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a resident chain service: one shared worker pool "
+             "accepting submitted chains over a TCP front door")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421,
+                   help="front-door TCP port (0 = pick a free one)")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--task-slots", type=_task_slots, default=2,
+                   metavar="N",
+                   help="concurrent task slots per worker (chains from "
+                        "different tenants share the slots)")
+    p.add_argument("--policy", default="fifo", choices=("fifo", "fair"),
+                   help="admission order: strict FIFO, or fair-share "
+                        "(least-loaded tenant first)")
+    p.add_argument("--max-concurrent", type=int, default=4,
+                   help="chains allowed to run simultaneously")
+    p.add_argument("--mtbf", type=float, default=None,
+                   help="inject service-level fail-stop arrivals with "
+                        "this mean time between failures (seconds)")
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--min-alive", type=int, default=2,
+                   help="never let MTBF kills reduce the pool below "
+                        "this many live workers")
+    p.add_argument("--replace-dead", action="store_true",
+                   help="respawn a replacement worker for each dead "
+                        "node so the pool does not bleed capacity")
+    p.add_argument("--heartbeat-interval", type=float, default=0.05)
+    p.add_argument("--heartbeat-expiry", type=float, default=0.0)
+    p.add_argument("--workdir", default=None, metavar="DIR",
+                   help="keep the per-node chain namespaces here "
+                        "(default: a deleted temporary directory)")
+
+    p = sub.add_parser("submit",
+                       help="submit one chain to a running service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421)
+    p.add_argument("--tenant", default="default",
+                   help="tenant name (drives fair-share admission)")
+    p.add_argument("--jobs", type=int, default=3)
+    p.add_argument("--partitions", type=int, default=4)
+    p.add_argument("--records", type=int, default=64,
+                   help="chain input records per node")
+    p.add_argument("--block", type=int, default=16,
+                   help="records per map-input block")
+    p.add_argument("--value-size", type=int, default=16)
+    p.add_argument("--strategy", default="rcmp",
+                   choices=("rcmp", "optimistic", "repl2", "repl3",
+                            "hybrid"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--wait", action="store_true",
+                   help="block until the chain finishes and print its "
+                        "report")
+
+    p = sub.add_parser("status",
+                       help="query a running service (whole service, or "
+                            "one chain with --id)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421)
+    p.add_argument("--id", default=None, metavar="CHAIN",
+                   help="one chain's status instead of the service's")
 
     p = sub.add_parser("analyze",
                        help="utilization report from a recorded trace")
@@ -404,6 +469,107 @@ def _exec_inproc(args, chain, model, tracer):
                      n_nodes=args.nodes, strategy="rcmp")
 
 
+def _cmd_serve(args) -> int:
+    import tempfile
+    from contextlib import nullcontext
+
+    from repro.localexec import LocalJobConfig
+    from repro.runtime import ChainService, MTBFKills, RuntimeConfig
+
+    try:
+        config = RuntimeConfig(
+            n_nodes=args.nodes, chain=LocalJobConfig(),
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_expiry=args.heartbeat_expiry,
+            task_slots=args.task_slots)
+        faults = (MTBFKills(args.mtbf, seed=args.fault_seed,
+                            min_alive=args.min_alive)
+                  if args.mtbf is not None else None)
+        workctx = (nullcontext(args.workdir) if args.workdir
+                   else tempfile.TemporaryDirectory(prefix="rcmp-serve-"))
+        with workctx as workdir:
+            with ChainService(config, workdir, policy=args.policy,
+                              max_concurrent=args.max_concurrent,
+                              faults=faults,
+                              replace_dead=args.replace_dead) as service:
+                port = service.serve(host=args.host, port=args.port)
+                print(f"chain service on {args.host}:{port}  "
+                      f"nodes={args.nodes} slots={args.task_slots} "
+                      f"policy={args.policy} "
+                      f"max_concurrent={args.max_concurrent}",
+                      flush=True)
+                try:
+                    service.shutdown_requested.wait()
+                except KeyboardInterrupt:
+                    pass
+                print("shutting down (draining running chains)")
+        return 0
+    except ValueError as exc:
+        raise SystemExit(f"rcmp-repro: {exc}")
+
+
+def _cmd_submit(args) -> int:
+    from repro.runtime.service import request
+
+    payload = {
+        "op": "submit",
+        "tenant": args.tenant,
+        "chain": {"n_jobs": args.jobs, "n_partitions": args.partitions,
+                  "records_per_node": args.records,
+                  "records_per_block": args.block,
+                  "value_size": args.value_size, "seed": args.seed},
+        "overrides": {"strategy": args.strategy},
+    }
+    try:
+        chain_id = request(args.port, payload, host=args.host)["id"]
+    except (OSError, RuntimeError) as exc:
+        raise SystemExit(f"rcmp-repro: {exc}")
+    print(f"submitted {chain_id}")
+    if not args.wait:
+        return 0
+    try:
+        job = request(args.port, {"op": "wait", "id": chain_id},
+                      host=args.host, timeout=600.0)["job"]
+    except (OSError, RuntimeError) as exc:
+        raise SystemExit(f"rcmp-repro: {exc}")
+    _print_job(job)
+    return 0 if job["state"] == "done" else 1
+
+
+def _print_job(job: dict) -> None:
+    line = (f"{job['id']:8s} {job['tenant']:<10s} {job['state']:<8s} "
+            f"{job['strategy']:<10s}")
+    report = job.get("report")
+    if report:
+        line += (f" wall={report['wall_time']:.3f}s "
+                 f"deaths={len(report['deaths'])} "
+                 f"checksum={report['checksum'][:16]}")
+    if job.get("error"):
+        line += f" error: {job['error']}"
+    print(line)
+
+
+def _cmd_status(args) -> int:
+    from repro.runtime.service import request
+
+    try:
+        status = request(args.port, {"op": "status", "id": args.id},
+                         host=args.host)["status"]
+    except (OSError, RuntimeError) as exc:
+        raise SystemExit(f"rcmp-repro: {exc}")
+    if args.id is not None:
+        _print_job(status)
+        return 0
+    print(f"policy={status['policy']} "
+          f"alive={status['alive']} epoch={status['epoch']} "
+          f"queued={status['queued']} running={status['running']} "
+          f"(peak {status['running_peak']}) "
+          f"deaths={len(status['deaths'])}")
+    for job in status["jobs"]:
+        _print_job(job)
+    return 0
+
+
 def _cmd_exec(args) -> int:
     from repro.localexec import LocalJobConfig
 
@@ -487,6 +653,12 @@ def main(argv=None) -> int:
         return 0
     if args.command == "exec":
         return _cmd_exec(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
     if args.command == "analyze":
         import json
 

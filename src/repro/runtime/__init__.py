@@ -19,7 +19,10 @@ Modules:
   pipelined TCP shuffle (persistent per-peer connections, server-side
   split filtering).
 * :mod:`repro.runtime.worker` — the worker process main loop.
-* :mod:`repro.runtime.coordinator` — job DAG, dispatch, failure handling.
+* :mod:`repro.runtime.coordinator` — job DAG, dispatch, failure handling
+  (the shared :class:`WorkerPool` + per-chain :class:`ChainRun` split).
+* :mod:`repro.runtime.service` — the multi-tenant :class:`ChainService`:
+  many chains queued over one shared worker pool.
 * :mod:`repro.runtime.faults` — fault plan -> live ``SIGKILL`` injection.
 
 The heavier modules are re-exported lazily so that importing
@@ -37,13 +40,17 @@ from repro.runtime.recovery import (
 )
 
 __all__ = [
+    "ChainRun",
+    "ChainService",
     "Coordinator",
     "JobRecoveryPlan",
+    "MTBFKills",
     "PeerPool",
     "ReduceSpec",
     "RunReport",
     "RuntimeConfig",
     "ShuffleServer",
+    "WorkerPool",
     "cascade_start",
     "chain_checksum",
     "consumer_invalidations",
@@ -53,8 +60,12 @@ __all__ = [
 
 _LAZY = {
     "Coordinator": ("repro.runtime.coordinator", "Coordinator"),
+    "WorkerPool": ("repro.runtime.coordinator", "WorkerPool"),
+    "ChainRun": ("repro.runtime.coordinator", "ChainRun"),
     "RuntimeConfig": ("repro.runtime.coordinator", "RuntimeConfig"),
     "RunReport": ("repro.runtime.coordinator", "RunReport"),
+    "ChainService": ("repro.runtime.service", "ChainService"),
+    "MTBFKills": ("repro.runtime.service", "MTBFKills"),
     "chain_checksum": ("repro.runtime.storage", "chain_checksum"),
     "PeerPool": ("repro.runtime.transport", "PeerPool"),
     "ShuffleServer": ("repro.runtime.transport", "ShuffleServer"),

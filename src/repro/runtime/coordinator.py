@@ -3,8 +3,23 @@
 Holds the chain's job-dependency DAG and drives N worker **processes**
 (one per simulated node) through it.  All cluster metadata — who persists
 which map output and reducer piece, what a death destroyed — lives in the
-coordinator's :class:`~repro.runtime.storage.ClusterRegistry`; workers
-are stateless executors over their node directory.
+per-chain :class:`~repro.runtime.storage.ClusterRegistry`; workers are
+stateless executors over their node directory.
+
+The runtime is split in two layers so one worker pool can serve many
+chains (see :mod:`repro.runtime.service`):
+
+* :class:`WorkerPool` owns the processes — forking, readiness,
+  heartbeats, the event pump, death declaration, SIGKILL injection, and
+  (service mode) respawning replacements for dead nodes.  One pool, one
+  dispatch epoch: a death bumps it and cancels every in-flight task.
+* :class:`ChainRun` is one chain's state machine — registry, job loop,
+  recovery, dispatch — executing over a pool it does not own.  In
+  single-chain mode it pumps the pool directly; in service mode a
+  router thread feeds it events through a queue.
+
+:class:`Coordinator` composes a private pool with one ``ChainRun`` and
+keeps the classic single-chain API.
 
 Failure path (the paper's protocol, §IV, run for real):
 
@@ -52,7 +67,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import queue
 import signal
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -115,6 +132,10 @@ class RuntimeConfig:
     strategy: str = "rcmp"
     #: wall-clock seconds without dispatch progress before giving up
     io_timeout: float = 30.0
+    #: wall-clock seconds every forked worker gets to report ready;
+    #: must exceed heartbeat_expiry or a slow starter would be declared
+    #: dead before its deadline even ran out
+    startup_timeout: float = 30.0
     fig5_guard: bool = True
     #: concurrent tasks per worker process: 1 = classic single-slot
     #: semantics, N > 1 = a slot thread pool, "auto" = cores-aware
@@ -164,6 +185,14 @@ class RuntimeConfig:
                 f"exceed heartbeat_expiry ({self.heartbeat_expiry}s): "
                 "a mid-shuffle death must be declared well before "
                 "dispatch is judged stalled")
+        if self.startup_timeout <= 0:
+            raise ValueError("startup_timeout must be positive")
+        if self.startup_timeout <= self.heartbeat_expiry:
+            raise ValueError(
+                f"startup_timeout ({self.startup_timeout}s) must exceed "
+                f"heartbeat_expiry ({self.heartbeat_expiry}s): a worker "
+                "still inside its startup budget may not be declared "
+                "dead for heartbeat silence")
         if self.task_slots != "auto" and (
                 not isinstance(self.task_slots, int)
                 or self.task_slots < 1):
@@ -245,6 +274,10 @@ class _Link:
     #: epoch whose peer-port map this worker has cached (ports are
     #: broadcast once per epoch instead of riding on every command)
     ports_epoch: int = -1
+    #: serializes pipe writes — service mode has many chain threads
+    #: dispatching to the same worker, and interleaved ``send`` bytes
+    #: would corrupt the command stream
+    lock: threading.Lock = field(default_factory=threading.Lock)
 
 
 @dataclass
@@ -263,6 +296,8 @@ class RunReport:
     reclaims: list[tuple[int, int]] = field(default_factory=list)
     #: dispatch phase -> bytes the phase's tasks pulled over the shuffle
     shuffle_bytes: dict[str, int] = field(default_factory=dict)
+    #: service-mode submission id (None for single-chain runs)
+    chain_id: Optional[str] = None
 
     @property
     def wall_time(self) -> float:
@@ -275,6 +310,20 @@ class RunReport:
     @property
     def reclaimed_bytes(self) -> int:
         return sum(b for _, b in self.reclaims)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the service front door's wire shape)."""
+        return {
+            "checksum": self.checksum,
+            "job_times": [[j, k, t] for j, k, t in self.job_times],
+            "deaths": [[t, n] for t, n in self.deaths],
+            "n_nodes": self.n_nodes,
+            "strategy": self.strategy,
+            "reclaims": [[a, b] for a, b in self.reclaims],
+            "shuffle_bytes": dict(self.shuffle_bytes),
+            "chain_id": self.chain_id,
+            "wall_time": self.wall_time,
+        }
 
     def render(self) -> str:
         lines = [f"{'job':>4s}  {'kind':<12s}  {'wall':>9s}"]
@@ -289,42 +338,38 @@ class RunReport:
         return "\n".join(lines)
 
 
-class Coordinator:
-    """Drives one multi-job chain over real worker processes."""
+class WorkerPool:
+    """The shared worker processes and everything node-lifecycle.
+
+    Forks one worker per node, waits for readiness, pumps the event
+    pipes, fires due fault kills, declares deaths (idempotently — many
+    chains may react to one death), and optionally respawns replacement
+    workers.  It knows nothing about chains or jobs; that is
+    :class:`ChainRun`'s side of the split."""
 
     def __init__(self, config: RuntimeConfig, workdir: str | Path,
-                 tracer: Optional[Tracer] = None,
-                 hooks: Optional[Hooks] = None,
-                 fault_model: Optional[FaultModel] = None,
-                 fault_seed: int = 0, fault_time_scale: float = 1.0,
-                 map_assignment: Optional[Callable[[int, int, int], int]]
-                 = None):
-        """``map_assignment(job, task_id, storage_node) -> node`` overrides
-        the data-local default, mirroring ``LocalCluster``'s hook (tests
-        use it to construct the Fig. 5 hazard on real processes)."""
+                 tracer: Optional[Tracer] = None, faults=None):
+        """``faults`` is anything with ``due(now, alive) -> victims``
+        (a :class:`~repro.runtime.faults.LiveFaultPlan`, or the chain
+        service's MTBF arrival process)."""
         self.config = config
         self.workdir = Path(workdir)
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.hooks = hooks or (lambda event, **info: None)
-        self.map_assignment = map_assignment or (lambda j, t, node: node)
-        self.faults = (LiveFaultPlan(fault_model, seed=fault_seed,
-                                     time_scale=fault_time_scale)
-                       if fault_model is not None else None)
-        self.registry = ClusterRegistry()
+        self.faults = faults
         self.alive: set[int] = set(range(config.n_nodes))
-        self.completed_jobs = 0
         self.epoch = 0
+        #: (wall time since pool start, node) per declared death
         self.deaths: list[tuple[float, int]] = []
-        self.job_times: list[tuple[int, str, float]] = []
-        self.reclaims: list[tuple[int, int]] = []
-        self.shuffle_bytes: dict[str, int] = {}
         self._links: dict[int, _Link] = {}
         self._inbox: deque[tuple] = deque()
+        self._respawning: set[int] = set()
+        self._ctx = None
         self._t0 = 0.0
         self._started = False
+        self._shut = False
 
     # ------------------------------------------------------------ lifecycle
-    def __enter__(self) -> "Coordinator":
+    def __enter__(self) -> "WorkerPool":
         self.start()
         return self
 
@@ -332,42 +377,31 @@ class Coordinator:
         self.shutdown()
 
     def start(self) -> None:
-        """Fork the workers and wait for every readiness message."""
+        """Fork the workers and wait for every readiness message within
+        ``config.startup_timeout``."""
         if self._started:
             raise RuntimeError("already started")
         self._started = True
         self.workdir.mkdir(parents=True, exist_ok=True)
         try:
-            ctx = multiprocessing.get_context("fork")
+            self._ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
-            ctx = multiprocessing.get_context()
+            self._ctx = multiprocessing.get_context()
         self._t0 = time.monotonic()
-        self.tracer.bind(self._now, label="process-runtime")
-        chain = self.config.chain
+        self.tracer.bind(self.now, label="process-runtime")
         try:
             for node in range(self.config.n_nodes):
-                cmd_recv, cmd_send = ctx.Pipe(duplex=False)
-                evt_recv, evt_send = ctx.Pipe(duplex=False)
-                proc = ctx.Process(
-                    target=worker_main,
-                    args=(node, str(self.workdir), cmd_recv, evt_send,
-                          self.config.heartbeat_interval, chain.seed,
-                          chain.records_per_node, chain.value_size,
-                          self.config.worker_options()),
-                    name=f"rcmp-worker-{node}", daemon=True)
-                proc.start()
-                cmd_recv.close()
-                evt_send.close()
-                self._links[node] = _Link(node, proc, cmd_send, evt_recv,
-                                          last_seen=time.monotonic())
+                self._fork_worker(node)
             pending = set(self._links)
-            deadline = time.monotonic() + 30.0
+            deadline = time.monotonic() + self.config.startup_timeout
             while pending:
                 if time.monotonic() > deadline:
-                    raise RuntimeError(f"workers never reported ready: "
-                                       f"{sorted(pending)}")
+                    raise RuntimeError(
+                        f"workers never reported ready within "
+                        f"{self.config.startup_timeout:g}s: "
+                        f"{sorted(pending)}")
                 try:
-                    msg = self._pump(check_faults=False)
+                    msg = self.pump(check_faults=False)
                 except NodeDeath as death:
                     raise RuntimeError(f"worker {death.node} died during "
                                        f"startup") from death
@@ -383,44 +417,314 @@ class Coordinator:
             self.shutdown()
             raise
 
+    def _fork_worker(self, node: int) -> _Link:
+        chain = self.config.chain
+        cmd_recv, cmd_send = self._ctx.Pipe(duplex=False)
+        evt_recv, evt_send = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(node, str(self.workdir), cmd_recv, evt_send,
+                  self.config.heartbeat_interval, chain.seed,
+                  chain.records_per_node, chain.value_size,
+                  self.config.worker_options()),
+            name=f"rcmp-worker-{node}", daemon=True)
+        proc.start()
+        cmd_recv.close()
+        evt_send.close()
+        link = _Link(node, proc, cmd_send, evt_recv,
+                     last_seen=time.monotonic())
+        self._links[node] = link
+        return link
+
     def shutdown(self) -> None:
+        """Stop and reap every worker.
+
+        Idempotent: a failed ``start()`` reaps its own workers before
+        the ``with`` block's ``__exit__`` runs shutdown again, and an
+        explicit shutdown followed by the context-manager exit must not
+        re-walk dead links.  Workers are joined on parallel reaper
+        threads so teardown costs O(slowest worker), not a serial sum
+        of up to 3 x 2 s join budgets per link."""
+        if self._shut:
+            return
+        self._shut = True
         for link in self._links.values():
             try:
                 link.cmd.send({"op": "stop"})
             except CHANNEL_DOWN:
                 pass
+        reapers = [threading.Thread(target=self._reap, args=(link,),
+                                    name=f"reap-node{link.node}")
+                   for link in self._links.values()]
+        for reaper in reapers:
+            reaper.start()
+        for reaper in reapers:
+            reaper.join()
         for link in self._links.values():
-            link.proc.join(timeout=2.0)
-            if link.proc.is_alive():
-                link.proc.terminate()
-                link.proc.join(timeout=2.0)
-            if link.proc.is_alive():  # pragma: no cover - last resort
-                link.proc.kill()
-                link.proc.join(timeout=2.0)
             for conn in (link.cmd, link.evt):
                 try:
                     conn.close()
                 except OSError:
                     pass
 
-    def _now(self) -> float:
+    @staticmethod
+    def _reap(link: _Link) -> None:
+        link.proc.join(timeout=2.0)
+        if link.proc.is_alive():
+            link.proc.terminate()
+            link.proc.join(timeout=2.0)
+        if link.proc.is_alive():  # pragma: no cover - last resort
+            link.proc.kill()
+            link.proc.join(timeout=2.0)
+
+    def now(self) -> float:
         return time.monotonic() - self._t0
 
+    # -------------------------------------------------------------- sending
+    def send(self, node: int, cmd: dict) -> None:
+        """Send one control command (no peer-port precondition)."""
+        link = self._links[node]
+        with link.lock:
+            self._send_locked(link, cmd)
+
+    @staticmethod
+    def _send_locked(link: _Link, cmd: dict) -> None:
+        try:
+            link.cmd.send(cmd)
+        except CHANNEL_DOWN:
+            link.closed = True  # death will be declared by the pump
+
+    def dispatch(self, node: int, cmd: dict) -> None:
+        """Send one task command, preceded — once per (link, epoch) —
+        by the peer-port broadcast.  Both sends happen under the link
+        lock so concurrent chain threads can neither interleave pipe
+        writes nor slip a task in front of its epoch's port map."""
+        link = self._links[node]
+        with link.lock:
+            if link.ports_epoch != self.epoch:
+                self._send_locked(link, {"op": "ports", "epoch": self.epoch,
+                                         "ports": self.ports()})
+                link.ports_epoch = self.epoch
+            self._send_locked(link, cmd)
+
+    def ports(self) -> dict[int, int]:
+        return {n: self._links[n].port for n in self.alive}
+
+    def pid_of(self, node: int) -> int:
+        return self._links[node].pid
+
+    # ----------------------------------------------------------- event pump
+    def pump(self, timeout: float = 0.02,
+             check_faults: bool = True) -> Optional[tuple]:
+        """Receive one event; fire due fault kills; declare deaths.
+
+        Returns a non-heartbeat worker message, or None on an idle tick.
+        Pending inbox messages are always delivered before a death is
+        declared, so commits that beat the kill are not lost.  Readiness
+        messages from respawning replacement workers are consumed here
+        (they re-join ``alive`` without an epoch bump)."""
+        if check_faults and self.faults:
+            for victim in self.faults.due(time.monotonic(), self.alive):
+                self.kill_node(victim)
+        conns = {link.evt: node for node, link in self._links.items()
+                 if (node in self.alive or node in self._respawning)
+                 and not link.closed}
+        if conns:
+            for conn in connection_wait(list(conns), timeout=timeout):
+                node = conns[conn]
+                try:
+                    msg = conn.recv()
+                except CHANNEL_DOWN:
+                    self._links[node].closed = True
+                    continue
+                self._links[node].last_seen = time.monotonic()
+                if msg[0] != "hb":
+                    self._inbox.append(msg)
+        else:
+            time.sleep(timeout)
+        if self._inbox:
+            msg = self._inbox.popleft()
+            if msg[0] == "ready" and msg[1] in self._respawning:
+                self._admit_respawned(msg)
+                return None
+            return msg
+        dead = self._expired_nodes()
+        if dead:
+            raise NodeDeath(dead[0])
+        return None
+
+    def _expired_nodes(self) -> list[int]:
+        detector = self.config.detector
+        now = time.monotonic()
+        dead = []
+        for node in sorted(self.alive):
+            link = self._links[node]
+            if detector.paper_mode:
+                # omniscient mode: a closed pipe or reaped process is an
+                # immediate declaration (the paper's zero-delay detector)
+                if link.closed or not link.proc.is_alive():
+                    dead.append(node)
+            elif now - link.last_seen > detector.expiry:
+                dead.append(node)
+        return dead
+
+    # -------------------------------------------------------------- failure
+    def kill_node(self, node: int) -> None:
+        """SIGKILL a worker — a real fail-stop.  Detection still flows
+        through the heartbeat channel; callers do not mark it dead."""
+        link = self._links[node]
+        if not link.pid:
+            raise RuntimeError(f"node {node} has not reported ready")
+        try:
+            os.kill(link.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+
+    def on_death(self, node: int) -> bool:
+        """Pool-level death bookkeeping; idempotent (in service mode
+        every chain reacts to the death, but the pool declares it once).
+        Returns True when this call actually declared it.
+
+        ``alive`` is rebound, never mutated in place: chain threads
+        iterate it concurrently (``sorted(pool.alive)``) and an in-place
+        ``discard`` could blow up their iteration mid-walk."""
+        if node not in self.alive:
+            return False
+        self.epoch += 1  # cancel in-flight work: stale results discarded
+        self.alive = self.alive - {node}
+        link = self._links[node]
+        link.closed = True
+        link.proc.join(timeout=1.0)
+        self.deaths.append((self.now(), node))
+        self.tracer.instant("cascade", "node-death", node=node,
+                            pid=link.pid)
+        return True
+
+    # -------------------------------------------------------------- respawn
+    def respawn(self, node: int) -> Optional[_Link]:
+        """Fork a replacement worker for a dead node id (service mode).
+
+        The replacement re-joins ``alive`` when its readiness message
+        arrives in :meth:`pump` — *without* an epoch bump, which would
+        silently cancel every chain's in-flight phase.  The dead
+        worker's files are left on disk on purpose: each chain's
+        registry dropped its entries at death (nothing references them
+        again — any re-used path is atomically overwritten first), and
+        the coordinator side may still be reading a completed chain's
+        final output from that directory."""
+        if node in self.alive or node in self._respawning:
+            return None
+        old = self._links.get(node)
+        if old is not None:
+            for conn in (old.cmd, old.evt):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        link = self._fork_worker(node)
+        self._respawning.add(node)
+        return link
+
+    def _admit_respawned(self, msg: tuple) -> None:
+        _, node, port, pid = msg
+        link = self._links[node]
+        link.port = port
+        link.pid = pid
+        self._respawning.discard(node)
+        self.alive = self.alive | {node}
+        # every worker must relearn the port map (the replacement's port
+        # changed) — reset the broadcast marker under each link's lock
+        # so a concurrently dispatching chain can't skip the rebroadcast
+        for other in self._links.values():
+            with other.lock:
+                other.ports_epoch = -1
+        self.tracer.instant("cascade", "node-respawned", node=node,
+                            pid=pid)
+
+
+class ChainRun:
+    """One chain's execution state machine over a shared worker pool.
+
+    Owns the chain's registry, job loop, recovery, and dispatch; the
+    pool owns the processes.  ``chain_id=None`` is classic single-chain
+    mode (files in the node roots, events pumped inline); a string id
+    namespaces the chain's files on every node and expects a service
+    router to feed events through :meth:`attach_inbox`'s queue."""
+
+    def __init__(self, config: RuntimeConfig, pool: WorkerPool,
+                 chain_id: Optional[str] = None,
+                 tracer: Optional[Tracer] = None,
+                 hooks: Optional[Hooks] = None,
+                 map_assignment: Optional[Callable[[int, int, int], int]]
+                 = None,
+                 fault_plan: Optional[LiveFaultPlan] = None):
+        """``map_assignment(job, task_id, storage_node) -> node`` overrides
+        the data-local default, mirroring ``LocalCluster``'s hook (tests
+        use it to construct the Fig. 5 hazard on real processes)."""
+        self.config = config
+        self.pool = pool
+        self.chain_id = chain_id
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.hooks = hooks or (lambda event, **info: None)
+        self.map_assignment = map_assignment or (lambda j, t, node: node)
+        self.fault_plan = fault_plan
+        self.registry = ClusterRegistry()
+        self.completed_jobs = 0
+        self.deaths: list[tuple[float, int]] = []
+        self.job_times: list[tuple[int, str, float]] = []
+        self.reclaims: list[tuple[int, int]] = []
+        self.shuffle_bytes: dict[str, int] = {}
+        self._pending_deaths: deque[int] = deque()
+        self._inbox: Optional[queue.Queue] = None
+
+    # --------------------------------------------------------- event intake
+    def attach_inbox(self) -> queue.Queue:
+        """Switch to service mode: events arrive on a queue fed by the
+        service's router thread instead of pumping the pool inline."""
+        self._inbox = queue.Queue()
+        return self._inbox
+
+    def notify_death(self, node: int) -> None:
+        """Called by the service loop when the pool declares a death.
+        Queues the death for this chain and wakes it if it is blocked
+        waiting for events (task events already queued are delivered
+        first, matching the pump's commits-beat-the-kill ordering)."""
+        self._pending_deaths.append(node)
+        if self._inbox is not None:
+            self._inbox.put(("death", node))
+
+    def _raise_pending_death(self) -> None:
+        if self._pending_deaths:
+            raise NodeDeath(self._pending_deaths.popleft())
+
+    def _next_event(self, timeout: float = 0.02) -> Optional[tuple]:
+        if self._inbox is None:
+            return self.pool.pump(timeout)
+        try:
+            msg = self._inbox.get(timeout=timeout)
+        except queue.Empty:
+            self._raise_pending_death()
+            return None
+        if msg[0] == "death":
+            self._raise_pending_death()
+            return None
+        return msg
+
     # ---------------------------------------------------------- chain logic
-    def run_chain(self) -> RunReport:
+    def run(self) -> RunReport:
         """Execute the chain end to end, recovering from every death."""
         chain = self.config.chain
         span = self.tracer.span("chain", f"chain-x{chain.n_jobs}",
                                 nodes=self.config.n_nodes,
-                                strategy=self.config.strategy)
-        if self.faults:
-            self.faults.arm_chain_start(time.monotonic())
+                                strategy=self.config.strategy,
+                                chain_id=self.chain_id)
         outcome = "ok"
         try:
             while (self.completed_jobs < chain.n_jobs
                    or self._cascade_jobs()
                    or self._under_replicated()):
                 try:
+                    self._raise_pending_death()
                     if self._cascade_jobs():
                         self._recover()
                     elif self._under_replicated():
@@ -428,7 +732,7 @@ class Coordinator:
                     else:
                         self._run_job(self.completed_jobs + 1)
                 except NodeDeath as death:
-                    self._on_death(death.node)
+                    self._handle_death(death.node)
         except BaseException:
             outcome = "failed"
             raise
@@ -441,7 +745,16 @@ class Coordinator:
                          n_nodes=self.config.n_nodes,
                          strategy=self.config.strategy,
                          reclaims=list(self.reclaims),
-                         shuffle_bytes=dict(self.shuffle_bytes))
+                         shuffle_bytes=dict(self.shuffle_bytes),
+                         chain_id=self.chain_id)
+
+    def _handle_death(self, node: int) -> None:
+        self.pool.on_death(node)  # no-op if another chain got there first
+        self.deaths.append((self.pool.now(), node))
+        if not self.pool.alive:
+            raise RuntimeError("no surviving workers; chain unrecoverable")
+        self.registry.record_death(node, self.completed_jobs)
+        self.hooks("death", node=node)
 
     def _run_job(self, job: int, kind: str = "run") -> None:
         """Run one job, reusing whatever committed outputs survive."""
@@ -451,8 +764,8 @@ class Coordinator:
         outcome = "cancelled"
         try:
             self.hooks("job-start", job=job, kind=kind)
-            if self.faults and kind == "run":
-                self.faults.arm_job_start(job, time.monotonic())
+            if self.fault_plan and kind == "run":
+                self.fault_plan.arm_job_start(job, time.monotonic())
             blocks = self._blocks_for(job)
             todo = [b for b in blocks
                     if (job, b.task_id) not in self.registry.map_outputs]
@@ -460,7 +773,7 @@ class Coordinator:
             self.hooks("maps-done", job=job)
 
             sources = self._sources(job)
-            alive = sorted(self.alive)
+            alive = sorted(self.pool.alive)
             cmds = {}
             for partition in range(chain.n_partitions):
                 if self.registry.covered(job, partition):
@@ -488,7 +801,7 @@ class Coordinator:
         """Replication commands bringing each piece up to its job's
         target holder count: each missing copy is fetched from the
         primary holder by the target node over the shuffle transport."""
-        alive = sorted(self.alive)
+        alive = sorted(self.pool.alive)
         cmds = {}
         rr = 0
         for entry in entries:
@@ -529,7 +842,7 @@ class Coordinator:
                             anchor=self.config.is_anchor(job))
 
     def _under_replicated(self) -> list:
-        return self.registry.under_replicated(len(self.alive))
+        return self.registry.under_replicated(len(self.pool.alive))
 
     def _re_replicate(self) -> None:
         """Restore lost copies of replication-tracked pieces after a
@@ -562,7 +875,7 @@ class Coordinator:
         map_upto, piece_upto = anchor - 1, anchor - 2
         self.registry.reclaim_through(map_upto, piece_upto)
         cmds = {}
-        for node in sorted(self.alive):
+        for node in sorted(self.pool.alive):
             cmds[("reclaim", anchor, node)] = (node, {
                 "op": "reclaim", "anchor": anchor,
                 "map_upto": map_upto, "piece_upto": piece_upto})
@@ -644,7 +957,7 @@ class Coordinator:
         reruns — leaking storage and hiding any accidental stale-path
         read (a rerun may place work on different nodes)."""
         cmds = {}
-        for node in sorted(self.alive):
+        for node in sorted(self.pool.alive):
             cmds[("drop-job", job, node)] = (
                 node, {"op": "drop-job", "job": job})
         self._run_tasks(cmds, phase=f"sweep-{job}")
@@ -659,7 +972,7 @@ class Coordinator:
             all_map_tasks=[b.task_id for b in blocks],
             present_map_tasks=[t for (j, t) in self.registry.map_outputs
                                if j == job],
-            alive=self.alive,
+            alive=self.pool.alive,
             split_ratio=chain.split_ratio)
         self.tracer.instant("cascade", "recompute-plan", job=job,
                             maps=len(plan.map_tasks),
@@ -714,7 +1027,7 @@ class Coordinator:
             self.tracer.instant("cascade", "invalidate-map", job=consumer,
                                 task=task_id, node=entry.node,
                                 split_source=[job, partition])
-            if entry.node in self.alive:
+            if entry.node in self.pool.alive:
                 cmds[("drop", consumer, task_id)] = (
                     entry.node,
                     {"op": "drop", "job": consumer, "task": task_id})
@@ -727,8 +1040,8 @@ class Coordinator:
         cmds = {}
         for block in blocks:
             node = self.map_assignment(job, block.task_id, block.node)
-            if node not in self.alive:
-                node = min(self.alive)
+            if node not in self.pool.alive:
+                node = min(self.pool.alive)
             cmds[("map", job, block.task_id)] = (node, {
                 "op": "map", "job": job, "task": block.task_id,
                 "origin": block.origin, "source": block.source,
@@ -746,31 +1059,11 @@ class Coordinator:
         return [(t, self.registry.map_outputs[(job, t)].node)
                 for t in self.registry.map_tasks_of(job)]
 
-    def _ports(self) -> dict[int, int]:
-        return {n: self._links[n].port for n in self.alive}
-
     def _blocks_for(self, job: int) -> list[BlockSpec]:
         chain = self.config.chain
         return self.registry.blocks_for(job, self.config.n_nodes,
                                         chain.records_per_node,
                                         chain.records_per_block)
-
-    def _send(self, node: int, cmd: dict) -> None:
-        link = self._links[node]
-        try:
-            link.cmd.send(cmd)
-        except CHANNEL_DOWN:
-            link.closed = True  # death will be declared by the pump
-
-    def _ensure_ports(self, node: int) -> None:
-        """Broadcast the peer-port map to ``node`` once per epoch (the
-        map only changes when a death bumps the epoch), instead of
-        resending the full dict on every task command."""
-        link = self._links[node]
-        if link.ports_epoch != self.epoch:
-            self._send(node, {"op": "ports", "epoch": self.epoch,
-                              "ports": self._ports()})
-            link.ports_epoch = self.epoch
 
     def _run_tasks(self, cmds: dict, phase: str,
                    after_send: Optional[Callable[[], None]] = None,
@@ -785,14 +1078,17 @@ class Coordinator:
         ``on_piece`` when given (recovery overlays) or register directly;
         committed replicas register on arrival; ``on_freed`` receives the
         bytes each reclaim/sweep reply reports.
-        Raises :class:`NodeDeath` as soon as the pump declares one."""
+        Raises :class:`NodeDeath` as soon as one is declared (pumped
+        inline in single-chain mode, queued by the service router in
+        service mode)."""
+        self._raise_pending_death()
         outstanding: dict[tuple, tuple[int, dict]] = {}
         spans: dict[tuple, Any] = {}
         for key, (node, cmd) in cmds.items():
             cmd = dict(cmd)
-            cmd["epoch"] = self.epoch
-            self._ensure_ports(node)
-            self._send(node, cmd)
+            cmd["epoch"] = self.pool.epoch
+            cmd["chain"] = self.chain_id
+            self.pool.dispatch(node, cmd)
             outstanding[key] = (node, cmd)
             if self.tracer.enabled:
                 spans[key] = self.tracer.span(
@@ -812,24 +1108,28 @@ class Coordinator:
             for key in [k for k, t in retry_at.items() if t <= now]:
                 del retry_at[key]
                 if key in outstanding:
-                    self._send(outstanding[key][0],
-                               dict(outstanding[key][1]))
-            msg = self._pump()
+                    self.pool.dispatch(outstanding[key][0],
+                                       dict(outstanding[key][1]))
+            msg = self._next_event()
             if msg is None:
                 continue
             kind = msg[0]
             if kind == "map-done":
-                _, node, epoch, job, task, origin, counts, pid, fetched = msg
+                (_, node, epoch, chain, job, task, origin, counts, pid,
+                 fetched) = msg
                 key = ("map", job, task)
-                if epoch != self.epoch or key not in outstanding:
+                if (epoch != self.pool.epoch or chain != self.chain_id
+                        or key not in outstanding):
                     continue
                 self._count_shuffle(phase, fetched)
                 self.registry.add_map(MapEntry(job, task, node, origin,
                                                counts))
             elif kind == "reduce-done":
-                _, node, epoch, job, partition, s, k, n, pid, fetched = msg
+                (_, node, epoch, chain, job, partition, s, k, n, pid,
+                 fetched) = msg
                 key = ("reduce", job, partition, s, k)
-                if epoch != self.epoch or key not in outstanding:
+                if (epoch != self.pool.epoch or chain != self.chain_id
+                        or key not in outstanding):
                     continue
                 self._count_shuffle(phase, fetched)
                 entry = PieceEntry(job, partition, s, k, node, n)
@@ -838,39 +1138,45 @@ class Coordinator:
                 else:
                     self.registry.add_piece(entry)
             elif kind == "replica-done":
-                _, node, epoch, job, partition, s, k, pid, fetched = msg
+                _, node, epoch, chain, job, partition, s, k, pid, fetched \
+                    = msg
                 key = ("replicate", job, partition, s, k, node)
-                if epoch != self.epoch or key not in outstanding:
+                if (epoch != self.pool.epoch or chain != self.chain_id
+                        or key not in outstanding):
                     continue
                 self._count_shuffle(phase, fetched)
                 self.registry.add_replica(job, partition, s, k, node)
             elif kind == "dropped":
-                _, node, epoch, job, task = msg
+                _, node, epoch, chain, job, task = msg
                 key = ("drop", job, task)
-                if epoch != self.epoch or key not in outstanding:
+                if (epoch != self.pool.epoch or chain != self.chain_id
+                        or key not in outstanding):
                     continue
                 # the link lookup must stay behind the guard: a stale
                 # message may name a node whose link no longer exists
-                pid = self._links[node].pid
+                pid = self.pool.pid_of(node)
             elif kind == "job-dropped":
-                _, node, epoch, job, freed = msg
+                _, node, epoch, chain, job, freed = msg
                 key = ("drop-job", job, node)
-                if epoch != self.epoch or key not in outstanding:
+                if (epoch != self.pool.epoch or chain != self.chain_id
+                        or key not in outstanding):
                     continue
-                pid = self._links[node].pid
+                pid = self.pool.pid_of(node)
                 if on_freed is not None:
                     on_freed(freed)
             elif kind == "reclaimed":
-                _, node, epoch, anchor, freed = msg
+                _, node, epoch, chain, anchor, freed = msg
                 key = ("reclaim", anchor, node)
-                if epoch != self.epoch or key not in outstanding:
+                if (epoch != self.pool.epoch or chain != self.chain_id
+                        or key not in outstanding):
                     continue
-                pid = self._links[node].pid
+                pid = self.pool.pid_of(node)
                 if on_freed is not None:
                     on_freed(freed)
             elif kind == "task-failed":
-                _, node, epoch, op, key, err = msg
-                if epoch != self.epoch or key not in outstanding:
+                _, node, epoch, chain, op, key, err = msg
+                if (epoch != self.pool.epoch or chain != self.chain_id
+                        or key not in outstanding):
                     continue
                 # re-dispatch with backoff until the fetch source's death
                 # is declared by the pump or io_timeout judges the phase
@@ -880,8 +1186,8 @@ class Coordinator:
                     0.05 * attempts[key], 0.5)
                 continue
             elif kind == "task-error":
-                _, node, epoch, op, key, tb = msg
-                if epoch != self.epoch:
+                _, node, epoch, chain, op, key, tb = msg
+                if epoch != self.pool.epoch or chain != self.chain_id:
                     continue  # cancelled work; its error is moot
                 raise RuntimeError(
                     f"worker {node} hit a software error in {op} task "
@@ -902,85 +1208,10 @@ class Coordinator:
             self.shuffle_bytes[phase] = (
                 self.shuffle_bytes.get(phase, 0) + fetched)
 
-    # ----------------------------------------------------------- event pump
-    def _pump(self, timeout: float = 0.02,
-              check_faults: bool = True) -> Optional[tuple]:
-        """Receive one event; fire due fault kills; declare deaths.
-
-        Returns a non-heartbeat worker message, or None on an idle tick.
-        Pending inbox messages are always delivered before a death is
-        declared, so commits that beat the kill are not lost."""
-        if check_faults and self.faults:
-            for victim in self.faults.due(time.monotonic(), self.alive):
-                self.kill_node(victim)
-        conns = {link.evt: node for node, link in self._links.items()
-                 if node in self.alive and not link.closed}
-        if conns:
-            for conn in connection_wait(list(conns), timeout=timeout):
-                node = conns[conn]
-                try:
-                    msg = conn.recv()
-                except CHANNEL_DOWN:
-                    self._links[node].closed = True
-                    continue
-                self._links[node].last_seen = time.monotonic()
-                if msg[0] != "hb":
-                    self._inbox.append(msg)
-        else:
-            time.sleep(timeout)
-        if not self._inbox:
-            dead = self._expired_nodes()
-            if dead:
-                raise NodeDeath(dead[0])
-        return self._inbox.popleft() if self._inbox else None
-
-    def _expired_nodes(self) -> list[int]:
-        detector = self.config.detector
-        now = time.monotonic()
-        dead = []
-        for node in sorted(self.alive):
-            link = self._links[node]
-            if detector.paper_mode:
-                # omniscient mode: a closed pipe or reaped process is an
-                # immediate declaration (the paper's zero-delay detector)
-                if link.closed or not link.proc.is_alive():
-                    dead.append(node)
-            elif now - link.last_seen > detector.expiry:
-                dead.append(node)
-        return dead
-
-    # -------------------------------------------------------------- failure
-    def kill_node(self, node: int) -> None:
-        """SIGKILL a worker — a real fail-stop.  Detection still flows
-        through the heartbeat channel; callers do not mark it dead."""
-        link = self._links[node]
-        if not link.pid:
-            raise RuntimeError(f"node {node} has not reported ready")
-        try:
-            os.kill(link.pid, signal.SIGKILL)
-        except ProcessLookupError:
-            pass
-
-    def _on_death(self, node: int) -> None:
-        self.epoch += 1  # cancel the in-flight job: stale results discarded
-        self.alive.discard(node)
-        link = self._links[node]
-        link.closed = True
-        link.proc.join(timeout=1.0)
-        when = self._now()
-        self.deaths.append((when, node))
-        self.tracer.instant("cascade", "node-death", node=node,
-                            pid=link.pid, completed_jobs=self.completed_jobs)
-        if not self.alive:
-            raise RuntimeError("no surviving workers; chain unrecoverable")
-        self.registry.record_death(node, self.completed_jobs)
-        self.hooks("death", node=node)
-
     # -------------------------------------------------------------- queries
     def final_output(self) -> dict[int, list[Record]]:
         """Partition -> sorted records of the last job's output, read back
-        from the surviving nodes' files (registry-driven, like any DFS
-        read)."""
+        from the nodes' files (registry-driven, like any DFS read)."""
         chain = self.config.chain
         last = self.registry.pieces.get(chain.n_jobs)
         if last is None or not self.registry.coverage_complete(
@@ -990,7 +1221,8 @@ class Coordinator:
         for partition, plist in last.items():
             records: list[Record] = []
             for entry in plist:
-                data = NodeStore(self.workdir, entry.node).read_piece(
+                data = NodeStore(self.pool.workdir, entry.node,
+                                 chain=self.chain_id).read_piece(
                     entry.job, entry.partition, entry.split_index,
                     entry.n_splits)
                 records.extend(decode_records(data))
@@ -999,3 +1231,124 @@ class Coordinator:
 
     def checksum(self) -> str:
         return chain_checksum(self.final_output())
+
+
+class Coordinator:
+    """Drives one multi-job chain over real worker processes: a private
+    :class:`WorkerPool` plus one :class:`ChainRun` behind the classic
+    single-chain API (the multi-chain front is
+    :class:`repro.runtime.service.ChainService`)."""
+
+    def __init__(self, config: RuntimeConfig, workdir: str | Path,
+                 tracer: Optional[Tracer] = None,
+                 hooks: Optional[Hooks] = None,
+                 fault_model: Optional[FaultModel] = None,
+                 fault_seed: int = 0, fault_time_scale: float = 1.0,
+                 map_assignment: Optional[Callable[[int, int, int], int]]
+                 = None):
+        self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.faults = (LiveFaultPlan(fault_model, seed=fault_seed,
+                                     time_scale=fault_time_scale)
+                       if fault_model is not None else None)
+        self.pool = WorkerPool(config, workdir, tracer=self.tracer,
+                               faults=self.faults)
+        self.chain_run = ChainRun(config, self.pool, tracer=self.tracer,
+                                  hooks=hooks,
+                                  map_assignment=map_assignment,
+                                  fault_plan=self.faults)
+
+    # ------------------------------------------------------------ lifecycle
+    def __enter__(self) -> "Coordinator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def start(self) -> None:
+        self.pool.start()
+
+    def shutdown(self) -> None:
+        self.pool.shutdown()
+
+    # ---------------------------------------------------------- chain logic
+    def run_chain(self) -> RunReport:
+        """Execute the chain end to end, recovering from every death."""
+        if self.faults:
+            self.faults.arm_chain_start(time.monotonic())
+        return self.chain_run.run()
+
+    def kill_node(self, node: int) -> None:
+        self.pool.kill_node(node)
+
+    def final_output(self) -> dict[int, list[Record]]:
+        return self.chain_run.final_output()
+
+    def checksum(self) -> str:
+        return self.chain_run.checksum()
+
+    # ------------------------------------------------- delegated state
+    # (kept as properties so tests and tools can keep poking the classic
+    # flat Coordinator surface)
+    @property
+    def workdir(self) -> Path:
+        return self.pool.workdir
+
+    @property
+    def registry(self) -> ClusterRegistry:
+        return self.chain_run.registry
+
+    @property
+    def alive(self) -> set[int]:
+        return self.pool.alive
+
+    @alive.setter
+    def alive(self, value: set[int]) -> None:
+        self.pool.alive = set(value)
+
+    @property
+    def epoch(self) -> int:
+        return self.pool.epoch
+
+    @epoch.setter
+    def epoch(self, value: int) -> None:
+        self.pool.epoch = value
+
+    @property
+    def completed_jobs(self) -> int:
+        return self.chain_run.completed_jobs
+
+    @completed_jobs.setter
+    def completed_jobs(self, value: int) -> None:
+        self.chain_run.completed_jobs = value
+
+    @property
+    def deaths(self) -> list[tuple[float, int]]:
+        return self.chain_run.deaths
+
+    @property
+    def job_times(self) -> list[tuple[int, str, float]]:
+        return self.chain_run.job_times
+
+    @property
+    def reclaims(self) -> list[tuple[int, int]]:
+        return self.chain_run.reclaims
+
+    @property
+    def shuffle_bytes(self) -> dict[str, int]:
+        return self.chain_run.shuffle_bytes
+
+    @property
+    def hooks(self) -> Hooks:
+        return self.chain_run.hooks
+
+    @property
+    def _links(self) -> dict[int, _Link]:
+        return self.pool._links
+
+    def _cascade_jobs(self) -> list[int]:
+        return self.chain_run._cascade_jobs()
+
+    def _run_tasks(self, cmds: dict, phase: str, **kwargs) -> None:
+        self.chain_run._run_tasks(cmds, phase, **kwargs)

@@ -128,11 +128,31 @@ def chain_checksum(final_output: dict[int, list[Record]]) -> str:
 
 # ----------------------------------------------------------------- node store
 class NodeStore:
-    """One node's single-replica on-disk storage."""
+    """One node's single-replica on-disk storage.
 
-    def __init__(self, root: str | Path, node: int):
+    ``chain`` namespaces the layout for the multi-tenant chain service:
+    ``chain=None`` keeps the classic single-chain layout
+    (``<root>/nodeNNN/...``) byte-for-byte, while a chain id moves every
+    file under ``<root>/nodeNNN/chains/<chain>/...`` so concurrent
+    chains sharing one worker pool can never collide on a
+    ``(job, task)`` or ``(job, partition, split)`` path."""
+
+    def __init__(self, root: str | Path, node: int,
+                 chain: Optional[str] = None):
         self.node = node
-        self.dir = Path(root) / f"node{node:03d}"
+        self.root = Path(root)
+        self.chain = chain
+        self.dir = self.root / f"node{node:03d}"
+        if chain is not None:
+            self.dir = self.dir / "chains" / str(chain)
+
+    def for_chain(self, chain: Optional[str]) -> "NodeStore":
+        """The same node's store under ``chain``'s namespace (``self``
+        when the chain id already matches — the common single-chain
+        case pays nothing)."""
+        if chain == self.chain:
+            return self
+        return NodeStore(self.root, self.node, chain=chain)
 
     # -- paths ----------------------------------------------------------
     def map_dir(self, job: int, task_id: int) -> Path:

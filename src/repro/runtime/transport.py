@@ -119,7 +119,13 @@ def serve_request(store: "NodeStore", request: dict) -> bytes:
     request carries ``split``/``n_splits``, each slice is filtered by
     ``split_of`` *server-side* before shipping: the reducer of one split
     receives exactly its 1/k of the keys instead of the whole partition
-    (the paper's reducer-splitting hot path, §IV-B1)."""
+    (the paper's reducer-splitting hot path, §IV-B1).
+
+    A ``chain`` field scopes the read to that chain's namespace on the
+    serving node (multi-tenant service mode); absent, the store's own
+    namespace applies."""
+    if "chain" in request:
+        store = store.for_chain(request["chain"])
     kind = request["kind"]
     if kind == "maps":
         split = request.get("split")
@@ -333,16 +339,19 @@ class PeerPool:
         raise FetchError(f"shuffle fetch from port {port} failed: {last}")
 
     def fetch_piece(self, port: int, job: int, partition: int,
-                    split_index: int, n_splits: int) -> bytes:
+                    split_index: int, n_splits: int,
+                    chain: Optional[str] = None) -> bytes:
         """Fetch one stored piece's bytes from a peer's shuffle server.
 
         Shared by re-homed mappers reading upstream piece ranges and
         replica writers copying a piece from its primary holder (the
-        REPL-k / hybrid-anchor pipelined replication path)."""
-        return self.fetch(port, {"kind": "piece", "job": job,
-                                 "partition": partition,
-                                 "split": split_index,
-                                 "n_splits": n_splits})
+        REPL-k / hybrid-anchor pipelined replication path).  ``chain``
+        scopes the read to that chain's namespace on the serving node."""
+        request = {"kind": "piece", "job": job, "partition": partition,
+                   "split": split_index, "n_splits": n_splits}
+        if chain is not None:
+            request["chain"] = chain
+        return self.fetch(port, request)
 
     def close(self) -> None:
         with self._lock:
@@ -366,7 +375,10 @@ def fetch(port: int, request: dict, timeout: float = 5.0,
 
 
 def fetch_piece(port: int, job: int, partition: int, split_index: int,
-                n_splits: int) -> bytes:
+                n_splits: int, chain: Optional[str] = None) -> bytes:
     """One-shot piece fetch (see :meth:`PeerPool.fetch_piece`)."""
-    return fetch(port, {"kind": "piece", "job": job, "partition": partition,
-                        "split": split_index, "n_splits": n_splits})
+    request = {"kind": "piece", "job": job, "partition": partition,
+               "split": split_index, "n_splits": n_splits}
+    if chain is not None:
+        request["chain"] = chain
+    return fetch(port, request)

@@ -134,6 +134,13 @@ class _Worker:
         self.seed = seed
         self.records_per_node = records_per_node
         self.value_size = value_size
+        #: chain id -> (seed, records_per_node, value_size); the fork
+        #: arguments register the default (single-chain) namespace, and
+        #: the service's chain-open commands add one entry per admitted
+        #: chain
+        self._chains: dict = {
+            None: (seed, records_per_node, value_size)}
+        self._stores: dict = {None: store, store.chain: store}
         self.fetch_parallelism = max(1, int(opts["fetch_parallelism"]))
         self.server_split_filter = bool(opts["server_split_filter"])
         self.pool = transport.PeerPool(
@@ -149,7 +156,8 @@ class _Worker:
         self._slots = _SlotPool(slots, self.execute) if slots > 1 else None
         self._ports: dict[int, int] = {}
         self._latest_epoch = -1
-        self._inputs: dict[int, list[Record]] = {}
+        #: (chain, node) -> memoized regenerated chain input
+        self._inputs: dict[tuple, list[Record]] = {}
         self._inputs_lock = threading.Lock()
 
     def close(self) -> None:
@@ -173,6 +181,24 @@ class _Worker:
             # riding on every task command
             self._ports = dict(cmd["ports"])
             return
+        if cmd["op"] == "chain-open":
+            # service mode: register an admitted chain's input parameters
+            # so any slot can regenerate its chain input; pipe ordering
+            # guarantees this lands before the chain's first task
+            self._chains[cmd["chain"]] = (
+                cmd["seed"], cmd["records_per_node"], cmd["value_size"])
+            return
+        if cmd["op"] == "chain-close":
+            # drop the finished chain's in-memory state (its params,
+            # store handle, and memoized input); files stay on disk —
+            # the coordinator side has already read the final output
+            chain = cmd["chain"]
+            self._chains.pop(chain, None)
+            self._stores.pop(chain, None)
+            with self._inputs_lock:
+                for key in [k for k in self._inputs if k[0] == chain]:
+                    del self._inputs[key]
+            return
         if self._slots is not None and cmd["op"] in self.TASK_OPS:
             self._slots.submit(cmd)
         else:
@@ -180,71 +206,88 @@ class _Worker:
 
     def execute(self, cmd: dict) -> None:
         op = cmd.get("op")
+        chain = cmd.get("chain")
         if cmd.get("epoch", self._latest_epoch) < self._latest_epoch:
             return  # cancelled epoch: the coordinator discards the result
         try:
+            store = self._store(chain)
             if op == "map":
-                self._map(cmd)
+                self._map(cmd, chain, store)
             elif op == "reduce":
-                self._reduce(cmd)
+                self._reduce(cmd, chain, store)
             elif op == "replicate":
-                self._replicate(cmd)
+                self._replicate(cmd, chain, store)
             elif op == "drop":
-                self.store.drop_map_output(cmd["job"], cmd["task"])
-                self.evt.send(("dropped", self.node, cmd["epoch"],
+                store.drop_map_output(cmd["job"], cmd["task"])
+                self.evt.send(("dropped", self.node, cmd["epoch"], chain,
                                cmd["job"], cmd["task"]))
             elif op == "drop-job":
-                freed = self.store.drop_job(cmd["job"])
+                freed = store.drop_job(cmd["job"])
                 self.evt.send(("job-dropped", self.node, cmd["epoch"],
-                               cmd["job"], freed))
+                               chain, cmd["job"], freed))
             elif op == "reclaim":
-                freed = self.store.reclaim_jobs(cmd["map_upto"],
-                                                cmd["piece_upto"])
+                freed = store.reclaim_jobs(cmd["map_upto"],
+                                           cmd["piece_upto"])
                 self.evt.send(("reclaimed", self.node, cmd["epoch"],
-                               cmd["anchor"], freed))
+                               chain, cmd["anchor"], freed))
             else:
                 raise ValueError(f"unknown op {op!r}")
         except transport.FetchError as exc:
-            self.evt.send(("task-failed", self.node, cmd["epoch"], op,
-                           _task_key(cmd), str(exc)))
+            self.evt.send(("task-failed", self.node, cmd["epoch"], chain,
+                           op, _task_key(cmd), str(exc)))
         except Exception:
             # a software bug, not a fetch casualty: stay alive and hand
             # the coordinator the traceback, so a deterministic error
             # surfaces as a diagnostic instead of reading as a node
             # death and cascading through recovery
             self.evt.send(("task-error", self.node, cmd.get("epoch", -1),
-                           op, _task_key(cmd), traceback.format_exc()))
+                           chain, op, _task_key(cmd),
+                           traceback.format_exc()))
+
+    def _store(self, chain) -> NodeStore:
+        """The chain-namespaced store for one command (cached; benign if
+        two slots race the first construction)."""
+        store = self._stores.get(chain)
+        if store is None:
+            store = self._stores[chain] = self.store.for_chain(chain)
+        return store
 
     # -- input ----------------------------------------------------------
-    def _node_input(self, node: int) -> list[Record]:
+    def _node_input(self, chain, node: int) -> list[Record]:
         """Any worker can regenerate any node's chain input: the input is
-        a pure function of the seed (the paper's randomly generated
-        binary data), so a re-homed mapper needs no fetch for job 1.
-        Memoized — the node's stored input is generated once, like
-        ``LocalCluster._make_input``."""
+        a pure function of the chain's seed (the paper's randomly
+        generated binary data), so a re-homed mapper needs no fetch for
+        job 1.  Memoized per (chain, node) — a node's stored input is
+        generated once, like ``LocalCluster._make_input``."""
+        params = self._chains.get(chain)
+        if params is None:
+            raise RuntimeError(
+                f"chain {chain!r} is not open on node {self.node}")
+        seed, records_per_node, value_size = params
         with self._inputs_lock:
-            records = self._inputs.get(node)
+            records = self._inputs.get((chain, node))
             if records is None:
-                records = self._inputs[node] = generate_records(
-                    self.records_per_node, seed=self.seed * 1000 + node,
-                    value_size=self.value_size)
+                records = self._inputs[(chain, node)] = generate_records(
+                    records_per_node, seed=seed * 1000 + node,
+                    value_size=value_size)
             return records
 
-    def _block_records(self, source: tuple,
+    def _block_records(self, cmd: dict, chain, store: NodeStore,
                        ports: dict[int, int]) -> tuple[list[Record], int]:
         """Resolve one map-input block; returns ``(records, bytes fetched
         over the shuffle)``."""
+        source = cmd["source"]
         if source[0] == "input":
             _, node, start, count = source
-            return self._node_input(node)[start:start + count], 0
+            return self._node_input(chain, node)[start:start + count], 0
         _, job, partition, split_index, n_splits, node, start, count = source
         if node == self.node:
-            data = self.store.read_piece(job, partition, split_index,
-                                         n_splits)
+            data = store.read_piece(job, partition, split_index, n_splits)
             fetched = 0
         else:
             data = self.pool.fetch_piece(ports[node], job, partition,
-                                         split_index, n_splits)
+                                         split_index, n_splits,
+                                         chain=chain)
             fetched = len(data)
         records = list(iter_records(data))
         return records[start:start + count], fetched
@@ -293,21 +336,22 @@ class _Worker:
         return total
 
     # -- tasks -----------------------------------------------------------
-    def _map(self, cmd: dict) -> None:
+    def _map(self, cmd: dict, chain, store: NodeStore) -> None:
         ports = self._cmd_ports(cmd, self._ports)
         job, task_id = cmd["job"], cmd["task"]
-        records, fetched = self._block_records(cmd["source"], ports)
+        records, fetched = self._block_records(cmd, chain, store, ports)
         slices: dict[int, list[Record]] = {}
         for record in records:
             out = map_udf(record, job)
             slices.setdefault(
                 partition_of(out.key, cmd["n_partitions"]), []).append(out)
-        counts = self.store.write_map_output(job, task_id, cmd["origin"],
-                                             slices)
-        self.evt.send(("map-done", self.node, cmd["epoch"], job, task_id,
-                       cmd["origin"], counts, os.getpid(), fetched))
+        counts = store.write_map_output(job, task_id, cmd["origin"],
+                                        slices)
+        self.evt.send(("map-done", self.node, cmd["epoch"], chain, job,
+                       task_id, cmd["origin"], counts, os.getpid(),
+                       fetched))
 
-    def _reduce(self, cmd: dict) -> None:
+    def _reduce(self, cmd: dict, chain, store: NodeStore) -> None:
         ports = self._cmd_ports(cmd, self._ports)
         job, partition = cmd["job"], cmd["partition"]
         split_index, n_splits = cmd["split"], cmd["n_splits"]
@@ -329,6 +373,8 @@ class _Worker:
                 continue
             request = {"kind": "maps", "job": job, "tasks": tasks,
                        "partition": partition}
+            if chain is not None:
+                request["chain"] = chain
             if server_filter:
                 request["split"] = split_index
                 request["n_splits"] = n_splits
@@ -338,18 +384,18 @@ class _Worker:
             lambda node, data: merge(node, data, filtered=server_filter))
         if self.node in by_node:  # local slices never touch the network
             local = b"".join(
-                self.store.read_map_slice(job, task_id, partition)
+                store.read_map_slice(job, task_id, partition)
                 for task_id in by_node[self.node])
             merge(self.node, local, filtered=False)
         records = [reduce_udf(key, values)
                    for key, values in sorted(groups.items())]
-        n_records = self.store.write_piece(job, partition, split_index,
-                                           n_splits, records)
-        self.evt.send(("reduce-done", self.node, cmd["epoch"], job,
+        n_records = store.write_piece(job, partition, split_index,
+                                      n_splits, records)
+        self.evt.send(("reduce-done", self.node, cmd["epoch"], chain, job,
                        partition, split_index, n_splits, n_records,
                        os.getpid(), fetched))
 
-    def _replicate(self, cmd: dict) -> None:
+    def _replicate(self, cmd: dict, chain, store: NodeStore) -> None:
         """Copy one stored piece from its primary holder to this node's
         disk (REPL-k / hybrid anchors): fetch the encoded bytes over the
         shuffle transport and commit them behind the same atomic rename
@@ -363,11 +409,11 @@ class _Worker:
             raise ValueError(f"node {self.node} asked to replicate its "
                              f"own piece")
         data = self.pool.fetch_piece(ports[source], job, partition,
-                                     split_index, n_splits)
-        self.store.write_piece_bytes(job, partition, split_index, n_splits,
-                                     data)
-        self.evt.send(("replica-done", self.node, cmd["epoch"], job,
-                       partition, split_index, n_splits, os.getpid(),
+                                     split_index, n_splits, chain=chain)
+        store.write_piece_bytes(job, partition, split_index, n_splits,
+                                data)
+        self.evt.send(("replica-done", self.node, cmd["epoch"], chain,
+                       job, partition, split_index, n_splits, os.getpid(),
                        len(data)))
 
 

@@ -90,7 +90,8 @@ def run_process_chain(tmp_path, chain=CHAIN, n_nodes=4, hooks=None,
                       "fig5_guard", "hybrid_interval", "hybrid_replication",
                       "hybrid_reclaim", "task_slots", "fetch_parallelism",
                       "fetch_timeout", "server_split_filter",
-                      "persistent_connections", "io_timeout")
+                      "persistent_connections", "io_timeout",
+                      "startup_timeout")
                      if k in kwargs}
     config = RuntimeConfig(n_nodes=n_nodes, chain=chain, **config_kwargs)
     with Coordinator(config, tmp_path / "cluster", tracer=tracer,
@@ -669,11 +670,37 @@ def test_repl2_simultaneous_double_copy_loss_is_irrecoverable(tmp_path):
                           strategy="repl2")
 
 
+def _cross_worker_overlap(tasks):
+    """Wall time during which task spans from >= 2 distinct workers were
+    open simultaneously (an event sweep over the span intervals)."""
+    events = []
+    for e in tasks:
+        events.append((e["ts"], 1, e["tid"]))
+        events.append((e["ts"] + e["dur"], -1, e["tid"]))
+    events.sort()
+    open_by: dict = {}
+    overlap, last = 0.0, None
+    for t, delta, tid in events:
+        if last is not None and \
+                sum(1 for v in open_by.values() if v > 0) >= 2:
+            overlap += t - last
+        open_by[tid] = open_by.get(tid, 0) + delta
+        last = t
+    return overlap
+
+
 @pytest.mark.slow
 def test_four_nodes_beat_one_node_wall_clock(tmp_path):
-    """Real processes overlap map/shuffle/reduce work across nodes; a
-    4-node run of the same total workload must not lose to 1 node (and
-    genuinely wins once the host has cores to spare)."""
+    """Real processes overlap map/shuffle/reduce work across nodes.
+
+    The deterministic assertion is trace-based: the 4-node run must
+    actually *schedule* compute concurrently — all four workers execute
+    tasks, and spans from distinct workers are open simultaneously for
+    most of the chain — which no amount of host-scheduler noise can
+    fake or hide.  The raw 4-vs-1 wall-clock race only measures real
+    parallelism when the host has cores to spare, so it runs best-of-3
+    behind an ``os.cpu_count()`` guard (flaky on 1-core hosts
+    otherwise: the win there is I/O overlap only)."""
     total = 12_000
     chain4 = LocalJobConfig(n_jobs=3, n_partitions=8,
                             records_per_node=total // 4,
@@ -682,17 +709,34 @@ def test_four_nodes_beat_one_node_wall_clock(tmp_path):
                             records_per_node=total,
                             records_per_block=64, seed=0, value_size=64)
 
-    def wall(n_nodes, chain, tag):
-        t0 = time.perf_counter()
-        run_process_chain(tmp_path / tag, chain=chain, n_nodes=n_nodes)
-        return time.perf_counter() - t0
+    tracer = RecordingTracer()
+    t0 = time.perf_counter()
+    run_process_chain(tmp_path / "four", chain=chain4, n_nodes=4,
+                      tracer=tracer)
+    t4 = time.perf_counter() - t0
+    tasks = spans(tracer, "task")
+    assert {e["tid"] for e in tasks} == {0, 1, 2, 3}
+    window = (max(e["ts"] + e["dur"] for e in tasks)
+              - min(e["ts"] for e in tasks))
+    overlap = _cross_worker_overlap(tasks)
+    assert overlap > 0.5 * window, \
+        f"workers overlapped {overlap:.3f}s of a {window:.3f}s window"
 
-    t4 = wall(4, chain4, "four")
+    if (os.cpu_count() or 1) < 2:
+        return  # no parallel compute possible; the race means nothing
+
+    def wall(n_nodes, chain, tag):
+        best = float("inf")
+        for attempt in range(3):
+            t0 = time.perf_counter()
+            run_process_chain(tmp_path / f"{tag}{attempt}", chain=chain,
+                              n_nodes=n_nodes)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t4 = min(t4, wall(4, chain4, "four"))
     t1 = wall(1, chain1, "one")
-    # on a single-core host the win is I/O overlap only; allow scheduler
-    # noise there, demand a real win when parallel compute is possible
-    margin = 1.0 if (os.cpu_count() or 1) >= 2 else 1.25
-    assert t4 < t1 * margin, f"4-node {t4:.2f}s vs 1-node {t1:.2f}s"
+    assert t4 < t1, f"4-node {t4:.2f}s vs 1-node {t1:.2f}s"
 
 
 @pytest.mark.slow

@@ -252,11 +252,11 @@ def test_stale_message_from_unknown_link_is_skipped(tmp_path):
     guard, not KeyError on the link lookup."""
     coord, cmd_recv, evt_send = _fake_linked_coordinator(tmp_path)
     coord.epoch = 3
-    for stale in (("dropped", 9, 2, 1, 0),
-                  ("job-dropped", 9, 2, 1, 128),
-                  ("reclaimed", 9, 2, 1, 128)):
+    for stale in (("dropped", 9, 2, None, 1, 0),
+                  ("job-dropped", 9, 2, None, 1, 128),
+                  ("reclaimed", 9, 2, None, 1, 128)):
         evt_send.send(stale)
-    evt_send.send(("dropped", 0, 3, 1, 0))  # the real completion
+    evt_send.send(("dropped", 0, 3, None, 1, 0))  # the real completion
     coord._run_tasks({("drop", 1, 0): (0, {"op": "drop", "job": 1,
                                            "task": 0})}, phase="test")
     # the command pipe saw the ports broadcast followed by the drop
@@ -267,7 +267,7 @@ def test_stale_message_from_unknown_link_is_skipped(tmp_path):
 def test_ports_broadcast_once_per_epoch(tmp_path):
     coord, cmd_recv, evt_send = _fake_linked_coordinator(tmp_path)
     for task in (0, 1):
-        evt_send.send(("dropped", 0, 0, 1, task))
+        evt_send.send(("dropped", 0, 0, None, 1, task))
         coord._run_tasks({("drop", 1, task): (0, {"op": "drop", "job": 1,
                                                   "task": task})},
                          phase="test")
@@ -276,7 +276,7 @@ def test_ports_broadcast_once_per_epoch(tmp_path):
     assert cmds[0]["ports"] == {0: 1}
     # a death bumps the epoch: the next dispatch re-broadcasts
     coord.epoch += 1
-    evt_send.send(("dropped", 0, 1, 1, 2))
+    evt_send.send(("dropped", 0, 1, None, 1, 2))
     coord._run_tasks({("drop", 1, 2): (0, {"op": "drop", "job": 1,
                                            "task": 2})}, phase="test")
     assert [cmd_recv.recv()["op"] for _ in range(2)] == ["ports", "drop"]
