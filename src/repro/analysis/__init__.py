@@ -17,6 +17,7 @@ from repro.analysis.reporting import Comparison, format_table
 from repro.analysis.utilization import (
     hotspot_concentration,
     load_trace,
+    speculation_report,
     utilization_report,
 )
 
@@ -30,6 +31,7 @@ __all__ = [
     "hotspot_concentration",
     "load_trace",
     "optimistic_runtime",
+    "speculation_report",
     "utilization_report",
     "recomputation_waves",
     "recomputed_fraction",

@@ -139,6 +139,79 @@ def utilization_report(utilization: dict,
     return "\n".join(lines)
 
 
+def speculation_report(events: list[dict]) -> str:
+    """Per-node straggler table from the runtime's cascade instants.
+
+    Aggregates ``node-throttled`` / ``suspected-slow`` /
+    ``speculative-attempt`` / ``speculative-result`` /
+    ``speculation-loser`` / ``speculation-swept`` / ``pre-replicate``
+    instants into one row per node: how often it was suspected, how
+    many of its tasks were backed up, how many backups it ran and won,
+    and the bytes its losing attempts wasted.  Returns "" when the
+    trace carries no straggler activity (the section is omitted)."""
+    nodes: dict[int, dict[str, float]] = {}
+    pre_replicated = 0
+
+    def row(node) -> dict[str, float]:
+        return nodes.setdefault(int(node), {
+            "factor": 0.0, "suspected": 0, "backed_up": 0,
+            "backups_run": 0, "wins": 0, "wasted": 0, "swept": 0})
+
+    for ev in events:
+        if ev.get("ph") != "i":
+            continue
+        name, args = ev.get("name"), ev.get("args", {})
+        if name == "node-throttled":
+            row(args["node"])["factor"] = float(args.get("factor", 0.0))
+        elif name == "suspected-slow":
+            row(args["node"])["suspected"] += 1
+        elif name == "speculative-attempt":
+            row(args["original"])["backed_up"] += 1
+            row(args["backup"])["backups_run"] += 1
+        elif name == "speculative-result":
+            row(args["winner"])["wins"] += 1
+        elif name == "speculation-loser":
+            row(args["node"])["wasted"] += int(args.get("wasted", 0))
+        elif name == "speculation-swept":
+            row(args["node"])["swept"] += int(args.get("freed", 0))
+        elif name == "pre-replicate":
+            pre_replicated += int(args.get("pieces", 0))
+    if not nodes:
+        return ""
+    header = ("node", "slow x", "suspected", "backed-up", "backups",
+              "wins", "wasted B", "swept B")
+    table = [header]
+    for node in sorted(nodes):
+        r = nodes[node]
+        table.append((
+            str(node),
+            f"{r['factor']:g}" if r["factor"] else "-",
+            f"{int(r['suspected'])}",
+            f"{int(r['backed_up'])}",
+            f"{int(r['backups_run'])}",
+            f"{int(r['wins'])}",
+            f"{int(r['wasted'])}",
+            f"{int(r['swept'])}",
+        ))
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+
+    def fmt(row_: tuple[str, ...]) -> str:
+        return "  ".join(cell.ljust(w) for cell, w in zip(row_, widths))
+
+    lines = ["== straggler / speculation ==", fmt(header),
+             fmt(tuple("-" * w for w in widths))]
+    lines.extend(fmt(r) for r in table[1:])
+    if pre_replicated:
+        lines.append(f"pre-replicated pieces: {pre_replicated}")
+    return "\n".join(lines)
+
+
 def report_from_file(path: str, top: Optional[int] = None) -> str:
-    """Convenience: load ``path`` and render its utilization report."""
-    return utilization_report(load_trace(path)["utilization"], top=top)
+    """Convenience: load ``path`` and render its utilization report,
+    plus the straggler/speculation table when the trace has one."""
+    trace = load_trace(path)
+    report = utilization_report(trace["utilization"], top=top)
+    spec = speculation_report(trace["events"])
+    if spec:
+        report = f"{report}\n\n{spec}" if report else spec
+    return report

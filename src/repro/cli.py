@@ -158,11 +158,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="reclaim persisted outputs behind each intact "
                         "hybrid anchor")
     p.add_argument("--faults", default=None,
-                   help='planned fail-stop kills, e.g. "kill@job1+5" or '
-                        '"kill@job2:node=3; kill@job2+0.5" (the process '
-                        'backend delivers real SIGKILLs at the wall-clock '
-                        'deadline; the inproc backend kills at the job '
-                        'boundary, ignoring +offset)')
+                   help='planned fault events, e.g. "kill@job1+5", '
+                        '"kill@job2:node=3; kill@job2+0.5", or a '
+                        'straggler "slow@2:10" (node 2 runs 10x slow; '
+                        'the process backend throttles the live worker; '
+                        'the inproc backend kills at the job boundary '
+                        'and takes fail-stop only)')
+    p.add_argument("--speculation", action="store_true",
+                   help="launch backup attempts for tail tasks on idle "
+                        "slots; first commit wins, the loser's partial "
+                        "output is swept (process backend)")
+    p.add_argument("--speculation-slowdown", type=float, default=2.0,
+                   metavar="X",
+                   help="a tail task older than X times the batch's "
+                        "median committed wall earns a backup attempt")
+    p.add_argument("--pre-replicate", action="store_true",
+                   help="eagerly copy outputs held by a suspected-slow "
+                        "node to a healthy peer so its later death "
+                        "cascades nothing (process backend)")
+    p.add_argument("--suspect-ratio", type=float, default=3.0,
+                   metavar="R",
+                   help="suspect a node slow when its commit rate times "
+                        "R sits below the fleet median")
+    p.add_argument("--suspect-window", type=float, default=1.0,
+                   metavar="SECS",
+                   help="trailing window for progress-rate suspicion")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="RNG seed picking unpinned kill victims")
     p.add_argument("--fault-scale", type=float, default=1.0,
@@ -224,6 +244,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replace-dead", action="store_true",
                    help="respawn a replacement worker for each dead "
                         "node so the pool does not bleed capacity")
+    p.add_argument("--speculation", action="store_true",
+                   help="default straggler speculation for submitted "
+                        "chains (overridable per submission)")
+    p.add_argument("--pre-replicate", action="store_true",
+                   help="default straggler pre-replication for "
+                        "submitted chains")
     p.add_argument("--heartbeat-interval", type=float, default=0.05)
     p.add_argument("--heartbeat-expiry", type=float, default=0.0)
     p.add_argument("--workdir", default=None, metavar="DIR",
@@ -246,6 +272,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", default="rcmp",
                    choices=("rcmp", "optimistic", "repl2", "repl3",
                             "hybrid"))
+    p.add_argument("--speculation", action="store_true",
+                   help="straggler speculation for this chain")
+    p.add_argument("--pre-replicate", action="store_true",
+                   help="straggler pre-replication for this chain")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--wait", action="store_true",
                    help="block until the chain finishes and print its "
@@ -371,6 +401,11 @@ def _exec_process(args, chain, model, tracer):
                                task_slots=args.task_slots,
                                fetch_parallelism=args.fetch_parallelism,
                                server_split_filter=not args.no_server_filter,
+                               speculation=args.speculation,
+                               speculation_slowdown=args.speculation_slowdown,
+                               pre_replicate=args.pre_replicate,
+                               suspect_ratio=args.suspect_ratio,
+                               suspect_window=args.suspect_window,
                                **kwargs)
         workctx = (nullcontext(args.workdir) if args.workdir
                    else tempfile.TemporaryDirectory(prefix="rcmp-exec-"))
@@ -403,6 +438,10 @@ def _exec_inproc(args, chain, model, tracer):
         raise SystemExit("rcmp-repro: the inproc backend recovers with "
                          "rcmp only; use --backend process for "
                          f"--strategy {args.strategy}")
+    if args.speculation or args.pre_replicate:
+        raise SystemExit("rcmp-repro: speculation and pre-replication "
+                         "run real backup attempts on worker processes; "
+                         "use --backend process")
     by_job = {}
     if model is not None:
         if model.stochastic:
@@ -481,7 +520,9 @@ def _cmd_serve(args) -> int:
             n_nodes=args.nodes, chain=LocalJobConfig(),
             heartbeat_interval=args.heartbeat_interval,
             heartbeat_expiry=args.heartbeat_expiry,
-            task_slots=args.task_slots)
+            task_slots=args.task_slots,
+            speculation=args.speculation,
+            pre_replicate=args.pre_replicate)
         faults = (MTBFKills(args.mtbf, seed=args.fault_seed,
                             min_alive=args.min_alive)
                   if args.mtbf is not None else None)
@@ -520,6 +561,10 @@ def _cmd_submit(args) -> int:
                   "value_size": args.value_size, "seed": args.seed},
         "overrides": {"strategy": args.strategy},
     }
+    if args.speculation:
+        payload["overrides"]["speculation"] = True
+    if args.pre_replicate:
+        payload["overrides"]["pre_replicate"] = True
     try:
         chain_id = request(args.port, payload, host=args.host)["id"]
     except (OSError, RuntimeError) as exc:

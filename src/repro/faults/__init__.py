@@ -4,16 +4,18 @@
   fail-stop, transient crash-recover, disk-loss and correlated rack
   failures, planned or Poisson/MTBF-driven, plus the ``--faults`` grammar.
 * :mod:`repro.faults.detector` — :class:`HeartbeatDetector`: detection
-  latency policy (paper mode at expiry 0).
+  latency policy (paper mode at expiry 0);
+  :class:`ProgressRateTracker`: progress-rate suspicion policy (the
+  *suspected-slow* verdict, distinct from *dead*).
 * :mod:`repro.faults.injector` — :class:`FaultInjector`: drives a model
   against a cluster, byte-compatible with the legacy
   :class:`repro.cluster.failures.FailureInjector` for planned fail-stop
   plans.
 """
 
-from repro.faults.detector import HeartbeatDetector
+from repro.faults.detector import HeartbeatDetector, ProgressRateTracker
 from repro.faults.injector import FaultInjector
 from repro.faults.model import DEFAULT_DOWNTIME, KINDS, FaultEvent, FaultModel
 
 __all__ = ["DEFAULT_DOWNTIME", "KINDS", "FaultEvent", "FaultModel",
-           "FaultInjector", "HeartbeatDetector"]
+           "FaultInjector", "HeartbeatDetector", "ProgressRateTracker"]

@@ -24,6 +24,8 @@ paper).  Deterministic paper figures are byte-identical in this mode.
 from __future__ import annotations
 
 import math
+import threading
+from collections import deque
 
 
 class HeartbeatDetector:
@@ -80,3 +82,134 @@ class HeartbeatDetector:
         mode = "paper" if self.paper_mode else \
             f"hb={self.interval:g}s/exp={self.expiry:g}s"
         return f"<HeartbeatDetector {mode}>"
+
+
+class ProgressRateTracker:
+    """Progress-rate suspicion policy: *suspected-slow* is a verdict
+    distinct from *dead*.
+
+    A node whose heartbeats flow but whose task commits lag the fleet is
+    a straggler, never a loss — suspicion feeds speculation and
+    pre-replication, and must never feed death declaration (declaring a
+    throttled node lost would cascade-recover data that is still there).
+
+    The rule is an age test (LATE-style): a node is suspected at ``now``
+    when
+
+    * the fleet committed at least ``min_commits`` tasks inside the
+      trailing ``window`` (warm-up guard: an idle or just-started fleet
+      yields no verdicts — there is no baseline to lag behind), and
+    * the node has work in flight whose **oldest dispatch** is older
+      than ``ratio`` times the fleet's median committed task duration.
+
+    Comparing task *age* against the fleet's demonstrated task duration
+    (rather than windowed commit counts) keeps the verdict meaningful
+    across phase boundaries: a node that finished its share and went
+    idle still anchors the baseline through the durations it committed,
+    and a straggler steadily trickling commits cannot hide behind its
+    own accumulated count.  Durations pair dispatches with commits FIFO
+    per node — an approximation under slot concurrency, but a median
+    over the fleet absorbs it.  ``MIN_SUSPECT_AGE`` floors the
+    threshold so scheduler jitter on sub-millisecond tasks never
+    suspects a healthy node.
+
+    Pure policy over caller-supplied timestamps (unit-testable with a
+    synthetic clock); a lock serializes the counters because the process
+    runtime records dispatches from chain-driver threads and commits
+    from the event-pump thread."""
+
+    #: absolute floor on the suspicion age threshold, seconds
+    MIN_SUSPECT_AGE = 0.05
+
+    def __init__(self, window: float = 1.0, ratio: float = 3.0,
+                 min_commits: int = 3):
+        if window <= 0:
+            raise ValueError("suspicion window must be positive")
+        if ratio <= 1:
+            raise ValueError("suspicion ratio must be > 1 (a node is only "
+                             "suspect when clearly behind the fleet)")
+        if min_commits < 1:
+            raise ValueError("min_commits must be >= 1")
+        self.window = float(window)
+        self.ratio = float(ratio)
+        self.min_commits = int(min_commits)
+        self._lock = threading.Lock()
+        #: node -> FIFO of in-flight dispatch timestamps
+        self._pending: dict[int, deque] = {}
+        #: node -> commit timestamps (rate reporting only)
+        self._commits: dict[int, deque] = {}
+        #: (commit time, duration) samples across the fleet
+        self._samples: deque = deque(maxlen=4096)
+
+    # -- recording -------------------------------------------------------
+    def record_dispatch(self, node: int, now: float) -> None:
+        with self._lock:
+            self._pending.setdefault(node, deque()).append(now)
+
+    def record_commit(self, node: int, now: float) -> None:
+        with self._lock:
+            self._commits.setdefault(node, deque()).append(now)
+            pending = self._pending.get(node)
+            if pending:
+                started = pending.popleft()
+                self._samples.append((now, max(0.0, now - started)))
+
+    def record_settled(self, node: int) -> None:
+        """An attempt ended without committing (task-failed): frees the
+        in-flight slot without counting progress."""
+        with self._lock:
+            pending = self._pending.get(node)
+            if pending:
+                pending.popleft()
+
+    def forget(self, node: int) -> None:
+        """The node died (or was replaced): drop its history."""
+        with self._lock:
+            self._commits.pop(node, None)
+            self._pending.pop(node, None)
+
+    def clear_outstanding(self) -> None:
+        """An epoch bump cancelled every in-flight dispatch."""
+        with self._lock:
+            self._pending.clear()
+
+    # -- verdicts --------------------------------------------------------
+    def _median_duration(self, now: float):
+        """Median committed task duration in the window, or None while
+        warming up.  Caller holds the lock."""
+        horizon = now - self.window
+        while self._samples and self._samples[0][0] < horizon:
+            self._samples.popleft()
+        if len(self._samples) < self.min_commits:
+            return None
+        durations = sorted(d for _, d in self._samples)
+        return durations[len(durations) // 2]
+
+    def load(self, node: int) -> int:
+        with self._lock:
+            return len(self._pending.get(node, ()))
+
+    def rate(self, node: int, now: float) -> float:
+        """The node's commits per second over the trailing window."""
+        with self._lock:
+            commits = self._commits.get(node)
+            if not commits:
+                return 0.0
+            horizon = now - self.window
+            while commits and commits[0] < horizon:
+                commits.popleft()
+            return len(commits) / self.window
+
+    def suspects(self, now: float, alive) -> set[int]:
+        """The alive nodes currently suspected slow."""
+        with self._lock:
+            median = self._median_duration(now)
+            if median is None:
+                return set()
+            threshold = max(self.ratio * median, self.MIN_SUSPECT_AGE)
+            out = set()
+            for node in alive:
+                pending = self._pending.get(node)
+                if pending and now - pending[0] > threshold:
+                    out.add(node)
+            return out

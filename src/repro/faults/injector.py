@@ -34,16 +34,22 @@ class FaultInjector:
 
     def __init__(self, cluster: Cluster, model: Optional[FaultModel] = None,
                  on_fault: Optional[FaultCallback] = None,
-                 on_revive: Optional[FaultCallback] = None):
+                 on_revive: Optional[FaultCallback] = None,
+                 on_slow: Optional[FaultCallback] = None):
         self.cluster = cluster
         self.model = model or FaultModel()
         self.on_fault = on_fault
         self.on_revive = on_revive
+        self.on_slow = on_slow
         #: (time, node_id) of every node kill, in order (fail-stop,
         #: transient and rack events; disk losses do not kill the node)
         self.killed: list[tuple[float, int]] = []
         #: (time, kind, node_id) of every injected fault, in order
         self.faults: list[tuple[float, str, int]] = []
+        #: node_id -> slowdown factor for struck ``slow`` events; the node
+        #: stays alive and is never handed to on_fault (a straggler is not
+        #: a loss — filing it as one would trigger a cascade)
+        self.slowed: dict[int, float] = {}
         self._rng = cluster.seeds.stream("failure-injector")
         self._stopped = False
         self._pending: dict[int, list[FaultEvent]] = {}
@@ -136,6 +142,12 @@ class FaultInjector:
     def _strike(self, node: Node, ev: FaultEvent) -> None:
         now = self.cluster.sim.now
         self.faults.append((now, ev.kind, node.node_id))
+        if ev.kind == "slow":
+            self.slowed[node.node_id] = max(
+                self.slowed.get(node.node_id, 1.0), ev.factor)
+            if self.on_slow is not None:
+                self.on_slow(node, ev)
+            return
         if ev.kind == "disk-loss":
             self.cluster.lose_disk(node.node_id)
         else:

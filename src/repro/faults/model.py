@@ -18,6 +18,11 @@ literature the reproduction draws on:
     Correlated failure of every alive node in one rack (a rack switch or
     PDU event); with a ``downtime`` it is a transient rack outage whose
     nodes rejoin with their data intact.
+``slow``
+    A straggler, not a failure: the node stays alive and keeps
+    heartbeating but its task loop and shuffle serving run at
+    ``1/factor`` speed.  A slow node must never be declared lost — the
+    runtimes handle it with suspicion + speculation instead of recovery.
 
 Spec grammar (the CLI's ``--faults``), clauses separated by ``;``::
 
@@ -27,6 +32,9 @@ Spec grammar (the CLI's ``--faults``), clauses separated by ``;``::
     transient@t120:down=60,wipe    at absolute time, disk wiped on return
     disk@job3+10              disk-loss during job 3
     rack@t300:rack=1,down=30  rack 1 power-cycles for 30 s
+    slow@2:10                 node 2 runs 10x slow from chain start
+    slow@job3+5:node=1,factor=4    straggler onset mid-chain
+    slow@t30:factor=2         unpinned victim drawn by the seeded RNG
     mtbf=600                  Poisson fail-stop arrivals, mean 600 s
     mtbf=600:transient,kill,down=60,max=40    mixed stochastic kinds
 
@@ -40,13 +48,14 @@ import re
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-KINDS = ("fail-stop", "transient", "disk-loss", "rack")
+KINDS = ("fail-stop", "transient", "disk-loss", "rack", "slow")
 
 _KIND_ALIASES = {
     "kill": "fail-stop", "fail-stop": "fail-stop", "failstop": "fail-stop",
     "transient": "transient", "crash-recover": "transient",
     "disk": "disk-loss", "disk-loss": "disk-loss",
     "rack": "rack",
+    "slow": "slow", "straggler": "slow",
 }
 
 #: the paper's FAIL notation: an optional FAIL prefix, then ordinals
@@ -54,6 +63,14 @@ _LEGACY_RE = re.compile(r"(?i:fail)?[\s\d,]+")
 
 #: default downtime for transient events that do not specify one
 DEFAULT_DOWNTIME = 60.0
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
 
 
 @dataclass(frozen=True)
@@ -74,6 +91,8 @@ class FaultEvent:
     rack: Optional[int] = None
     downtime: float = 0.0
     wipe: bool = False
+    #: slowdown multiplier for ``slow`` events (the node runs at 1/factor)
+    factor: float = 1.0
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -94,6 +113,17 @@ class FaultEvent:
         if self.kind == "disk-loss" and self.downtime:
             raise ValueError("disk-loss keeps the node up; downtime does "
                              "not apply")
+        if self.kind == "slow":
+            if self.factor <= 1.0:
+                raise ValueError("slow faults need factor > 1 (a 1x-slow "
+                                 "node is healthy)")
+            if self.downtime or self.wipe:
+                raise ValueError("slow keeps the node up with its data; "
+                                 "downtime/wipe do not apply")
+            if self.rack is not None:
+                raise ValueError("slow events pin a node, not a rack")
+        elif self.factor != 1.0:
+            raise ValueError("factor applies to slow faults only")
 
     @property
     def transient(self) -> bool:
@@ -132,11 +162,33 @@ class FaultModel:
         for kind in self.mtbf_kinds:
             if kind not in ("fail-stop", "transient", "disk-loss"):
                 raise ValueError(f"stochastic kind {kind!r} not supported "
-                                 "(rack events must be planned)")
+                                 "(rack and slow events must be planned)")
         if self.mtbf_downtime <= 0:
             raise ValueError("mtbf_downtime must be positive")
         if self.max_stochastic < 1:
             raise ValueError("max_stochastic must be >= 1")
+        self.events = self._merge_slow(self.events)
+
+    @staticmethod
+    def _merge_slow(events: list[FaultEvent]) -> list[FaultEvent]:
+        """Collapse duplicate pinned slow events per node: identical
+        factors merge (keep the first), conflicting factors are a plan
+        authoring error — one throttle per node."""
+        merged: list[FaultEvent] = []
+        factor_for: dict[int, float] = {}
+        for ev in events:
+            if ev.kind == "slow" and ev.node_id is not None:
+                seen = factor_for.get(ev.node_id)
+                if seen is not None:
+                    if seen != ev.factor:
+                        raise ValueError(
+                            f"conflicting slow factors for node "
+                            f"{ev.node_id}: {seen:g}x vs {ev.factor:g}x "
+                            "— give each node at most one slow event")
+                    continue
+                factor_for[ev.node_id] = ev.factor
+            merged.append(ev)
+        return merged
 
     # -- views -----------------------------------------------------------
     @property
@@ -201,6 +253,8 @@ class FaultModel:
         trig = trig.strip().lower()
         at_job = at_time = None
         offset = 15.0
+        kwargs: dict = {"node_id": None, "rack": None,
+                        "downtime": 0.0, "wipe": False, "factor": None}
         try:
             if trig.startswith("job"):
                 body = trig[3:]
@@ -212,14 +266,18 @@ class FaultModel:
                 at_job = int(ordinal)
             elif trig.startswith("t"):
                 at_time = float(trig[1:])
+            elif kind == "slow" and trig.isdigit():
+                # shorthand: slow@<node>:<factor> throttles from chain start
+                kwargs["node_id"] = int(trig)
+                at_time = 0.0
             else:
                 raise ValueError
         except ValueError:
+            expected = "job<N>[+<OFFSET>] or t<SECONDS>"
+            if kind == "slow":
+                expected += " or the slow@<NODE>:<FACTOR> shorthand"
             raise ValueError(f"cannot parse trigger {trig!r} in {clause!r}; "
-                             f"expected job<N>[+<OFFSET>] or t<SECONDS>") \
-                from None
-        kwargs: dict = {"node_id": None, "rack": None,
-                        "downtime": 0.0, "wipe": False}
+                             f"expected {expected}") from None
         for opt in opts.split(","):
             opt = opt.strip()
             if not opt:
@@ -234,11 +292,21 @@ class FaultModel:
                 kwargs["downtime"] = float(val)
             elif key == "wipe":
                 kwargs["wipe"] = val.lower() in ("", "1", "true", "yes")
+            elif key == "factor" or key == "x":
+                kwargs["factor"] = float(val)
+            elif kind == "slow" and not val and _is_number(key):
+                # bare factor in the slow@<node>:<factor> shorthand
+                kwargs["factor"] = float(key)
             else:
                 raise ValueError(f"unknown fault option {key!r} in "
                                  f"{clause!r}")
         if kind == "transient" and kwargs["downtime"] <= 0:
             kwargs["downtime"] = DEFAULT_DOWNTIME
+        if kind == "slow" and kwargs["factor"] is None:
+            raise ValueError(f"slow clause {clause!r} needs a factor: "
+                             "slow@<NODE>:<FACTOR> or factor=<F>")
+        if kwargs["factor"] is None:
+            kwargs["factor"] = 1.0
         return FaultEvent(kind=kind, at_job=at_job, at_time=at_time,
                           offset=offset, **kwargs)
 

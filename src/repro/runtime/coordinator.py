@@ -71,13 +71,14 @@ import queue
 import signal
 import threading
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
 from typing import Any, Callable, Optional
 
-from repro.faults.detector import HeartbeatDetector
+from repro.faults.detector import HeartbeatDetector, ProgressRateTracker
 from repro.faults.model import FaultModel
 from repro.localexec.engine import LocalJobConfig
 from repro.localexec.records import Record
@@ -87,6 +88,7 @@ from repro.runtime.recovery import (
     cascade_start,
     consumer_invalidations,
     plan_job_recovery,
+    pre_replication_targets,
 )
 from repro.runtime.storage import (
     BlockSpec,
@@ -160,6 +162,27 @@ class RuntimeConfig:
     hybrid_replication: int = 2
     #: delete persisted map/reduce files behind each committed anchor
     hybrid_reclaim: bool = False
+    #: launch backup attempts for tail tasks on idle slots (first commit
+    #: wins; the loser's partial output is swept)
+    speculation: bool = False
+    #: a tail task older than ``slowdown x`` the phase's median committed
+    #: task wall gets a backup attempt (Binocular/Hadoop semantics; must
+    #: exceed 1)
+    speculation_slowdown: float = 2.0
+    #: absolute age floor before any backup launches (seconds) — keeps
+    #: millisecond tasks from speculating on scheduler jitter
+    speculation_min_age: float = 0.05
+    #: eagerly replicate committed outputs held by suspected-slow nodes
+    #: to a healthy peer, so their later death cascades nothing
+    pre_replicate: bool = False
+    #: trailing window (seconds) anchoring the fleet's task-duration
+    #: baseline for progress-rate suspicion
+    suspect_window: float = 1.0
+    #: suspected when a node's oldest in-flight task is older than
+    #: ratio x the fleet's median committed task duration
+    suspect_ratio: float = 3.0
+    #: fleet commits inside the window before any suspicion verdict
+    suspect_min_commits: int = 3
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -207,6 +230,27 @@ class RuntimeConfig:
                 f"io_timeout ({self.io_timeout}s): a single fetch "
                 "attempt may not consume the whole dispatch-stall "
                 "budget")
+        if self.speculation_slowdown <= 1:
+            raise ValueError("speculation_slowdown must be > 1 (a backup "
+                             "at 1x would duplicate every task)")
+        if self.speculation_min_age < 0:
+            raise ValueError("speculation_min_age must be >= 0")
+        if self.suspect_window <= 0:
+            raise ValueError("suspect_window must be positive")
+        if self.suspect_ratio <= 1:
+            raise ValueError("suspect_ratio must be > 1")
+        if self.suspect_min_commits < 1:
+            raise ValueError("suspect_min_commits must be >= 1")
+        if self.n_nodes == 1:
+            # nowhere to place a backup or a pre-replica: warn and no-op
+            # instead of queuing copies behind the only (possibly slow)
+            # node — see also the idle-slot check in backup placement
+            for knob in ("speculation", "pre_replicate"):
+                if getattr(self, knob):
+                    warnings.warn(
+                        f"{knob} disabled: a 1-node cluster has no "
+                        "healthy peer to run it on", stacklevel=2)
+                    object.__setattr__(self, knob, False)
         # reuses the simulator's detector semantics (and its validation)
         self.detector  # noqa: B018 -- construct to validate
 
@@ -298,6 +342,9 @@ class RunReport:
     shuffle_bytes: dict[str, int] = field(default_factory=dict)
     #: service-mode submission id (None for single-chain runs)
     chain_id: Optional[str] = None
+    #: straggler handling: speculative attempts/wins/wasted bytes,
+    #: pre-replicated pieces, and the node -> factor throttle map
+    speculation: dict = field(default_factory=dict)
 
     @property
     def wall_time(self) -> float:
@@ -323,6 +370,7 @@ class RunReport:
             "shuffle_bytes": dict(self.shuffle_bytes),
             "chain_id": self.chain_id,
             "wall_time": self.wall_time,
+            "speculation": dict(self.speculation),
         }
 
     def render(self) -> str:
@@ -335,6 +383,15 @@ class RunReport:
         lines.append(f"deaths: {len(self.deaths)}   "
                      f"shuffle: {self.total_shuffle_bytes}B   "
                      f"checksum: {self.checksum}")
+        if self.speculation.get("attempts") or self.speculation.get(
+                "pre_replicated") or self.speculation.get("throttled"):
+            spec = self.speculation
+            lines.append(
+                f"speculation: {spec.get('attempts', 0)} attempts, "
+                f"{spec.get('wins', 0)} wins, "
+                f"{spec.get('wasted_bytes', 0)}B wasted, "
+                f"{spec.get('pre_replicated', 0)} pre-replicated, "
+                f"throttled: {spec.get('throttled', {})}")
         return "\n".join(lines)
 
 
@@ -360,6 +417,19 @@ class WorkerPool:
         self.epoch = 0
         #: (wall time since pool start, node) per declared death
         self.deaths: list[tuple[float, int]] = []
+        #: node -> slow factor, per throttle command delivered (obs only;
+        #: detection never reads this — suspicion is progress-rate based)
+        self.throttled: dict[int, float] = {}
+        #: progress-rate suspicion: *suspected-slow*, distinct from dead
+        self.progress = ProgressRateTracker(
+            window=config.suspect_window, ratio=config.suspect_ratio,
+            min_commits=config.suspect_min_commits)
+        #: nodes suspected at any point while alive — sticky, because a
+        #: straggler's live verdict clears the moment its queue drains at
+        #: a phase boundary, yet its committed outputs stay at risk
+        self.suspected_recent: set[int] = set()
+        self._suspected: set[int] = set()
+        self._suspected_at = 0.0
         self._links: dict[int, _Link] = {}
         self._inbox: deque[tuple] = deque()
         self._respawning: set[int] = set()
@@ -506,6 +576,9 @@ class WorkerPool:
                                          "ports": self.ports()})
                 link.ports_epoch = self.epoch
             self._send_locked(link, cmd)
+        if (cmd.get("op") in ("map", "reduce", "replicate")
+                and cmd.get("epoch") == self.epoch):
+            self.progress.record_dispatch(node, time.monotonic())
 
     def ports(self) -> dict[int, int]:
         return {n: self._links[n].port for n in self.alive}
@@ -524,8 +597,22 @@ class WorkerPool:
         messages from respawning replacement workers are consumed here
         (they re-join ``alive`` without an epoch bump)."""
         if check_faults and self.faults:
+            # slow events first: a plan pairing slow@t and kill@t must
+            # throttle the victim before any same-tick kill lands.  MTBF
+            # arrival processes (service mode) have no throttle clock —
+            # hence the getattr duck-typing.
+            due_throttles = getattr(self.faults, "due_throttles", None)
+            if due_throttles is not None:
+                for node, factor in due_throttles(time.monotonic(),
+                                                  self.alive):
+                    self.throttle_node(node, factor)
             for victim in self.faults.due(time.monotonic(), self.alive):
                 self.kill_node(victim)
+        if self._started:
+            # keep the suspicion verdict fresh (cached ~0.05s) even when
+            # nothing else polls it — detection is always on; only its
+            # consumers (speculation, pre-replication) are opt-in
+            self.suspected_slow()
         conns = {link.evt: node for node, link in self._links.items()
                  if (node in self.alive or node in self._respawning)
                  and not link.closed}
@@ -539,6 +626,13 @@ class WorkerPool:
                     continue
                 self._links[node].last_seen = time.monotonic()
                 if msg[0] != "hb":
+                    if msg[0] in ("map-done", "reduce-done",
+                                  "replica-done"):
+                        if msg[2] == self.epoch:
+                            self.progress.record_commit(
+                                msg[1], time.monotonic())
+                    elif msg[0] == "task-failed" and msg[2] == self.epoch:
+                        self.progress.record_settled(msg[1])
                     self._inbox.append(msg)
         else:
             time.sleep(timeout)
@@ -568,6 +662,45 @@ class WorkerPool:
                 dead.append(node)
         return dead
 
+    # ------------------------------------------------------------ straggler
+    def throttle_node(self, node: int, factor: float) -> None:
+        """Deliver a ``slow@node:factor`` fault: the worker self-throttles
+        its task loop and shuffle serving to 1/factor speed.  The node
+        stays up, heartbeats keep flowing — slow is never dead."""
+        if node not in self.alive:
+            return
+        self.send(node, {"op": "throttle", "factor": factor})
+        self.throttled[node] = factor
+        self.tracer.instant("cascade", "node-throttled", node=node,
+                            factor=factor)
+
+    def load(self, node: int) -> int:
+        """Tasks currently in flight on ``node`` (backup placement)."""
+        return self.progress.load(node)
+
+    def suspected_slow(self) -> set[int]:
+        """The alive nodes currently suspected slow (progress-rate
+        verdict, cached briefly — chain threads poll this per event).
+        Suspicion feeds speculation and pre-replication only; it never
+        feeds death declaration."""
+        now = time.monotonic()
+        if now - self._suspected_at < 0.05:
+            return self._suspected
+        current = self.progress.suspects(now, self.alive)
+        for node in current - self.suspected_recent:
+            self.tracer.instant("cascade", "suspected-slow", node=node,
+                                rate=self.progress.rate(node, now))
+        for node in self._suspected - current:
+            # only a genuine recovery clears: a drained queue at a phase
+            # boundary says nothing about the node's speed
+            if self.progress.load(node) > 0:
+                self.tracer.instant("cascade", "suspicion-cleared",
+                                    node=node)
+        self.suspected_recent = self.suspected_recent | current
+        self._suspected = current
+        self._suspected_at = now
+        return current
+
     # -------------------------------------------------------------- failure
     def kill_node(self, node: int) -> None:
         """SIGKILL a worker — a real fail-stop.  Detection still flows
@@ -592,6 +725,11 @@ class WorkerPool:
             return False
         self.epoch += 1  # cancel in-flight work: stale results discarded
         self.alive = self.alive - {node}
+        self.progress.forget(node)
+        self.progress.clear_outstanding()  # epoch bump cancelled the rest
+        self._suspected = self._suspected - {node}
+        self.suspected_recent = self.suspected_recent - {node}
+        self.throttled.pop(node, None)
         link = self._links[node]
         link.closed = True
         link.proc.join(timeout=1.0)
@@ -674,6 +812,16 @@ class ChainRun:
         self.job_times: list[tuple[int, str, float]] = []
         self.reclaims: list[tuple[int, int]] = []
         self.shuffle_bytes: dict[str, int] = {}
+        # straggler accounting: backup attempts, first-commit wins, the
+        # loser attempts' discarded bytes, eager pre-replications
+        self.spec_attempts = 0
+        self.spec_wins = 0
+        self.spec_wasted_bytes = 0
+        self.pre_replications = 0
+        #: task key -> losing node of a resolved speculative race; its
+        #: late duplicate event is swallowed and its output swept
+        self._spec_losers: dict[tuple, int] = {}
+        self._spec_warned = False
         self._pending_deaths: deque[int] = deque()
         self._inbox: Optional[queue.Queue] = None
 
@@ -738,6 +886,8 @@ class ChainRun:
             raise
         finally:
             span.end(outcome=outcome, deaths=len(self.deaths))
+        if self._spec_losers:
+            self._drain_spec_losers()
         self.hooks("chain-done")
         checksum = self.checksum()
         return RunReport(checksum=checksum, job_times=list(self.job_times),
@@ -746,7 +896,14 @@ class ChainRun:
                          strategy=self.config.strategy,
                          reclaims=list(self.reclaims),
                          shuffle_bytes=dict(self.shuffle_bytes),
-                         chain_id=self.chain_id)
+                         chain_id=self.chain_id,
+                         speculation={
+                             "attempts": self.spec_attempts,
+                             "wins": self.spec_wins,
+                             "wasted_bytes": self.spec_wasted_bytes,
+                             "pre_replicated": self.pre_replications,
+                             "throttled": dict(self.pool.throttled),
+                         })
 
     def _handle_death(self, node: int) -> None:
         self.pool.on_death(node)  # no-op if another chain got there first
@@ -789,6 +946,8 @@ class ChainRun:
                 self._replicate_job_output(job)
                 if self.config.is_anchor(job) and self.config.hybrid_reclaim:
                     self._reclaim_behind(job)
+            if self.config.pre_replicate:
+                self._pre_replicate_suspected()
             outcome = "ok"
         finally:
             span.end(outcome=outcome)
@@ -1084,12 +1243,14 @@ class ChainRun:
         self._raise_pending_death()
         outstanding: dict[tuple, tuple[int, dict]] = {}
         spans: dict[tuple, Any] = {}
+        dispatched_at: dict[tuple, float] = {}
         for key, (node, cmd) in cmds.items():
             cmd = dict(cmd)
             cmd["epoch"] = self.pool.epoch
             cmd["chain"] = self.chain_id
             self.pool.dispatch(node, cmd)
             outstanding[key] = (node, cmd)
+            dispatched_at[key] = time.monotonic()
             if self.tracer.enabled:
                 spans[key] = self.tracer.span(
                     "task", f"{phase}:{':'.join(map(str, key))}",
@@ -1098,6 +1259,11 @@ class ChainRun:
             after_send()
         attempts: dict[tuple, int] = {}
         retry_at: dict[tuple, float] = {}
+        #: task key -> backup node of an in-flight speculative attempt
+        backups: dict[tuple, int] = {}
+        #: committed task walls this batch (speculation's median baseline)
+        durations: list[float] = []
+        total = len(outstanding)
         last_progress = time.monotonic()
         while outstanding:
             now = time.monotonic()
@@ -1110,6 +1276,9 @@ class ChainRun:
                 if key in outstanding:
                     self.pool.dispatch(outstanding[key][0],
                                        dict(outstanding[key][1]))
+            if self.config.speculation:
+                self._maybe_speculate(outstanding, backups, dispatched_at,
+                                      durations, total, now)
             msg = self._next_event()
             if msg is None:
                 continue
@@ -1120,6 +1289,9 @@ class ChainRun:
                 key = ("map", job, task)
                 if (epoch != self.pool.epoch or chain != self.chain_id
                         or key not in outstanding):
+                    # a speculative race's losing attempt committing
+                    # after the winner: swallow and sweep, never register
+                    self._stale_duplicate(key, node, chain, fetched)
                     continue
                 self._count_shuffle(phase, fetched)
                 self.registry.add_map(MapEntry(job, task, node, origin,
@@ -1130,6 +1302,7 @@ class ChainRun:
                 key = ("reduce", job, partition, s, k)
                 if (epoch != self.pool.epoch or chain != self.chain_id
                         or key not in outstanding):
+                    self._stale_duplicate(key, node, chain, fetched)
                     continue
                 self._count_shuffle(phase, fetched)
                 entry = PieceEntry(job, partition, s, k, node, n)
@@ -1173,10 +1346,28 @@ class ChainRun:
                 pid = self.pool.pid_of(node)
                 if on_freed is not None:
                     on_freed(freed)
+            elif kind == "piece-dropped":
+                _, node, epoch, chain, job, partition, s, k, freed = msg
+                if chain == self.chain_id:
+                    self.tracer.instant("cascade", "speculation-swept",
+                                        node=node, job=job,
+                                        partition=partition, split=s,
+                                        n_splits=k, freed=freed)
+                continue
             elif kind == "task-failed":
                 _, node, epoch, chain, op, key, err = msg
                 if (epoch != self.pool.epoch or chain != self.chain_id
                         or key not in outstanding):
+                    if (chain == self.chain_id
+                            and self._spec_losers.get(key) == node):
+                        # the losing attempt failed outright: it wrote
+                        # nothing, so there is nothing left to sweep
+                        del self._spec_losers[key]
+                    continue
+                if backups.get(key) == node:
+                    # the backup attempt failed; the original still runs —
+                    # clear the marker so the tail may speculate again
+                    del backups[key]
                     continue
                 # re-dispatch with backoff until the fetch source's death
                 # is declared by the pump or io_timeout judges the phase
@@ -1195,6 +1386,13 @@ class ChainRun:
             else:
                 continue
             last_progress = time.monotonic()
+            if kind in ("map-done", "reduce-done"):
+                durations.append(
+                    last_progress - dispatched_at.get(key, last_progress))
+                if key in backups:
+                    self._resolve_speculation(
+                        key, winner=node, original=outstanding[key][0],
+                        backup=backups.pop(key))
             if key in spans:
                 extra = {"node": node, "pid": pid}
                 if kind == "reduce-done":
@@ -1207,6 +1405,188 @@ class ChainRun:
         if fetched:
             self.shuffle_bytes[phase] = (
                 self.shuffle_bytes.get(phase, 0) + fetched)
+
+    # ----------------------------------------------------------- speculation
+    def _maybe_speculate(self, outstanding: dict, backups: dict,
+                         dispatched_at: dict, durations: list,
+                         total: int, now: float) -> None:
+        """Launch backup attempts for tail tasks on idle healthy slots.
+
+        A task earns a backup when its original sits on a suspected-slow
+        node and is older than ``speculation_min_age``, or — with half
+        the batch committed — when its age exceeds ``slowdown x`` the
+        batch's median committed wall (Hadoop/LATE semantics).  First
+        commit wins through the normal completion path; this only adds
+        attempts, it never cancels one."""
+        if len(self.pool.alive) < 2:
+            return
+        suspected = self.pool.suspected_slow() | \
+            self.pool.suspected_recent
+        done = total - len(outstanding)
+        median = sorted(durations)[len(durations) // 2] \
+            if durations else None
+        for key, (node, cmd) in list(outstanding.items()):
+            if key in backups or key[0] not in ("map", "reduce"):
+                continue
+            if node in suspected:
+                threshold = self.config.speculation_min_age
+            elif median is not None and done * 2 >= total:
+                threshold = max(self.config.speculation_min_age,
+                                self.config.speculation_slowdown * median)
+            else:
+                continue
+            age = now - dispatched_at.get(key, now)
+            if age < threshold:
+                continue
+            backup = self._backup_candidate(node, suspected)
+            if backup is None:
+                return  # no healthy idle slot anywhere: retry next tick
+            self.pool.dispatch(backup, dict(cmd))
+            backups[key] = backup
+            self.spec_attempts += 1
+            self.tracer.instant("cascade", "speculative-attempt",
+                                key=[str(k) for k in key], original=node,
+                                backup=backup, age=round(age, 4))
+
+    def _backup_candidate(self, original: int,
+                          suspected: set[int]) -> Optional[int]:
+        """The least-loaded healthy node with an idle slot, or None.
+
+        None means every healthy peer is saturated: the backup is NOT
+        queued — queuing it behind busy slots (worst case, behind the
+        straggler itself) would add load without cutting the tail."""
+        slots = self.config.resolved_task_slots
+        candidates = [n for n in sorted(self.pool.alive)
+                      if n != original and n not in suspected
+                      and self.pool.load(n) < slots]
+        if not candidates:
+            if not self._spec_warned:
+                self._spec_warned = True
+                warnings.warn(
+                    "speculation is a no-op right now: no healthy idle "
+                    "slot (raise task_slots or cluster size to give "
+                    "backups somewhere to run)", stacklevel=2)
+            return None
+        return min(candidates, key=lambda n: (self.pool.load(n), n))
+
+    def _resolve_speculation(self, key: tuple, winner: int, original: int,
+                             backup: int) -> None:
+        """First commit won the race; remember the loser so its late
+        duplicate event is swallowed and its partial output swept."""
+        backup_won = winner == backup
+        loser = original if backup_won else backup
+        if backup_won:
+            self.spec_wins += 1
+        self._spec_losers[key] = loser
+        self.tracer.instant("cascade", "speculative-result",
+                            key=[str(k) for k in key], winner=winner,
+                            loser=loser, backup_won=backup_won)
+
+    def _stale_duplicate(self, key: tuple, node: int,
+                         chain: Optional[str], fetched: int) -> bool:
+        """A commit event that missed the epoch/outstanding guard: if it
+        is the losing attempt of a resolved speculative race, account
+        its wasted work and sweep its orphan output from the loser's
+        disk (the PR-4 drop paths, epoch-tagged at current epoch)."""
+        if chain != self.chain_id or self._spec_losers.get(key) != node:
+            return False
+        del self._spec_losers[key]
+        self.spec_wasted_bytes += fetched
+        self.tracer.instant("cascade", "speculation-loser",
+                            key=[str(k) for k in key], node=node,
+                            wasted=fetched)
+        if node in self.pool.alive:
+            if key[0] == "map":
+                self.pool.dispatch(node, {
+                    "op": "drop", "job": key[1], "task": key[2],
+                    "epoch": self.pool.epoch, "chain": self.chain_id})
+            else:
+                self.pool.dispatch(node, {
+                    "op": "drop-piece", "job": key[1],
+                    "partition": key[2], "split": key[3],
+                    "n_splits": key[4], "epoch": self.pool.epoch,
+                    "chain": self.chain_id})
+        return True
+
+    def _drain_spec_losers(self, deadline: float = 2.0) -> None:
+        """Before the final checksum, wait briefly for resolved races'
+        losing attempts to surface so their duplicates are swallowed and
+        their partial output swept.  Dead losers left nothing the
+        registry references; their entries are simply dropped."""
+        t_end = time.monotonic() + deadline
+        while self._spec_losers and time.monotonic() < t_end:
+            self._spec_losers = {k: n for k, n in
+                                 self._spec_losers.items()
+                                 if n in self.pool.alive}
+            if not self._spec_losers:
+                break
+            try:
+                msg = self._next_event()
+            except NodeDeath as death:
+                self._handle_death(death.node)
+                break
+            if msg is None:
+                continue
+            kind = msg[0]
+            if kind == "map-done":
+                _, node, _epoch, chain, job, task = msg[:6]
+                self._stale_duplicate(("map", job, task), node, chain,
+                                      msg[9])
+            elif kind == "reduce-done":
+                _, node, _epoch, chain, job, partition, s, k = msg[:8]
+                self._stale_duplicate(("reduce", job, partition, s, k),
+                                      node, chain, msg[10])
+            elif kind == "task-failed":
+                _, node, _epoch, chain, op, key, err = msg
+                if (chain == self.chain_id
+                        and self._spec_losers.get(key) == node):
+                    del self._spec_losers[key]
+            elif kind == "piece-dropped":
+                _, node, _epoch, chain, job, partition, s, k, freed = msg
+                if chain == self.chain_id:
+                    self.tracer.instant("cascade", "speculation-swept",
+                                        node=node, job=job,
+                                        partition=partition, split=s,
+                                        n_splits=k, freed=freed)
+
+    def _pre_replicate_suspected(self) -> None:
+        """Eagerly copy pieces held by a suspected-slow node to a
+        healthy peer (existing replicate transport ops): if the
+        straggler later dies, survivors already hold its outputs and
+        replica promotion makes the death cascade nothing.  One-shot:
+        the job is not marked replication-tracked, so the background
+        re-replication invariant is untouched."""
+        self.pool.suspected_slow()  # refresh the sticky verdict
+        suspected = self.pool.suspected_recent & self.pool.alive
+        if not suspected or len(self.pool.alive) < 2:
+            return
+        entries = [e for job_pieces in self.registry.pieces.values()
+                   for plist in job_pieces.values() for e in plist
+                   if e.node in suspected
+                   and len(self.registry.holders(*e.key)) < 2]
+        if not entries:
+            return
+        targets = pre_replication_targets(
+            [(e.key, self.registry.holders(*e.key)) for e in entries],
+            suspected, self.pool.alive)
+        cmds = {}
+        for entry in entries:
+            target = targets.get(entry.key)
+            if target is None:
+                continue
+            cmds[("replicate", *entry.key, target)] = (target, {
+                "op": "replicate", "job": entry.job,
+                "partition": entry.partition,
+                "split": entry.split_index,
+                "n_splits": entry.n_splits,
+                "source": entry.node, "target": target})
+        if not cmds:
+            return
+        self.tracer.instant("cascade", "pre-replicate",
+                            suspected=sorted(suspected),
+                            pieces=len(cmds))
+        self._run_tasks(cmds, phase="pre-replicate")
+        self.pre_replications += len(cmds)
 
     # -------------------------------------------------------------- queries
     def final_output(self) -> dict[int, list[Record]]:
@@ -1281,6 +1661,16 @@ class Coordinator:
 
     def kill_node(self, node: int) -> None:
         self.pool.kill_node(node)
+
+    def throttle_node(self, node: int, factor: float) -> None:
+        self.pool.throttle_node(node, factor)
+
+    def suspected_slow(self) -> set[int]:
+        return self.pool.suspected_slow()
+
+    @property
+    def throttled(self) -> dict[int, float]:
+        return self.pool.throttled
 
     def final_output(self) -> dict[int, list[Record]]:
         return self.chain_run.final_output()

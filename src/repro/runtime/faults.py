@@ -1,16 +1,19 @@
-"""Fault plan -> live injection: real ``SIGKILL``s on worker processes.
+"""Fault plan -> live injection: real ``SIGKILL``s and throttles.
 
-Compiles a :class:`repro.faults.FaultModel` into wall-clock kill
-deadlines the coordinator checks on every event-pump tick.  The paper's
-trigger semantics carry over: ``kill@job2+5`` arms 5 (wall-clock) seconds
-after chain job 2 starts, ``kill@t30`` arms 30 seconds after the chain
-starts.  ``time_scale`` shrinks all offsets uniformly so plans written
-for simulated seconds stay usable on fast real runs.
+Compiles a :class:`repro.faults.FaultModel` into wall-clock deadlines the
+coordinator checks on every event-pump tick.  The paper's trigger
+semantics carry over: ``kill@job2+5`` arms 5 (wall-clock) seconds after
+chain job 2 starts, ``kill@t30`` arms 30 seconds after the chain starts.
+``time_scale`` shrinks all offsets uniformly so plans written for
+simulated seconds stay usable on fast real runs.
 
-The process runtime executes fail-stop kills only — a killed process has
-no rejoin path (transient recovery is the simulator's territory, see
-:mod:`repro.faults.injector`); other fault kinds raise up front rather
-than silently degrade.
+Two fault kinds map onto live workers: ``fail-stop`` becomes a SIGKILL
+(popped by :meth:`LiveFaultPlan.due`) and ``slow`` becomes a worker
+self-throttle command (popped by :meth:`LiveFaultPlan.due_throttles`)
+that paces the victim's task loop and shuffle serving to ``1/factor``
+speed while its heartbeats keep flowing.  Other kinds raise up front
+rather than silently degrade (transient recovery is the simulator's
+territory, see :mod:`repro.faults.injector`).
 """
 
 from __future__ import annotations
@@ -31,10 +34,11 @@ class LiveFaultPlan:
                 "the process runtime executes planned kills only; "
                 "mtbf arrivals are simulator-only")
         for ev in model.events:
-            if ev.kind != "fail-stop":
+            if ev.kind not in ("fail-stop", "slow"):
                 raise ValueError(
                     f"the process runtime cannot inject {ev.kind!r} "
-                    "faults; only fail-stop kills map onto SIGKILL")
+                    "faults; only fail-stop kills and slow throttles "
+                    "map onto live workers")
         if time_scale <= 0:
             raise ValueError("time_scale must be positive")
         self.time_scale = float(time_scale)
@@ -63,7 +67,7 @@ class LiveFaultPlan:
             self._armed.append((now + ev.offset * self.time_scale, ev))
 
     def due(self, now: float, alive: Iterable[int]) -> list[int]:
-        """Pop every deadline at or before ``now``; returns victim nodes.
+        """Pop every kill deadline at or before ``now``; returns victims.
 
         Victims without a pinned ``node_id`` are drawn from the sorted
         alive set by the plan's own seeded RNG, so a given (plan, seed)
@@ -72,7 +76,7 @@ class LiveFaultPlan:
         alive_now = sorted(alive)
         still_armed = []
         for deadline, ev in self._armed:
-            if deadline > now:
+            if deadline > now or ev.kind != "fail-stop":
                 still_armed.append((deadline, ev))
                 continue
             victim = self._pick(ev, [n for n in alive_now
@@ -81,6 +85,27 @@ class LiveFaultPlan:
                 victims.append(victim)
         self._armed = still_armed
         return victims
+
+    def due_throttles(self, now: float,
+                      alive: Iterable[int]) -> list[tuple[int, float]]:
+        """Pop every slow deadline at or before ``now``; returns
+        ``(node, factor)`` throttle commands.  Unpinned victims draw from
+        the same seeded RNG stream as :meth:`due`, so interleaved slow and
+        kill plans stay deterministic for a given seed."""
+        throttles: list[tuple[int, float]] = []
+        alive_now = sorted(alive)
+        still_armed = []
+        for deadline, ev in self._armed:
+            if deadline > now or ev.kind != "slow":
+                still_armed.append((deadline, ev))
+                continue
+            picked = {n for n, _ in throttles}
+            victim = self._pick(ev, [n for n in alive_now
+                                     if n not in picked])
+            if victim is not None:
+                throttles.append((victim, ev.factor))
+        self._armed = still_armed
+        return throttles
 
     def _pick(self, ev: FaultEvent,
               candidates: list[int]) -> Optional[int]:

@@ -349,6 +349,9 @@ class ChainService:
                 "alive": sorted(self.pool.alive),
                 "epoch": self.pool.epoch,
                 "deaths": [[t, n] for t, n in self.pool.deaths],
+                "throttled": {str(n): f
+                              for n, f in self.pool.throttled.items()},
+                "suspected": sorted(self.pool.suspected_slow()),
                 "queued": len(self._queue),
                 "running": len(self._running),
                 "running_peak": self.running_peak,

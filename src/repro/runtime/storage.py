@@ -234,6 +234,20 @@ class NodeStore:
             path.unlink(missing_ok=True)
         directory.rmdir()
 
+    def drop_piece(self, job: int, partition: int, split_index: int,
+                   n_splits: int) -> int:
+        """Delete one committed reduce piece (the losing speculative
+        attempt's output — the winner's copy on another node is the one
+        the registry references).  Returns the bytes freed; missing file
+        (the loser never wrote, or was already swept) frees nothing."""
+        path = self.piece_path(job, partition, split_index, n_splits)
+        try:
+            freed = path.stat().st_size
+        except OSError:
+            return 0
+        path.unlink(missing_ok=True)
+        return freed
+
     @staticmethod
     def _rm_tree(directory: Path) -> int:
         """Delete a job subtree bottom-up with real ``os.unlink``s;

@@ -66,6 +66,35 @@ class FetchError(RuntimeError):
     """A shuffle fetch could not be served (source likely dead)."""
 
 
+class Throttle:
+    """A worker's self-imposed slowdown (the ``slow`` fault kind).
+
+    ``pace(elapsed)`` stretches a unit of work that took ``elapsed``
+    seconds to ``factor * elapsed`` by sleeping the difference, so the
+    task loop and shuffle serving both run at ``1/factor`` speed.  The
+    heartbeat thread is deliberately *not* paced: a straggler is slow,
+    not dead, and must keep beating so the detector never declares it
+    lost.  Shared by the slot threads and the shuffle server; ``set`` is
+    a single attribute store, safe without a lock."""
+
+    def __init__(self, factor: float = 1.0):
+        self._factor = float(factor)
+
+    @property
+    def factor(self) -> float:
+        return self._factor
+
+    def set(self, factor: float) -> None:
+        if factor < 1.0:
+            raise ValueError("throttle factor must be >= 1")
+        self._factor = float(factor)
+
+    def pace(self, elapsed: float) -> None:
+        extra = (self._factor - 1.0) * elapsed
+        if extra > 0:
+            time.sleep(extra)
+
+
 class LockedConnection:
     """A pipe connection whose sends are serialized across threads."""
 
@@ -155,9 +184,10 @@ class ShuffleServer:
     dispatch-stall budget raises the shuffle patience with it."""
 
     def __init__(self, store: "NodeStore", timeout: float = 30.0,
-                 port: int = 0):
+                 port: int = 0, throttle: Optional[Throttle] = None):
         self.store = store
         self.timeout = timeout
+        self.throttle = throttle
         self._lock = threading.Lock()
         self._conns: set[socket.socket] = set()
         self.connections_accepted = 0
@@ -184,7 +214,10 @@ class ShuffleServer:
                     conn.settimeout(self.timeout)
                     size = _LEN.unpack(_recv_exact(conn, _LEN.size))[0]
                     request = pickle.loads(_recv_exact(conn, size))
+                    started = time.perf_counter()
                     payload = serve_request(self.store, request)
+                    if self.throttle is not None:
+                        self.throttle.pace(time.perf_counter() - started)
                     conn.sendall(_LEN.pack(len(payload)) + payload)
         except (OSError, ConnectionError, ValueError, pickle.PickleError):
             pass  # peer closed / idle timeout / bad frame: connection done

@@ -33,6 +33,7 @@ from __future__ import annotations
 import os
 import queue
 import threading
+import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from typing import Callable, Optional
@@ -69,11 +70,15 @@ def worker_main(node: int, root: str, cmd_conn, evt_conn,
     opts.update(options or {})
     store = NodeStore(root, node)
     evt = transport.LockedConnection(evt_conn)
-    server = transport.ShuffleServer(store, timeout=opts["server_timeout"])
+    # one throttle shared by the task slots and the shuffle server: a
+    # "slow" fault paces both, while the heartbeat thread keeps beating
+    throttle = transport.Throttle()
+    server = transport.ShuffleServer(store, timeout=opts["server_timeout"],
+                                     throttle=throttle)
     transport.start_heartbeat(evt, node, heartbeat_interval)
     evt.send(("ready", node, server.port, os.getpid()))
     worker = _Worker(node, store, evt, seed, records_per_node, value_size,
-                     opts)
+                     opts, throttle=throttle)
     try:
         while True:
             try:
@@ -125,10 +130,12 @@ class _Worker:
     def __init__(self, node: int, store: NodeStore,
                  evt: transport.LockedConnection, seed: int,
                  records_per_node: int, value_size: int,
-                 options: Optional[dict] = None):
+                 options: Optional[dict] = None,
+                 throttle: Optional[transport.Throttle] = None):
         opts = dict(DEFAULT_OPTIONS)
         opts.update(options or {})
         self.node = node
+        self.throttle = throttle or transport.Throttle()
         self.store = store
         self.evt = evt
         self.seed = seed
@@ -181,6 +188,12 @@ class _Worker:
             # riding on every task command
             self._ports = dict(cmd["ports"])
             return
+        if cmd["op"] == "throttle":
+            # a "slow" fault landing: every task and shuffle response
+            # from here on runs at 1/factor speed (takes effect
+            # immediately, even for tasks already on slot threads)
+            self.throttle.set(cmd["factor"])
+            return
         if cmd["op"] == "chain-open":
             # service mode: register an admitted chain's input parameters
             # so any slot can regenerate its chain input; pipe ordering
@@ -221,6 +234,13 @@ class _Worker:
                 store.drop_map_output(cmd["job"], cmd["task"])
                 self.evt.send(("dropped", self.node, cmd["epoch"], chain,
                                cmd["job"], cmd["task"]))
+            elif op == "drop-piece":
+                # sweep one losing speculative attempt's reduce output
+                freed = store.drop_piece(cmd["job"], cmd["partition"],
+                                         cmd["split"], cmd["n_splits"])
+                self.evt.send(("piece-dropped", self.node, cmd["epoch"],
+                               chain, cmd["job"], cmd["partition"],
+                               cmd["split"], cmd["n_splits"], freed))
             elif op == "drop-job":
                 freed = store.drop_job(cmd["job"])
                 self.evt.send(("job-dropped", self.node, cmd["epoch"],
@@ -337,6 +357,7 @@ class _Worker:
 
     # -- tasks -----------------------------------------------------------
     def _map(self, cmd: dict, chain, store: NodeStore) -> None:
+        started = time.perf_counter()
         ports = self._cmd_ports(cmd, self._ports)
         job, task_id = cmd["job"], cmd["task"]
         records, fetched = self._block_records(cmd, chain, store, ports)
@@ -347,11 +368,15 @@ class _Worker:
                 partition_of(out.key, cmd["n_partitions"]), []).append(out)
         counts = store.write_map_output(job, task_id, cmd["origin"],
                                         slices)
+        # the throttle stretches the task *before* its commit event, so
+        # a slow node's commits land at 1/factor speed, not just its slot
+        self.throttle.pace(time.perf_counter() - started)
         self.evt.send(("map-done", self.node, cmd["epoch"], chain, job,
                        task_id, cmd["origin"], counts, os.getpid(),
                        fetched))
 
     def _reduce(self, cmd: dict, chain, store: NodeStore) -> None:
+        started = time.perf_counter()
         ports = self._cmd_ports(cmd, self._ports)
         job, partition = cmd["job"], cmd["partition"]
         split_index, n_splits = cmd["split"], cmd["n_splits"]
@@ -391,6 +416,7 @@ class _Worker:
                    for key, values in sorted(groups.items())]
         n_records = store.write_piece(job, partition, split_index,
                                       n_splits, records)
+        self.throttle.pace(time.perf_counter() - started)
         self.evt.send(("reduce-done", self.node, cmd["epoch"], chain, job,
                        partition, split_index, n_splits, n_records,
                        os.getpid(), fetched))
@@ -408,10 +434,12 @@ class _Worker:
         if source == self.node:
             raise ValueError(f"node {self.node} asked to replicate its "
                              f"own piece")
+        started = time.perf_counter()
         data = self.pool.fetch_piece(ports[source], job, partition,
                                      split_index, n_splits, chain=chain)
         store.write_piece_bytes(job, partition, split_index, n_splits,
                                 data)
+        self.throttle.pace(time.perf_counter() - started)
         self.evt.send(("replica-done", self.node, cmd["epoch"], chain,
                        job, partition, split_index, n_splits, os.getpid(),
                        len(data)))

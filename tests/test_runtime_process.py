@@ -91,7 +91,10 @@ def run_process_chain(tmp_path, chain=CHAIN, n_nodes=4, hooks=None,
                       "hybrid_reclaim", "task_slots", "fetch_parallelism",
                       "fetch_timeout", "server_split_filter",
                       "persistent_connections", "io_timeout",
-                      "startup_timeout")
+                      "startup_timeout", "speculation",
+                      "speculation_slowdown", "speculation_min_age",
+                      "pre_replicate", "suspect_window", "suspect_ratio",
+                      "suspect_min_commits")
                      if k in kwargs}
     config = RuntimeConfig(n_nodes=n_nodes, chain=chain, **config_kwargs)
     with Coordinator(config, tmp_path / "cluster", tracer=tracer,
@@ -530,6 +533,30 @@ def test_differential_matrix_replicated_strategies(tmp_path, seed,
     assert report.strategy == strategy
     if strategy == "repl2":  # the Hadoop baseline never recomputes
         assert not any(k == "recompute" for _, k, _ in report.job_times)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("strategy", ["rcmp", "optimistic", "repl2",
+                                      "hybrid"])
+def test_differential_matrix_straggler(tmp_path, strategy):
+    """The straggler column of the acceptance matrix: one 10x-throttled
+    node with speculation and pre-replication on must still reproduce
+    the failure-free in-process checksum byte-for-byte under every
+    strategy — and, being slow rather than dead, must never be declared
+    lost or cascade-recovered."""
+    chain = LocalJobConfig(n_jobs=3, n_partitions=4, records_per_node=48,
+                           records_per_block=16, split_ratio=2, seed=0)
+    report = run_process_chain(
+        tmp_path, chain=chain, strategy=strategy,
+        task_slots=2, speculation=True, pre_replicate=True,
+        speculation_min_age=0.02,
+        fault_model=FaultModel.parse("slow@1:10"))
+    assert report.checksum == reference_checksum(chain)
+    assert report.deaths == []  # slow is never dead
+    # no recovery machinery ran: every job committed as a plain run
+    assert all(k in ("run", "re-replicate") for _, k, _ in
+               report.job_times)
+    assert report.speculation["throttled"] == {1: 10.0}
 
 
 @pytest.mark.slow

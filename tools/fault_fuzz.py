@@ -42,14 +42,31 @@ STRATEGIES = {
 }
 
 
-def _draw_faults(rng: random.Random, n_jobs: int):
-    """One of: legacy plan string, explicit event spec, MTBF model."""
+def _draw_faults(rng: random.Random, n_jobs: int, n_nodes: int):
+    """One of: legacy plan string, explicit event spec, straggler mix,
+    MTBF model."""
     roll = rng.random()
-    if roll < 0.25:  # legacy FAIL notation
+    if roll < 0.2:  # legacy FAIL notation
         first = rng.randint(1, n_jobs)
         if rng.random() < 0.5:
             return str(first)
         return f"{first},{rng.randint(first, 2 * n_jobs)}"
+    if roll < 0.35:  # straggler clauses, alone or interleaved with kills
+        # pinned slow victims must be distinct: two slow clauses naming
+        # one node with different factors are a (tested) parse error
+        victims = rng.sample(range(n_nodes), 2)
+        factor = rng.choice([2, 3, 5, 10])
+        clauses = [f"slow@{victims[0]}:{factor}"
+                   if rng.random() < 0.5 else
+                   f"slow@job{rng.randint(1, n_jobs)}"
+                   f"+{rng.randint(0, 20)}:"
+                   f"node={victims[0]},factor={factor}"]
+        if rng.random() < 0.4:  # second straggler, distinct node
+            clauses.append(f"slow@{victims[1]}:{rng.choice([2, 4])}")
+        if rng.random() < 0.6:  # slow + kill interleaving
+            clauses.append(f"kill@job{rng.randint(1, n_jobs)}"
+                           f"+{rng.randint(0, 30)}")
+        return FaultModel.parse(";".join(clauses))
     if roll < 0.65:  # explicit event clauses
         clauses = []
         for _ in range(rng.randint(1, 2)):
@@ -94,7 +111,7 @@ def fuzz_one(i: int, master_seed: int) -> None:
                         block_size=64 * MB)
     name = rng.choice(sorted(STRATEGIES))
     strategy = STRATEGIES[name]()
-    faults = _draw_faults(rng, n_jobs)
+    faults = _draw_faults(rng, n_jobs, n_nodes)
     seed = rng.randint(0, 2**31 - 1)
 
     summaries = []
