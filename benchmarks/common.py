@@ -1,0 +1,65 @@
+"""Shared plumbing for the ``run_*_bench.py`` scripts.
+
+Each bench stays a standalone script (run as ``PYTHONPATH=src python
+benchmarks/run_X.py``; ``sys.path[0]`` is this directory, so a plain
+``import common`` works).  This module holds exactly the pieces every
+bench had duplicated:
+
+* the memoized failure-free in-process reference checksum every run is
+  verified byte-for-byte against,
+* the ``--check`` / ``--out`` argument pair (reduced-scale CI smoke
+  mode, and where the committed ``BENCH_*.json`` payload lands),
+* writing the payload, and
+* the failure gate that turns a list of violated claims into the
+  process exit code CI keys off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.localexec import LocalCluster, LocalJobConfig
+from repro.runtime import chain_checksum
+
+_REFS: dict[tuple[LocalJobConfig, int], str] = {}
+
+
+def reference_checksum(chain: LocalJobConfig, n_nodes: int = 4) -> str:
+    """Checksum of the failure-free in-process run of ``chain`` —
+    memoized, since the benches compare many runs against few shapes."""
+    key = (chain, n_nodes)
+    if key not in _REFS:
+        cluster = LocalCluster(n_nodes, chain)
+        cluster.run_chain()
+        _REFS[key] = chain_checksum(cluster.final_output())
+    return _REFS[key]
+
+
+def add_check_and_out(parser: argparse.ArgumentParser,
+                      default_name: str) -> None:
+    """The two arguments every bench shares."""
+    parser.add_argument("--check", action="store_true",
+                        help="reduced scale + hard assertions (CI smoke)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: "
+                             f"benchmarks/{default_name})")
+
+
+def write_payload(payload: dict, default_name: str,
+                  out: Optional[str] = None) -> Path:
+    """Write the bench payload (committed perf-trajectory record)."""
+    path = Path(out) if out else Path(__file__).parent / default_name
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"written to {path}")
+    return path
+
+
+def finish(failures: Iterable[str]) -> int:
+    """Print every violated claim and return the exit code."""
+    failures = list(failures)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0

@@ -1,0 +1,258 @@
+#!/usr/bin/env python
+"""Cross-run cache benchmark: overlapping chains, warm vs cold.
+
+Three experiments on a resident :class:`ChainService` (4-node pool,
+2-slot workers), every chain checksum-verified against its failure-free
+in-process reference:
+
+* **overlap**: a six-chain workload whose submissions share lineage
+  prefixes (same seed, different chain lengths, one exact repeat) runs
+  once on a cache-enabled service and once cold.  The cached pass must
+  adopt more than half the workload's job outputs (hit rate > 0.5) and
+  finish measurably faster — the headline claim.
+* **kill**: a chain riding a 3-job cached prefix loses a node holding
+  adopted pieces mid-run.  The cache entries are invalidated, RCMP
+  recovery recomputes the adopted jobs, and the output stays
+  byte-identical — cached results need no replication because
+  recomputation *is* the fallback.
+* **eviction**: a byte budget sized for one chain forces LRU eviction
+  across disjoint workloads; evicted chains simply run cold again,
+  still byte-exact, and the registry never exceeds its budget.
+
+Results land in ``benchmarks/BENCH_cache.json`` (committed — the perf
+trajectory record).  ``--check`` re-runs at a reduced scale with the
+same hard assertions — the CI smoke for the cache's headline claims.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_cache_bench.py
+    PYTHONPATH=src python benchmarks/run_cache_bench.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import time
+
+from common import (
+    add_check_and_out,
+    finish,
+    reference_checksum,
+    write_payload,
+)
+
+from repro.localexec import LocalJobConfig
+from repro.runtime import ChainService, RuntimeConfig
+
+POOL_NODES = 4
+TASK_SLOTS = 2
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=96,
+                        help="chain input records per node")
+    parser.add_argument("--partitions", type=int, default=4)
+    add_check_and_out(parser, "BENCH_cache.json")
+    return parser.parse_args()
+
+
+def pool_config() -> RuntimeConfig:
+    return RuntimeConfig(n_nodes=POOL_NODES, chain=LocalJobConfig(),
+                         task_slots=TASK_SLOTS)
+
+
+def make_chain(n_jobs: int, seed: int, records: int,
+               partitions: int) -> LocalJobConfig:
+    return LocalJobConfig(n_jobs=n_jobs, n_partitions=partitions,
+                          records_per_node=records,
+                          records_per_block=16, seed=seed)
+
+
+def workload(records: int, partitions: int) -> list[LocalJobConfig]:
+    """Six chains with heavy prefix overlap: two seed families, varied
+    lengths, one exact repeat — 25 job outputs, 15 of them adoptable."""
+    shape = [(3, 0), (5, 0), (4, 0), (3, 1), (5, 1), (5, 0)]
+    return [make_chain(n, s, records, partitions) for n, s in shape]
+
+
+def run_pass(chains: list[LocalJobConfig], cache_budget) -> dict:
+    """Run the workload sequentially on one service; wall-clock covers
+    submission to completion, not pool startup."""
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="rcmp-cache-") as workdir:
+        with ChainService(pool_config(), workdir,
+                          cache_budget=cache_budget) as service:
+            t0 = time.perf_counter()
+            for chain in chains:
+                job = service.submit(chain=chain)
+                service.wait(job.id, timeout=300)
+                rows.append({
+                    "id": job.id,
+                    "n_jobs": chain.n_jobs,
+                    "seed": chain.seed,
+                    "state": job.state,
+                    "cached_jobs": job.adopted_jobs,
+                    "job_kinds": [k for _, k, _ in job.report.job_times]
+                    if job.report else None,
+                    "checksum_ok": bool(
+                        job.report and job.report.checksum
+                        == reference_checksum(chain)),
+                    "latency_s": round(job.finished - job.submitted, 3),
+                })
+            wall = time.perf_counter() - t0
+            stats = service.cache.stats() if service.cache else None
+    return {"wall_s": round(wall, 3), "chains": rows, "cache": stats}
+
+
+def overlap_experiment(records: int, partitions: int,
+                       failures: list) -> dict:
+    chains = workload(records, partitions)
+    warm = run_pass(chains, cache_budget=64 << 20)
+    cold = run_pass(chains, cache_budget=None)
+    saved = 1.0 - warm["wall_s"] / max(1e-9, cold["wall_s"])
+    result = {
+        "n_chains": len(chains),
+        "total_jobs": sum(c.n_jobs for c in chains),
+        "warm": warm,
+        "cold": cold,
+        "saved_frac": round(saved, 3),
+    }
+    for label, a_pass in (("warm", warm), ("cold", cold)):
+        for row in a_pass["chains"]:
+            if row["state"] != "done" or not row["checksum_ok"]:
+                failures.append(
+                    f"overlap/{label} {row['id']}: state={row['state']} "
+                    f"checksum_ok={row['checksum_ok']}")
+    rate = warm["cache"]["hit_rate"]
+    if rate <= 0.5:
+        failures.append(f"hit rate {rate} <= 0.5 on the overlap workload")
+    if warm["wall_s"] >= cold["wall_s"]:
+        failures.append(
+            f"cached pass was not faster: warm {warm['wall_s']}s vs "
+            f"cold {cold['wall_s']}s")
+    return result
+
+
+def kill_experiment(records: int, partitions: int,
+                    failures: list) -> dict:
+    """Kill a node while a chain rides its adopted prefix: recovery must
+    recompute the cached jobs and match the cold reference byte-for-
+    byte."""
+    short = make_chain(3, 0, records, partitions)
+    long = make_chain(5, 0, records, partitions)
+    with tempfile.TemporaryDirectory(prefix="rcmp-cache-") as workdir:
+        with ChainService(pool_config(), workdir,
+                          cache_budget=64 << 20) as service:
+            warmup = service.submit(chain=short)
+            service.wait(warmup.id, timeout=300)
+            victim = service.submit(chain=long)
+            deadline = time.monotonic() + 60.0
+            while victim.state == "queued" \
+                    and time.monotonic() < deadline:
+                time.sleep(0.005)
+            service.pool.kill_node(1)
+            service.wait(victim.id, timeout=300)
+            row = {
+                "state": victim.state,
+                "cached_jobs": victim.adopted_jobs,
+                "job_kinds": [k for _, k, _ in victim.report.job_times]
+                if victim.report else None,
+                "deaths": len(victim.report.deaths)
+                if victim.report else None,
+                "checksum_ok": bool(
+                    victim.report and victim.report.checksum
+                    == reference_checksum(long)),
+                "invalidated": service.cache.stats()["invalidated"],
+            }
+    if row["state"] != "done" or not row["checksum_ok"]:
+        failures.append(f"kill: state={row['state']} "
+                        f"checksum_ok={row['checksum_ok']}")
+    if row["cached_jobs"] < 1:
+        failures.append("kill: the victim chain adopted nothing — the "
+                        "scenario is vacuous")
+    if row["job_kinds"] and "recompute" not in row["job_kinds"]:
+        failures.append("kill: no adopted job was recomputed "
+                        f"({row['job_kinds']})")
+    return row
+
+
+def eviction_experiment(records: int, partitions: int,
+                        failures: list) -> dict:
+    """A budget sized for roughly one chain forces LRU eviction across
+    disjoint seeds; an evicted chain re-runs cold and stays correct."""
+    first = make_chain(3, 0, records, partitions)
+    second = make_chain(3, 7, records, partitions)
+    # measure one chain's cache footprint, then budget just above it
+    with tempfile.TemporaryDirectory(prefix="rcmp-cache-") as workdir:
+        with ChainService(pool_config(), workdir,
+                          cache_budget=64 << 20) as service:
+            job = service.submit(chain=first)
+            service.wait(job.id, timeout=300)
+            footprint = service.cache.stats()["bytes"]
+    budget = int(footprint * 1.2)
+    with tempfile.TemporaryDirectory(prefix="rcmp-cache-") as workdir:
+        with ChainService(pool_config(), workdir,
+                          cache_budget=budget) as service:
+            checks = []
+            for chain in (first, second, first):
+                job = service.submit(chain=chain)
+                service.wait(job.id, timeout=300)
+                checks.append(bool(
+                    job.report and job.report.checksum
+                    == reference_checksum(chain)))
+            stats = service.cache.stats()
+    row = {"one_chain_bytes": footprint, "budget_bytes": budget,
+           "evictions": stats["evictions"], "bytes": stats["bytes"],
+           "checksums_ok": checks}
+    if not all(checks):
+        failures.append(f"eviction: checksum broke ({checks})")
+    if stats["evictions"] < 1:
+        failures.append("eviction: the budget never forced an eviction")
+    if stats["bytes"] > budget:
+        failures.append(f"eviction: registry holds {stats['bytes']}B "
+                        f"over the {budget}B budget")
+    return row
+
+
+def main() -> int:
+    args = parse_args()
+    records = 32 if args.check else args.records
+    failures: list[str] = []
+
+    t0 = time.perf_counter()
+    overlap = overlap_experiment(records, args.partitions, failures)
+    rate = overlap["warm"]["cache"]["hit_rate"]
+    print(f"overlap: warm {overlap['warm']['wall_s']}s vs cold "
+          f"{overlap['cold']['wall_s']}s (saved "
+          f"{overlap['saved_frac']:.0%}), hit rate {rate}")
+
+    kill = kill_experiment(records, args.partitions, failures)
+    print(f"kill: adopted {kill['cached_jobs']}, kinds "
+          f"{kill['job_kinds']}, {kill['invalidated']} entries "
+          f"invalidated, checksum_ok={kill['checksum_ok']}")
+
+    eviction = eviction_experiment(records, args.partitions, failures)
+    print(f"eviction: {eviction['evictions']} evicted under a "
+          f"{eviction['budget_bytes']}B budget, "
+          f"{eviction['bytes']}B resident")
+
+    payload = {
+        "pool": {"nodes": POOL_NODES, "task_slots": TASK_SLOTS},
+        "chain": {"records_per_node": records,
+                  "partitions": args.partitions},
+        "check_mode": args.check,
+        "cpu_count": os.cpu_count(),
+        "overlap": overlap,
+        "kill_during_cached_prefix": kill,
+        "eviction": eviction,
+        "bench_wall_s": round(time.perf_counter() - t0, 1),
+    }
+    write_payload(payload, "BENCH_cache.json", args.out)
+    return finish(failures)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,16 +30,20 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import random
 import tempfile
 import time
-from pathlib import Path
 
-from repro.localexec import LocalCluster, LocalJobConfig
+from common import (
+    add_check_and_out,
+    finish,
+    reference_checksum,
+    write_payload,
+)
+
+from repro.localexec import LocalJobConfig
 from repro.runtime import ChainService, MTBFKills, RuntimeConfig
-from repro.runtime.storage import chain_checksum
 
 POOL_NODES = 4
 TASK_SLOTS = 2
@@ -56,23 +60,8 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--mtbf", type=float, default=2.0,
                         help="mean time between injected kills (seconds)")
     parser.add_argument("--seed", type=int, default=1)
-    parser.add_argument("--check", action="store_true",
-                        help="reduced scale + hard assertions (CI smoke)")
-    parser.add_argument("--out", default=None,
-                        help="output JSON path (default: "
-                             "benchmarks/BENCH_service.json)")
+    add_check_and_out(parser, "BENCH_service.json")
     return parser.parse_args()
-
-
-_REFS: dict[LocalJobConfig, str] = {}
-
-
-def reference_checksum(chain: LocalJobConfig) -> str:
-    if chain not in _REFS:
-        cluster = LocalCluster(POOL_NODES, chain)
-        cluster.run_chain()
-        _REFS[chain] = chain_checksum(cluster.final_output())
-    return _REFS[chain]
 
 
 def pool_config() -> RuntimeConfig:
@@ -205,10 +194,7 @@ def main() -> int:
         "isolation": isolation,
         "stream": stream,
     }
-    out = Path(args.out) if args.out else \
-        Path(__file__).parent / "BENCH_service.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"written to {out}")
+    write_payload(payload, "BENCH_service.json", args.out)
 
     failures = []
     if isolation["concurrent_peak"] < 3:
@@ -230,9 +216,7 @@ def main() -> int:
                         f"{iso_rows['b']['job_kinds']}")
     if stream["deaths"] < 1:
         failures.append("the MTBF arrivals never fired during the stream")
-    for failure in failures:
-        print(f"FAIL: {failure}")
-    return 1 if failures else 0
+    return finish(failures)
 
 
 if __name__ == "__main__":

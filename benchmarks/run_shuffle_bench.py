@@ -30,15 +30,20 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import tempfile
 import time
-from pathlib import Path
+
+from common import (
+    add_check_and_out,
+    finish,
+    reference_checksum,
+    write_payload,
+)
 
 from repro.faults import FaultModel
-from repro.localexec import LocalCluster, LocalJobConfig
-from repro.runtime import Coordinator, RuntimeConfig, chain_checksum
+from repro.localexec import LocalJobConfig
+from repro.runtime import Coordinator, RuntimeConfig
 
 #: wall-clock slack for the pipelined-vs-serial comparison: on a
 #: single-core host the slot threads only overlap I/O, so the win is
@@ -56,18 +61,8 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--partitions", type=int, default=8)
     parser.add_argument("--repeat", type=int, default=5,
                         help="wall-clock runs per data plane (best-of)")
-    parser.add_argument("--check", action="store_true",
-                        help="reduced scale + hard assertions (CI smoke)")
-    parser.add_argument("--out", default=None,
-                        help="output JSON path (default: "
-                             "benchmarks/BENCH_shuffle.json)")
+    add_check_and_out(parser, "BENCH_shuffle.json")
     return parser.parse_args()
-
-
-def reference_checksum(chain: LocalJobConfig, n_nodes: int = 4) -> str:
-    cluster = LocalCluster(n_nodes, chain)
-    cluster.run_chain()
-    return chain_checksum(cluster.final_output())
 
 
 def run_chain(chain: LocalJobConfig, expected: str, faults: str = "",
@@ -181,10 +176,7 @@ def main() -> int:
         "pipeline": pipe,
         "pipeline_with_kill": pipe_kill,
     }
-    out = Path(args.out) if args.out else \
-        Path(__file__).parent / "BENCH_shuffle.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"written to {out}")
+    write_payload(payload, "BENCH_shuffle.json", args.out)
 
     failures = []
     if split["bytes_ratio"] > (1 + SPLIT_EPS) / k:
@@ -197,9 +189,7 @@ def main() -> int:
             f"pipelined plane too slow: best speedup {best_speedup}x "
             f"(clean {pipe['speedup']}x, kill {pipe_kill['speedup']}x, "
             f"margin {WALL_MARGIN})")
-    for failure in failures:
-        print(f"FAIL: {failure}")
-    return 1 if failures else 0
+    return finish(failures)
 
 
 if __name__ == "__main__":

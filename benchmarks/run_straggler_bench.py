@@ -27,15 +27,20 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import tempfile
 import time
-from pathlib import Path
+
+from common import (
+    add_check_and_out,
+    finish,
+    reference_checksum,
+    write_payload,
+)
 
 from repro.faults import FaultModel
-from repro.localexec import LocalCluster, LocalJobConfig
-from repro.runtime import Coordinator, RuntimeConfig, chain_checksum
+from repro.localexec import LocalJobConfig
+from repro.runtime import Coordinator, RuntimeConfig
 
 STRATEGIES = ("rcmp", "optimistic", "repl2", "hybrid")
 FACTORS = (2, 10)
@@ -49,18 +54,8 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--partitions", type=int, default=4)
     parser.add_argument("--repeat", type=int, default=3,
                         help="runs per (strategy, factor, mode), best-of")
-    parser.add_argument("--check", action="store_true",
-                        help="reduced scale + hard assertions (CI smoke)")
-    parser.add_argument("--out", default=None,
-                        help="output JSON path (default: "
-                             "benchmarks/BENCH_straggler.json)")
+    add_check_and_out(parser, "BENCH_straggler.json")
     return parser.parse_args()
-
-
-def reference_checksum(chain: LocalJobConfig, n_nodes: int = 4) -> str:
-    cluster = LocalCluster(n_nodes, chain)
-    cluster.run_chain()
-    return chain_checksum(cluster.final_output())
 
 
 def run_chain(chain: LocalJobConfig, expected: str, faults: str,
@@ -177,10 +172,7 @@ def main() -> int:
         "pre_replication": pre,
         "bench_wall_s": round(time.perf_counter() - t0, 1),
     }
-    out = Path(args.out) if args.out else \
-        Path(__file__).parent / "BENCH_straggler.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"written to {out}")
+    write_payload(payload, "BENCH_straggler.json", args.out)
 
     for strategy in STRATEGIES:
         ab = matrix[strategy]["10x"]
@@ -192,9 +184,7 @@ def main() -> int:
         if ab["spec_on"]["attempts"] < 1:
             failures.append(f"{strategy}@10x: speculation never attempted "
                             "a backup — the comparison is vacuous")
-    for failure in failures:
-        print(f"FAIL: {failure}")
-    return 1 if failures else 0
+    return finish(failures)
 
 
 if __name__ == "__main__":

@@ -252,9 +252,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "submitted chains")
     p.add_argument("--heartbeat-interval", type=float, default=0.05)
     p.add_argument("--heartbeat-expiry", type=float, default=0.0)
+    p.add_argument("--cache-budget", type=int, default=64, metavar="MiB",
+                   help="cross-run result cache byte budget in MiB "
+                        "(0 disables caching; default 64).  Cached job "
+                        "outputs survive in the workdir and overlapping "
+                        "submissions skip their cached prefix")
     p.add_argument("--workdir", default=None, metavar="DIR",
                    help="keep the per-node chain namespaces here "
-                        "(default: a deleted temporary directory)")
+                        "(default: a deleted temporary directory; a "
+                        "persistent dir keeps the result cache warm "
+                        "across service restarts)")
 
     p = sub.add_parser("submit",
                        help="submit one chain to a running service")
@@ -277,6 +284,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pre-replicate", action="store_true",
                    help="straggler pre-replication for this chain")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-cache", action="store_true",
+                   help="opt this chain out of the cross-run result "
+                        "cache (no prefix adoption, no admission)")
     p.add_argument("--wait", action="store_true",
                    help="block until the chain finishes and print its "
                         "report")
@@ -528,16 +538,22 @@ def _cmd_serve(args) -> int:
                   if args.mtbf is not None else None)
         workctx = (nullcontext(args.workdir) if args.workdir
                    else tempfile.TemporaryDirectory(prefix="rcmp-serve-"))
+        cache_budget = (args.cache_budget * (1 << 20)
+                        if args.cache_budget > 0 else None)
         with workctx as workdir:
             with ChainService(config, workdir, policy=args.policy,
                               max_concurrent=args.max_concurrent,
                               faults=faults,
-                              replace_dead=args.replace_dead) as service:
+                              replace_dead=args.replace_dead,
+                              cache_budget=cache_budget) as service:
                 port = service.serve(host=args.host, port=args.port)
+                cache_note = (f"cache={args.cache_budget}MiB"
+                              if cache_budget else "cache=off")
                 print(f"chain service on {args.host}:{port}  "
                       f"nodes={args.nodes} slots={args.task_slots} "
                       f"policy={args.policy} "
-                      f"max_concurrent={args.max_concurrent}",
+                      f"max_concurrent={args.max_concurrent} "
+                      f"{cache_note}",
                       flush=True)
                 try:
                     service.shutdown_requested.wait()
@@ -565,6 +581,8 @@ def _cmd_submit(args) -> int:
         payload["overrides"]["speculation"] = True
     if args.pre_replicate:
         payload["overrides"]["pre_replicate"] = True
+    if args.no_cache:
+        payload["no_cache"] = True
     try:
         chain_id = request(args.port, payload, host=args.host)["id"]
     except (OSError, RuntimeError) as exc:
@@ -584,6 +602,8 @@ def _cmd_submit(args) -> int:
 def _print_job(job: dict) -> None:
     line = (f"{job['id']:8s} {job['tenant']:<10s} {job['state']:<8s} "
             f"{job['strategy']:<10s}")
+    if job.get("cached_jobs"):
+        line += f" cached={job['cached_jobs']}"
     report = job.get("report")
     if report:
         line += (f" wall={report['wall_time']:.3f}s "
@@ -610,6 +630,13 @@ def _cmd_status(args) -> int:
           f"queued={status['queued']} running={status['running']} "
           f"(peak {status['running_peak']}) "
           f"deaths={len(status['deaths'])}")
+    cache = status.get("cache")
+    if cache:
+        print(f"cache: hits={cache['hits']} misses={cache['misses']} "
+              f"(rate {cache['hit_rate']}) evicted={cache['evictions']} "
+              f"invalidated={cache['invalidated']} "
+              f"entries={cache['entries']} "
+              f"bytes={cache['bytes']}/{cache['budget_bytes']}")
     for job in status["jobs"]:
         _print_job(job)
     return 0

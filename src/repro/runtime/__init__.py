@@ -23,6 +23,8 @@ Modules:
   (the shared :class:`WorkerPool` + per-chain :class:`ChainRun` split).
 * :mod:`repro.runtime.service` — the multi-tenant :class:`ChainService`:
   many chains queued over one shared worker pool.
+* :mod:`repro.runtime.cache` — the cross-run result cache: lineage
+  fingerprints, the persistent :class:`CacheRegistry`, prefix adoption.
 * :mod:`repro.runtime.faults` — fault plan -> live ``SIGKILL`` injection.
 
 The heavier modules are re-exported lazily so that importing
@@ -40,6 +42,7 @@ from repro.runtime.recovery import (
 )
 
 __all__ = [
+    "CacheRegistry",
     "ChainRun",
     "ChainService",
     "Coordinator",
@@ -53,6 +56,7 @@ __all__ = [
     "WorkerPool",
     "cascade_start",
     "chain_checksum",
+    "chain_fingerprints",
     "consumer_invalidations",
     "effective_split_ratio",
     "plan_job_recovery",
@@ -66,6 +70,8 @@ _LAZY = {
     "RunReport": ("repro.runtime.coordinator", "RunReport"),
     "ChainService": ("repro.runtime.service", "ChainService"),
     "MTBFKills": ("repro.runtime.service", "MTBFKills"),
+    "CacheRegistry": ("repro.runtime.cache", "CacheRegistry"),
+    "chain_fingerprints": ("repro.runtime.cache", "chain_fingerprints"),
     "chain_checksum": ("repro.runtime.storage", "chain_checksum"),
     "PeerPool": ("repro.runtime.transport", "PeerPool"),
     "ShuffleServer": ("repro.runtime.transport", "ShuffleServer"),

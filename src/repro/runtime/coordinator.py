@@ -329,8 +329,9 @@ class RunReport:
     """What one chain execution did, wall-clock."""
 
     checksum: str
-    #: (job ordinal, "run" | "rerun" | "recompute" | "re-replicate",
-    #: wall seconds)
+    #: (job ordinal, "run" | "rerun" | "recompute" | "re-replicate"
+    #: | "cached", wall seconds) — "cached" jobs were adopted from the
+    #: cross-run result cache and did no work
     job_times: list[tuple[int, str, float]] = field(default_factory=list)
     #: (wall time since chain start, node) per declared death
     deaths: list[tuple[float, int]] = field(default_factory=list)
@@ -808,6 +809,8 @@ class ChainRun:
         self.fault_plan = fault_plan
         self.registry = ClusterRegistry()
         self.completed_jobs = 0
+        #: jobs skipped at start via cross-run cache adoption
+        self.adopted_jobs = 0
         self.deaths: list[tuple[float, int]] = []
         self.job_times: list[tuple[int, str, float]] = []
         self.reclaims: list[tuple[int, int]] = []
@@ -857,6 +860,38 @@ class ChainRun:
             self._raise_pending_death()
             return None
         return msg
+
+    # ------------------------------------------------------- cache adoption
+    def adopt_prefix(self, entries) -> int:
+        """Adopt a cached job prefix (cross-run result cache): register
+        every cached piece of jobs ``1..len(entries)`` in this chain's
+        registry and mark those jobs complete, so execution starts at
+        the first uncached job.
+
+        ``entries`` are :class:`~repro.runtime.cache.CacheEntry` rows in
+        ascending, contiguous job order.  Adopted pieces keep their
+        physical namespace (``piece.chain``) — the shuffle path serves
+        them across namespaces — and are single-holder by construction:
+        if one dies, :meth:`~ClusterRegistry.record_death` files it as
+        plain damage and the normal RCMP cascade recomputes it (through
+        adopted upstream or from regenerated chain input).  Must run
+        before any job executes."""
+        if self.completed_jobs or self.registry.pieces:
+            raise RuntimeError("prefix adoption must precede execution")
+        for entry in entries:
+            for piece in entry.pieces:
+                self.registry.add_piece(PieceEntry(
+                    entry.job, piece.partition, piece.split_index,
+                    piece.n_splits, piece.node, piece.n_records,
+                    chain=piece.chain))
+            self.job_times.append((entry.job, "cached", 0.0))
+        self.completed_jobs = len(entries)
+        self.adopted_jobs = len(entries)
+        if entries:
+            self.tracer.instant("chain", "cache-adopt",
+                                jobs=self.adopted_jobs,
+                                chain_id=self.chain_id)
+        return self.adopted_jobs
 
     # ---------------------------------------------------------- chain logic
     def run(self) -> RunReport:
@@ -980,6 +1015,7 @@ class ChainRun:
                     "split": entry.split_index,
                     "n_splits": entry.n_splits,
                     "source": entry.node, "target": node,
+                    "source_chain": entry.chain,
                 })
         return cmds
 
@@ -1579,7 +1615,8 @@ class ChainRun:
                 "partition": entry.partition,
                 "split": entry.split_index,
                 "n_splits": entry.n_splits,
-                "source": entry.node, "target": target})
+                "source": entry.node, "target": target,
+                "source_chain": entry.chain})
         if not cmds:
             return
         self.tracer.instant("cascade", "pre-replicate",
@@ -1601,8 +1638,12 @@ class ChainRun:
         for partition, plist in last.items():
             records: list[Record] = []
             for entry in plist:
+                # an adopted piece (full-prefix cache hit) lives in its
+                # donor chain's namespace; everything else in our own
+                namespace = entry.chain if entry.chain is not None \
+                    else self.chain_id
                 data = NodeStore(self.pool.workdir, entry.node,
-                                 chain=self.chain_id).read_piece(
+                                 chain=namespace).read_piece(
                     entry.job, entry.partition, entry.split_index,
                     entry.n_splits)
                 records.extend(decode_records(data))

@@ -46,6 +46,11 @@ from typing import Any, Optional
 
 from repro.localexec.engine import LocalJobConfig
 from repro.obs import NULL_TRACER, Tracer
+from repro.runtime.cache import (
+    CacheRegistry,
+    chain_fingerprints,
+    scan_chain_sequence,
+)
 from repro.runtime.coordinator import (
     ChainRun,
     NodeDeath,
@@ -56,6 +61,11 @@ from repro.runtime.coordinator import (
 
 QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
 POLICIES = ("fifo", "fair")
+
+#: front-door request cap: one JSON submit/status/wait line has no
+#: business being this large — beyond it the reply is a structured
+#: error instead of an unbounded buffer
+MAX_REQUEST_BYTES = 1 << 20
 
 
 class MTBFKills:
@@ -108,6 +118,10 @@ class ChainJob:
     error: Optional[str] = None
     run: Optional[ChainRun] = None
     inbox: Any = None
+    #: False when submitted with ``no_cache`` — neither adopts nor admits
+    use_cache: bool = True
+    #: jobs skipped at admission via the cross-run cache
+    adopted_jobs: int = 0
     done: threading.Event = field(default_factory=threading.Event)
 
     def to_dict(self) -> dict:
@@ -120,6 +134,7 @@ class ChainJob:
             "submitted": self.submitted,
             "started": self.started,
             "finished": self.finished,
+            "cached_jobs": self.adopted_jobs,
             "report": self.report.to_dict() if self.report else None,
             "error": self.error,
         }
@@ -131,11 +146,16 @@ class ChainService:
     def __init__(self, config: RuntimeConfig, workdir: str | Path,
                  policy: str = "fifo", max_concurrent: int = 4,
                  tracer: Optional[Tracer] = None,
-                 faults=None, replace_dead: bool = False):
+                 faults=None, replace_dead: bool = False,
+                 cache_budget: Optional[int] = None):
         """``config`` fixes the pool shape (n_nodes, slots, transport
         knobs) and is the template submissions override per chain.
         ``faults`` is typically an :class:`MTBFKills`; ``replace_dead``
-        respawns a replacement worker for every dead node id."""
+        respawns a replacement worker for every dead node id.
+        ``cache_budget`` (bytes) enables the cross-run result cache:
+        completed job outputs are kept under an LRU byte budget and
+        adopted by later overlapping submissions.  ``None`` disables
+        caching entirely."""
         if policy not in POLICIES:
             raise ValueError(f"unknown admission policy {policy!r}; "
                              f"expected one of {POLICIES}")
@@ -156,7 +176,14 @@ class ChainService:
         self._queue: list[ChainJob] = []
         self._running: dict[str, ChainJob] = {}
         self._tenant_admitted: dict[str, int] = {}
-        self._seq = 0
+        self.cache: Optional[CacheRegistry] = None
+        if cache_budget is not None:
+            self.cache = CacheRegistry(workdir, cache_budget)
+            self.cache.load()
+        # never reissue a chain id whose namespace dirs exist from a
+        # previous service incarnation in this workdir: a collision
+        # would silently overwrite files cache entries still reference
+        self._seq = scan_chain_sequence(workdir)
         self._stop = threading.Event()
         self._loop_thread: Optional[threading.Thread] = None
         self._server: Optional[socket.socket] = None
@@ -202,12 +229,15 @@ class ChainService:
 
     # ------------------------------------------------------------ admission
     def submit(self, chain: Optional[LocalJobConfig] = None,
-               tenant: str = "default", **overrides) -> ChainJob:
+               tenant: str = "default", no_cache: bool = False,
+               **overrides) -> ChainJob:
         """Queue a chain for execution; returns its :class:`ChainJob`.
 
         ``overrides`` are :class:`RuntimeConfig` fields applied over the
         service template (strategy, hybrid knobs, ...).  The pool shape
         is fixed at service start: n_nodes cannot be overridden.
+        ``no_cache`` opts this chain out of the cross-run cache — it
+        neither adopts cached prefixes nor admits its outputs.
         Validation errors (unknown strategy, bad knobs) raise here, at
         submission time, not in the service loop."""
         if self._stop.is_set():
@@ -220,7 +250,8 @@ class ChainService:
             self._seq += 1
             job = ChainJob(id=f"c{self._seq:04d}", tenant=tenant,
                            config=config, order=self._seq,
-                           submitted=self.pool.now())
+                           submitted=self.pool.now(),
+                           use_cache=not no_cache)
             self._jobs[job.id] = job
             self._queue.append(job)
         return job
@@ -245,8 +276,30 @@ class ChainService:
                                chain_id=job.id, tracer=self.tracer)
             job.inbox = job.run.attach_inbox()
             self._open_chain(job)
+            self._adopt_cached_prefix(job)
             threading.Thread(target=self._drive, args=(job,),
                              name=f"chain-{job.id}", daemon=True).start()
+
+    def _adopt_cached_prefix(self, job: ChainJob) -> None:
+        """Hand the longest resident cached prefix to the new chain.
+
+        Only for replication-1 strategies (rcmp, optimistic, hybrid):
+        adopted pieces are single-holder, so losing one must be
+        recoverable by recomputation — a REPL-k chain would instead hit
+        "irrecoverable data loss" on a piece it never replicated.
+        Best-effort: a cache fault degrades to a cold run, never a
+        failed chain."""
+        if self.cache is None or not job.use_cache \
+                or job.config.replication > 1:
+            return
+        try:
+            fps = chain_fingerprints(job.config.chain,
+                                     self.config.n_nodes)
+            entries = self.cache.adopt(fps, job.id)
+            if entries:
+                job.adopted_jobs = job.run.adopt_prefix(entries)
+        except Exception:  # noqa: BLE001 - cache is advisory
+            self.cache.release(job.id)
 
     def _pick_locked(self) -> ChainJob:
         if self.policy == "fifo":
@@ -275,11 +328,17 @@ class ChainService:
             self.pool.send(node, dict(cmd))
 
     def _close_chain(self, job: ChainJob) -> None:
-        """Drop the chain's caches on every worker.  Files stay on disk
-        (the coordinator side may still read the final output; the
-        workdir is the operator's to reap)."""
+        """Drop the chain's caches on every worker, then sweep its
+        namespace files — sparing the reduce jobs the cross-run cache
+        registered, so beyond the cache budget nothing grows the
+        workdir.  (A dead node's files linger until its id is reused —
+        there is no worker left to sweep them.)"""
+        keep = sorted(self.cache.kept_jobs(job.id)) \
+            if self.cache is not None else []
         for node in sorted(self.pool._links):
             self.pool.send(node, {"op": "chain-close", "chain": job.id})
+            self.pool.send(node, {"op": "chain-sweep", "chain": job.id,
+                                  "keep": keep})
 
     # --------------------------------------------------------- service loop
     def _loop(self) -> None:
@@ -305,6 +364,11 @@ class ChainService:
     def _on_death(self, node: int) -> None:
         if not self.pool.on_death(node):
             return
+        if self.cache is not None:
+            # every cached piece is a sole copy: entries touching the
+            # dead node are invalid now.  For chains mid-adoption the
+            # loss is just RCMP damage — their recovery recomputes it.
+            self.cache.on_death(node)
         with self._lock:
             running = list(self._running.values())
         for job in running:
@@ -325,6 +389,17 @@ class ChainService:
             job.state = FAILED
         finally:
             job.finished = self.pool.now()
+            if self.cache is not None:
+                try:
+                    if job.state == DONE and job.use_cache:
+                        self.cache.admit(
+                            chain_fingerprints(job.config.chain,
+                                               self.config.n_nodes),
+                            job.id, job.run.registry)
+                finally:
+                    # unpin whatever this chain adopted (reaps doomed
+                    # entries it was the last reader of)
+                    self.cache.release(job.id)
             self._close_chain(job)
             with self._lock:
                 self._running.pop(job.id, None)
@@ -355,6 +430,8 @@ class ChainService:
                 "queued": len(self._queue),
                 "running": len(self._running),
                 "running_peak": self.running_peak,
+                "cache": (self.cache.stats()
+                          if self.cache is not None else None),
                 "jobs": [j.to_dict() for j in self._jobs.values()],
             }
 
@@ -381,12 +458,23 @@ class ChainService:
     def _handle(self, conn: socket.socket) -> None:
         with conn:
             try:
-                data = b""
+                data, total = b"", 0
                 while not data.endswith(b"\n"):
                     got = conn.recv(65536)
                     if not got:
                         break
-                    data += got
+                    total += len(got)
+                    if total <= MAX_REQUEST_BYTES:
+                        data += got
+                    elif got.endswith(b"\n") or total > \
+                            64 * MAX_REQUEST_BYTES:
+                        # oversized: discard (bounded) until the line
+                        # ends so the close is clean — an unread-data
+                        # RST could destroy the error reply in flight
+                        break
+                if total > MAX_REQUEST_BYTES:
+                    raise ValueError(
+                        f"request exceeds {MAX_REQUEST_BYTES} bytes")
                 reply = self._dispatch_request(json.loads(data))
             except Exception as exc:  # noqa: BLE001 - wire it back
                 reply = {"ok": False,
@@ -405,6 +493,7 @@ class ChainService:
                      if req.get("chain") else None)
             job = self.submit(chain=chain,
                               tenant=req.get("tenant", "default"),
+                              no_cache=bool(req.get("no_cache")),
                               **req.get("overrides", {}))
             return {"ok": True, "id": job.id}
         if op == "status":

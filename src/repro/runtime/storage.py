@@ -271,6 +271,38 @@ class NodeStore:
         return (self._rm_tree(self.dir / "map" / f"job{job}")
                 + self._rm_tree(self.dir / "reduce" / f"job{job}"))
 
+    def sweep_chain(self, keep_reduce_jobs: Iterable[int]) -> int:
+        """Close-time hygiene for a finished chain's namespace: delete
+        every map output and every reduce job **not** in
+        ``keep_reduce_jobs`` (the jobs the cross-run cache registered),
+        then remove the namespace dir if nothing is left.  Returns the
+        bytes freed."""
+        if self.chain is None:
+            raise ValueError("sweep_chain only applies to chain "
+                             "namespaces")
+        keep = set(keep_reduce_jobs)
+        freed = self._rm_tree(self.dir / "map")
+        root = self.dir / "reduce"
+        if root.is_dir():
+            for directory in sorted(root.iterdir()):
+                if not directory.name.startswith("job"):
+                    continue
+                try:
+                    job = int(directory.name[3:])
+                except ValueError:
+                    continue
+                if job not in keep:
+                    freed += self._rm_tree(directory)
+            try:
+                root.rmdir()
+            except OSError:
+                pass
+        try:
+            self.dir.rmdir()
+        except OSError:
+            pass
+        return freed
+
     def reclaim_jobs(self, map_upto: int, piece_upto: int) -> int:
         """Hybrid reclamation (§IV-C): delete persisted map outputs of
         jobs ``<= map_upto`` and reducer pieces of jobs ``<= piece_upto``
@@ -308,7 +340,14 @@ class MapEntry:
 
 @dataclass(frozen=True)
 class PieceEntry:
-    """Coordinator-side record of one stored reducer piece."""
+    """Coordinator-side record of one stored reducer piece.
+
+    ``chain`` is the namespace the backing file lives in when it is
+    *not* the owning chain's own — the cross-run cache adopts pieces in
+    a donor chain's namespace.  ``None`` (the default, and the only
+    value outside the cache path) means the owning chain's namespace.
+    Replica copies are always written into the owning namespace, so a
+    promotion after a death re-points to an own-namespace file."""
 
     job: int
     partition: int
@@ -316,6 +355,7 @@ class PieceEntry:
     n_splits: int
     node: int
     n_records: int
+    chain: Optional[str] = None
 
     @property
     def signature(self) -> PieceSignature:
@@ -333,7 +373,10 @@ class BlockSpec:
     ``source`` locates the bytes: ``("input", node, start, count)`` — a
     slice of the node's generated chain input — or
     ``("piece", job, partition, split_index, n_splits, node, start,
-    count)`` — a record range of a stored upstream piece."""
+    count, chain)`` — a record range of a stored upstream piece, where
+    the trailing ``chain`` names the namespace the piece lives in
+    (``None`` = the task's own chain; a donor chain id for pieces the
+    cross-run cache adopted)."""
 
     task_id: int
     node: int          # where the input bytes are stored (data-locality)
@@ -478,7 +521,10 @@ class ClusterRegistry:
                     survivors = self.replicas.get(p.key, set()) - {node}
                     if survivors:
                         self.replicas[p.key] = survivors
-                        kept.append(replace(p, node=min(survivors)))
+                        # replicas live in the owning chain's own
+                        # namespace, so promotion clears any donor chain
+                        kept.append(replace(p, node=min(survivors),
+                                            chain=None))
                         continue
                     self.replicas.pop(p.key, None)
                     if job <= completed_jobs:
@@ -538,7 +584,7 @@ class ClusterRegistry:
                         partition * STRIDE + ordinal, piece.node,
                         ("piece", piece.job, piece.partition,
                          piece.split_index, piece.n_splits, piece.node,
-                         start, count),
+                         start, count, piece.chain),
                         (job - 1, partition)))
                     ordinal += 1
         return blocks

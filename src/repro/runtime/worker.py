@@ -212,6 +212,18 @@ class _Worker:
                 for key in [k for k in self._inputs if k[0] == chain]:
                     del self._inputs[key]
             return
+        if cmd["op"] == "chain-sweep":
+            # close-time hygiene: delete the finished chain's namespace
+            # files, sparing the reduce jobs the cross-run cache
+            # registered.  Fire-and-forget — the chain is already closed,
+            # so there is no event stream left to report on, and a
+            # filesystem race must not take down the command loop.
+            try:
+                self.store.for_chain(cmd["chain"]).sweep_chain(
+                    cmd.get("keep", ()))
+            except OSError:
+                pass
+            return
         if self._slots is not None and cmd["op"] in self.TASK_OPS:
             self._slots.submit(cmd)
         else:
@@ -300,14 +312,21 @@ class _Worker:
         if source[0] == "input":
             _, node, start, count = source
             return self._node_input(chain, node)[start:start + count], 0
-        _, job, partition, split_index, n_splits, node, start, count = source
+        (_, job, partition, split_index, n_splits, node, start,
+         count) = source[:8]
+        # a 9th element names the namespace the piece lives in — a donor
+        # chain for cache-adopted pieces (8-tuples: the task's own chain)
+        src_chain = source[8] if len(source) > 8 else None
         if node == self.node:
-            data = store.read_piece(job, partition, split_index, n_splits)
+            read_store = store if src_chain is None \
+                else self._store(src_chain)
+            data = read_store.read_piece(job, partition, split_index,
+                                         n_splits)
             fetched = 0
         else:
-            data = self.pool.fetch_piece(ports[node], job, partition,
-                                         split_index, n_splits,
-                                         chain=chain)
+            data = self.pool.fetch_piece(
+                ports[node], job, partition, split_index, n_splits,
+                chain=src_chain if src_chain is not None else chain)
             fetched = len(data)
         records = list(iter_records(data))
         return records[start:start + count], fetched
@@ -435,8 +454,12 @@ class _Worker:
             raise ValueError(f"node {self.node} asked to replicate its "
                              f"own piece")
         started = time.perf_counter()
-        data = self.pool.fetch_piece(ports[source], job, partition,
-                                     split_index, n_splits, chain=chain)
+        # an adopted piece's primary lives in a donor chain's namespace;
+        # the copy is always committed into this chain's own
+        src_chain = cmd.get("source_chain")
+        data = self.pool.fetch_piece(
+            ports[source], job, partition, split_index, n_splits,
+            chain=src_chain if src_chain is not None else chain)
         store.write_piece_bytes(job, partition, split_index, n_splits,
                                 data)
         self.throttle.pace(time.perf_counter() - started)

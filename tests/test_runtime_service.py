@@ -15,7 +15,9 @@ byte of any chain's output, kills or not.
 """
 
 import functools
+import json
 import multiprocessing
+import socket
 import threading
 import time
 
@@ -371,6 +373,56 @@ def test_tcp_front_door_submit_status_wait(tmp_path):
                            "overrides": {"strategy": "bogus"}})
         request(port, {"op": "shutdown"})
         assert service.shutdown_requested.wait(5.0)
+
+
+def _raw_request(port: int, raw: bytes) -> dict:
+    """Send raw bytes to the front door; return the decoded reply
+    without the ok-check :func:`request` applies."""
+    with socket.create_connection(("127.0.0.1", port),
+                                  timeout=10.0) as conn:
+        conn.sendall(raw)
+        data = b""
+        while not data.endswith(b"\n"):
+            got = conn.recv(65536)
+            if not got:
+                break
+            data += got
+    return json.loads(data)
+
+
+def test_tcp_front_door_error_paths(tmp_path, monkeypatch):
+    """Garbage on the wire gets a structured error reply, never a
+    crashed handler thread or a dropped connection.  The front door
+    needs no running workers, so this exercises it pool-less."""
+    import repro.runtime.service as service_mod
+
+    config = RuntimeConfig(n_nodes=2, chain=TINY, task_slots=1)
+    service = ChainService(config, tmp_path / "svc")
+    port = service.serve(port=0)
+    try:
+        # malformed JSON (and the empty request degenerate case)
+        reply = _raw_request(port, b"{this is not json\n")
+        assert reply["ok"] is False and "JSONDecodeError" in reply["error"]
+        reply = _raw_request(port, b"\n")
+        assert reply["ok"] is False
+
+        # valid JSON, unknown op
+        reply = _raw_request(port, b'{"op": "frobnicate"}\n')
+        assert reply == {"ok": False, "error": "unknown op 'frobnicate'"}
+
+        # oversized payload: refused with the limit in the message, and
+        # the reply still arrives even though the request was drained
+        monkeypatch.setattr(service_mod, "MAX_REQUEST_BYTES", 4096)
+        huge = (b'{"op": "ping", "pad": "' + b"x" * 8192 + b'"}\n')
+        reply = _raw_request(port, huge)
+        assert reply["ok"] is False
+        assert "request exceeds 4096 bytes" in reply["error"]
+
+        # the door still works after every abuse above
+        assert _raw_request(port, b'{"op": "ping"}\n') == {"ok": True}
+    finally:
+        service._stop.set()
+        service._server.close()
 
 
 @pytest.mark.slow
