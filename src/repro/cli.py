@@ -132,6 +132,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "real worker processes with live SIGKILL injection")
     p.add_argument("--nodes", type=int, default=4)
     p.add_argument("--jobs", type=int, default=3)
+    p.add_argument("--dag", default=None, metavar="SHAPE",
+                   help='DAG shape instead of a linear chain: "diamond", '
+                        '"fanin:K", "fanout:K", "tree:DEPTH", '
+                        '"cube:DIMS" (the cuboid lattice), or "linear"; '
+                        "the shape sets the job count (--jobs is "
+                        "ignored)")
     p.add_argument("--partitions", type=int, default=4)
     p.add_argument("--records", type=int, default=64,
                    help="chain input records per node")
@@ -270,6 +276,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tenant", default="default",
                    help="tenant name (drives fair-share admission)")
     p.add_argument("--jobs", type=int, default=3)
+    p.add_argument("--dag", default=None, metavar="SHAPE",
+                   help='DAG shape instead of a linear chain: "diamond", '
+                        '"fanin:K", "fanout:K", "tree:DEPTH", '
+                        '"cube:DIMS", or "linear"; the shape sets the '
+                        "job count (--jobs is ignored)")
     p.add_argument("--partitions", type=int, default=4)
     p.add_argument("--records", type=int, default=64,
                    help="chain input records per node")
@@ -442,7 +453,7 @@ def _exec_inproc(args, chain, model, tracer):
     from repro.localexec.recovery import recompute_job
     from repro.obs import NULL_TRACER
     from repro.runtime import RunReport, chain_checksum
-    from repro.runtime.recovery import cascade_start
+    from repro.runtime.recovery import cascade_jobs
 
     if args.strategy != "rcmp":
         raise SystemExit("rcmp-repro: the inproc backend recovers with "
@@ -486,12 +497,13 @@ def _exec_inproc(args, chain, model, tracer):
         job_times.append((job, kind, time.monotonic() - t0))
 
     def recover_damage():
-        nxt = cluster.completed_jobs + 1
-        start = cascade_start(
-            nxt, (j for j, d in cluster.damage.items() if any(d.values())))
-        for j in range(start, nxt):
-            if any(cluster.damage.get(j, {}).values()):
-                timed(j, "recompute", lambda j=j: recompute_job(cluster, j))
+        # the cascade is a cut over the dependency graph (ascending is
+        # topological, so damaged parents recompute before consumers)
+        cascade = cascade_jobs(
+            cluster.graph, cluster.done_jobs,
+            (j for j, d in cluster.damage.items() if any(d.values())))
+        for j in cascade:
+            timed(j, "recompute", lambda j=j: recompute_job(cluster, j))
 
     span = tracer.span("chain", f"chain-x{chain.n_jobs}",
                        nodes=args.nodes, strategy="rcmp")
@@ -567,16 +579,27 @@ def _cmd_serve(args) -> int:
 
 def _cmd_submit(args) -> int:
     from repro.runtime.service import request
+    from repro.workloads import shape_dependencies
 
+    try:
+        dependencies = (shape_dependencies(args.dag)
+                        if args.dag else None)
+    except ValueError as exc:
+        raise SystemExit(f"rcmp-repro: {exc}")
+    n_jobs = (len(dependencies) if dependencies is not None
+              else args.jobs)
     payload = {
         "op": "submit",
         "tenant": args.tenant,
-        "chain": {"n_jobs": args.jobs, "n_partitions": args.partitions,
+        "chain": {"n_jobs": n_jobs, "n_partitions": args.partitions,
                   "records_per_node": args.records,
                   "records_per_block": args.block,
                   "value_size": args.value_size, "seed": args.seed},
         "overrides": {"strategy": args.strategy},
     }
+    if dependencies is not None:
+        payload["chain"]["dependencies"] = [list(d)
+                                            for d in dependencies]
     if args.speculation:
         payload["overrides"]["speculation"] = True
     if args.pre_replicate:
@@ -644,15 +667,21 @@ def _cmd_status(args) -> int:
 
 def _cmd_exec(args) -> int:
     from repro.localexec import LocalJobConfig
+    from repro.workloads import shape_dependencies
 
     try:
-        chain = LocalJobConfig(n_jobs=args.jobs,
+        dependencies = (shape_dependencies(args.dag)
+                        if args.dag else None)
+        n_jobs = (len(dependencies) if dependencies is not None
+                  else args.jobs)
+        chain = LocalJobConfig(n_jobs=n_jobs,
                                n_partitions=args.partitions,
                                records_per_node=args.records,
                                records_per_block=args.block,
                                value_size=args.value_size,
                                split_ratio=args.split_ratio,
-                               seed=args.seed)
+                               seed=args.seed,
+                               dependencies=dependencies)
     except ValueError as exc:
         raise SystemExit(f"rcmp-repro: {exc}")
     model = _exec_fault_model(args)

@@ -22,10 +22,11 @@ from repro.localexec.records import (
     reduce_udf,
     split_of,
 )
-from repro.runtime.recovery import STRIDE  # shared hierarchical id scheme
+# shared hierarchical id scheme
+from repro.runtime.recovery import PARENT_STRIDE, STRIDE, JobGraph
 
-__all__ = ["STRIDE", "LocalCluster", "LocalJobConfig", "MapOutputData",
-           "PieceData"]
+__all__ = ["PARENT_STRIDE", "STRIDE", "JobGraph", "LocalCluster",
+           "LocalJobConfig", "MapOutputData", "PieceData"]
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,10 @@ class LocalJobConfig:
     #: (``survivors - 1``, matching ``Strategy.effective_split``)
     split_ratio: Optional[int] = 1
     seed: int = 0
+    #: per-job upstream tuples (1-based; () = computation input);
+    #: ``None`` is the paper's linear chain.  Validated at construction:
+    #: a malformed DAG raises ``ValueError`` before anything executes.
+    dependencies: Optional[tuple[tuple[int, ...], ...]] = None
 
     def __post_init__(self) -> None:
         if min(self.n_jobs, self.n_partitions, self.records_per_node,
@@ -48,6 +53,18 @@ class LocalJobConfig:
             raise ValueError("all config values must be >= 1")
         if self.split_ratio is not None and self.split_ratio < 1:
             raise ValueError("split_ratio must be >= 1 (or None for auto)")
+        if self.dependencies is not None:
+            # normalize JSON-decoded lists into hashable tuples, then
+            # let JobGraph reject malformed edges with a ValueError
+            object.__setattr__(
+                self, "dependencies",
+                tuple(tuple(int(d) for d in deps)
+                      for deps in self.dependencies))
+        self.graph()
+
+    def graph(self) -> JobGraph:
+        """The dependency DAG (linear when ``dependencies`` is None)."""
+        return JobGraph.from_dependencies(self.n_jobs, self.dependencies)
 
 
 @dataclass
@@ -105,6 +122,8 @@ class LocalCluster:
         self.map_outputs: dict[tuple[int, int], MapOutputData] = {}
         #: job -> partition -> list of lost piece signatures
         self.damage: dict[int, dict[int, list[tuple[int, int]]]] = {}
+        self.graph = config.graph()
+        self.done_jobs: set[int] = set()
         self.completed_jobs = 0
         self._input = self._make_input()
 
@@ -125,27 +144,36 @@ class LocalCluster:
         return blocks
 
     def input_blocks(self, job: int) -> list[_Block]:
-        """The map-side input blocks of ``job`` under the current layout."""
-        if job == 1:
+        """The map-side input blocks of ``job`` under the current layout.
+
+        A job with upstream dependencies maps over the union of its
+        parents' outputs; task ids are hierarchical — parent position,
+        then upstream partition, then block ordinal — so parent position
+        0 (every linear-chain job) keeps today's ids byte-for-byte."""
+        parents = self.graph.parents(job)
+        if not parents:
             return list(self._input)
-        upstream = self.pieces.get(job - 1)
-        if upstream is None:
-            raise RuntimeError(f"job {job - 1} has not produced output")
-        if self.damage.get(job - 1):
-            raise RuntimeError(
-                f"job {job - 1} output is damaged; recompute it first")
         cfg = self.config
         blocks: list[_Block] = []
-        for partition in sorted(upstream):
-            ordinal = 0
-            for piece in upstream[partition]:
-                recs = piece.records
-                for i in range(0, max(len(recs), 1), cfg.records_per_block):
-                    blocks.append(_Block(
-                        partition * STRIDE + ordinal, piece.node,
-                        recs[i:i + cfg.records_per_block],
-                        (job - 1, partition)))
-                    ordinal += 1
+        for pos, parent in enumerate(parents):
+            upstream = self.pieces.get(parent)
+            if upstream is None:
+                raise RuntimeError(f"job {parent} has not produced output")
+            if any(self.damage.get(parent, {}).values()):
+                raise RuntimeError(
+                    f"job {parent} output is damaged; recompute it first")
+            for partition in sorted(upstream):
+                ordinal = 0
+                for piece in upstream[partition]:
+                    recs = piece.records
+                    for i in range(0, max(len(recs), 1),
+                                   cfg.records_per_block):
+                        blocks.append(_Block(
+                            pos * PARENT_STRIDE + partition * STRIDE
+                            + ordinal, piece.node,
+                            recs[i:i + cfg.records_per_block],
+                            (parent, partition)))
+                        ordinal += 1
         return blocks
 
     # ------------------------------------------------------------ execution
@@ -195,9 +223,12 @@ class LocalCluster:
         for partition in range(self.config.n_partitions):
             node = alive[partition % len(alive)]
             self.run_reduce(job, partition, node)
+        self.done_jobs.add(job)
         self.completed_jobs = max(self.completed_jobs, job)
 
     def run_chain(self) -> None:
+        # ascending index order is always a valid topological order:
+        # every dependency references an earlier job
         for job in range(1, self.config.n_jobs + 1):
             self.run_job(job)
 
@@ -222,16 +253,20 @@ class LocalCluster:
 
     # -------------------------------------------------------------- queries
     def final_output(self) -> dict[int, list[Record]]:
-        """Partition -> sorted records of the last job's output."""
-        last = self.pieces.get(self.config.n_jobs)
-        if last is None:
-            raise RuntimeError("chain has not completed")
+        """Partition -> sorted records of the computation's output: the
+        union over sink jobs, keyed ``sink_pos * STRIDE + partition`` so
+        a single-sink chain keeps plain partition keys (and checksums)
+        unchanged."""
         out = {}
-        for partition, plist in last.items():
-            records: list[Record] = []
-            for piece in plist:
-                records.extend(piece.records)
-            out[partition] = sorted(records)
+        for pos, sink in enumerate(sorted(self.graph.sinks())):
+            last = self.pieces.get(sink)
+            if last is None:
+                raise RuntimeError(f"sink job {sink} has not completed")
+            for partition, plist in last.items():
+                records: list[Record] = []
+                for piece in plist:
+                    records.extend(piece.records)
+                out[pos * STRIDE + partition] = sorted(records)
         return out
 
     def partition_coverage_ok(self, job: int) -> bool:

@@ -33,11 +33,15 @@ cheap and cycle-free.
 """
 
 from repro.runtime.recovery import (
+    JobGraph,
     JobRecoveryPlan,
     ReduceSpec,
+    adoptable_closure,
+    cascade_jobs,
     cascade_start,
     consumer_invalidations,
     effective_split_ratio,
+    hybrid_reclaimable,
     plan_job_recovery,
 )
 
@@ -46,6 +50,7 @@ __all__ = [
     "ChainRun",
     "ChainService",
     "Coordinator",
+    "JobGraph",
     "JobRecoveryPlan",
     "MTBFKills",
     "PeerPool",
@@ -54,11 +59,14 @@ __all__ = [
     "RuntimeConfig",
     "ShuffleServer",
     "WorkerPool",
+    "adoptable_closure",
+    "cascade_jobs",
     "cascade_start",
     "chain_checksum",
     "chain_fingerprints",
     "consumer_invalidations",
     "effective_split_ratio",
+    "hybrid_reclaimable",
     "plan_job_recovery",
 ]
 

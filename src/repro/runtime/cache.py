@@ -10,8 +10,9 @@ position.  So:
 * :func:`chain_fingerprints` assigns each job output a
   :class:`LineageFingerprint` — a canonical hash chaining the input
   identity (seed, records_per_node, value_size, node/partition layout)
-  through the UDF identity of every job up to that position.  Two
-  submissions that share a prefix of work share a prefix of
+  through the UDF identity and the *dependency structure*: each job
+  hashes the sorted fingerprints of its actual parents, linear or DAG.
+  Two submissions that share an upstream subgraph of work share its
   fingerprints, regardless of chain length, strategy, or blocking knobs
   (reduce output per partition is invariant to ``records_per_block``
   and ``split_ratio``, so those deliberately stay out of the hash).
@@ -19,8 +20,9 @@ position.  So:
   fingerprints have surviving on-disk pieces, where, and how large —
   JSON state reloaded and re-verified against the disk on service
   restart.  Admission happens when a chain completes; adoption walks a
-  new chain's fingerprint frontier and hands the longest
-  resident-and-intact cached prefix to
+  new chain's fingerprint frontier and hands the largest
+  resident-and-intact dependency-closed cached subgraph (the classic
+  longest prefix on a linear chain) to
   :meth:`~repro.runtime.coordinator.ChainRun.adopt_prefix`.
 * Eviction is LRU over a byte budget.  It never unlinks a piece a
   running chain adopted (adoption *pins* entries until the chain
@@ -40,6 +42,7 @@ from __future__ import annotations
 import hashlib
 import inspect
 import json
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
@@ -48,8 +51,10 @@ from typing import Iterable, Optional
 
 from repro.localexec import records as _records_mod
 from repro.localexec.engine import LocalJobConfig
-from repro.runtime.recovery import adoptable_prefix
+from repro.runtime.recovery import JobGraph, adoptable_closure
 from repro.runtime.storage import NodeStore
+
+_LOG = logging.getLogger(__name__)
 
 #: hex digest naming one job output's lineage position (see
 #: :func:`chain_fingerprints`)
@@ -78,12 +83,17 @@ def chain_fingerprints(chain: LocalJobConfig,
     """Per-job lineage fingerprints for a chain, jobs ``1..n_jobs``.
 
     ``fp[j]`` hashes the chain input identity, the UDF identity, and
-    ``fp[j-1]`` — so equal prefixes of different chains produce equal
-    fingerprint prefixes, and any change to input, code, or position
-    changes everything downstream.  ``records_per_block`` and
-    ``split_ratio`` are deliberately excluded: a partition's reduce
-    output is invariant to block boundaries and piece splits, and
-    hashing them would only manufacture misses."""
+    the fingerprints of the job's *actual* dependencies — the sorted
+    set of parent fingerprints, so the dependency structure is part of
+    every hash (job 3 of a diamond, reading job 1, can never collide
+    with job 3 of a linear chain, reading job 2) while two DAG shapes
+    that feed a job the same upstream outputs still share its
+    fingerprint.  On a linear chain this degenerates to chaining
+    ``fp[j-1]``, byte-identical to the historical scheme, so existing
+    cache state stays valid.  ``records_per_block`` and ``split_ratio``
+    are deliberately excluded: a partition's reduce output is invariant
+    to block boundaries and piece splits, and hashing them would only
+    manufacture misses."""
     identity = json.dumps({
         "seed": chain.seed,
         "records_per_node": chain.records_per_node,
@@ -92,12 +102,21 @@ def chain_fingerprints(chain: LocalJobConfig,
         "n_partitions": chain.n_partitions,
         "udf": udf_identity(),
     }, sort_keys=True).encode()
+    graph = chain.graph()
+    input_fp = hashlib.md5(b"chain-input:" + identity).hexdigest()
     fps: list[LineageFingerprint] = []
-    parent = hashlib.md5(b"chain-input:" + identity).hexdigest()
     for job in range(1, chain.n_jobs + 1):
-        parent = hashlib.md5(
-            f"job:{job}:{parent}".encode()).hexdigest()
-        fps.append(parent)
+        parents = graph.parents(job)
+        if not parents:
+            digest = input_fp
+        elif len(parents) == 1:
+            digest = fps[parents[0] - 1]
+        else:
+            # sorted: a job's output is the reduce over the *union* of
+            # its parents' records, invariant to parent order
+            digest = "+".join(sorted(fps[p - 1] for p in parents))
+        fps.append(hashlib.md5(f"job:{job}:{digest}".encode())
+                   .hexdigest())
     return fps
 
 
@@ -200,6 +219,9 @@ class CacheRegistry:
         self.misses = 0
         self.evictions = 0
         self.invalidated = 0
+        #: entries dropped by restart rescans because their files were
+        #: gone or truncated (a subset of ``invalidated``)
+        self.rescan_invalidated = 0
         self._pins: dict[LineageFingerprint, set[str]] = {}
         self._doomed: dict[LineageFingerprint, CacheEntry] = {}
         self._lock = threading.RLock()
@@ -214,23 +236,44 @@ class CacheRegistry:
             self.entries.clear()
             try:
                 state = json.loads(self.path.read_text())
-            except (OSError, ValueError):
+            except OSError:
+                if self.path.exists():
+                    _LOG.warning("cache registry %s unreadable; "
+                                 "starting empty", self.path)
+                return 0
+            except ValueError:
+                _LOG.warning("cache registry %s is corrupt; "
+                             "starting empty", self.path)
                 return 0
             counters = state.get("counters", {})
             self.hits = int(counters.get("hits", 0))
             self.misses = int(counters.get("misses", 0))
             self.evictions = int(counters.get("evictions", 0))
             self.invalidated = int(counters.get("invalidated", 0))
+            self.rescan_invalidated = int(
+                counters.get("rescan_invalidated", 0))
+            dropped = 0
             for row in state.get("entries", []):
                 try:
                     entry = CacheEntry.from_json(row)
                 except (KeyError, TypeError, ValueError):
+                    dropped += 1
                     continue
                 if self._intact(entry):
                     self.entries[entry.fingerprint] = entry
                 else:
                     self._unlink_entry(entry)
-                    self.invalidated += 1
+                    dropped += 1
+            if dropped:
+                # files vanishing between runs is survivable (the chain
+                # just recomputes) but worth an operator's attention —
+                # it usually means something else writes to the workdir
+                self.invalidated += dropped
+                self.rescan_invalidated += dropped
+                _LOG.warning(
+                    "cache rescan dropped %d of %d persisted entries "
+                    "(files missing, truncated, or rows corrupt)",
+                    dropped, len(state.get("entries", [])))
             self._save_locked()
             return len(self.entries)
 
@@ -239,7 +282,8 @@ class CacheRegistry:
             "version": _FORMAT_VERSION,
             "counters": {"hits": self.hits, "misses": self.misses,
                          "evictions": self.evictions,
-                         "invalidated": self.invalidated},
+                         "invalidated": self.invalidated,
+                         "rescan_invalidated": self.rescan_invalidated},
             "entries": [e.to_json() for e in
                         sorted(self.entries.values(),
                                key=lambda e: e.fingerprint)],
@@ -266,14 +310,22 @@ class CacheRegistry:
     def _unlink_entry(self, entry: CacheEntry,
                       skip_node: Optional[int] = None) -> None:
         """Delete an entry's backing files (best-effort) and prune the
-        directories they leave empty, up to the chain namespace dir."""
+        directories they leave empty, up to (and including) the piece's
+        chain namespace dir.  The prune boundary is derived from the
+        store layout — a fixed parent count silently walked past the
+        namespace root whenever the layout put the piece at a different
+        depth (e.g. an un-namespaced piece), deleting node state that
+        was never the cache's to manage."""
         for piece in entry.pieces:
             if piece.node == skip_node:
                 continue
-            path = self._piece_path(entry, piece)
+            store = NodeStore(self.root, piece.node, chain=piece.chain)
+            path = store.piece_path(entry.job, piece.partition,
+                                    piece.split_index, piece.n_splits)
             path.unlink(missing_ok=True)
-            # part dir -> reduce/jobN -> reduce -> chains/<id>
-            for parent in list(path.parents)[:4]:
+            for parent in path.parents:
+                if not parent.is_relative_to(store.dir):
+                    break  # never prune above the namespace root
                 try:
                     parent.rmdir()
                 except OSError:
@@ -281,15 +333,23 @@ class CacheRegistry:
 
     # -- adoption -------------------------------------------------------
     def adopt(self, fingerprints: list[LineageFingerprint],
-              chain_id: str) -> list[CacheEntry]:
-        """The longest resident-and-intact cached prefix of a chain's
-        fingerprint frontier, pinned to ``chain_id``.
+              chain_id: str,
+              graph: Optional[JobGraph] = None) -> list[CacheEntry]:
+        """The largest resident-and-intact *dependency-closed* cached
+        subgraph of a chain's fingerprint frontier, pinned to
+        ``chain_id``.
 
-        Each candidate entry is stat-verified against the disk right
-        here — an entry whose files were lost out-of-band is
-        invalidated and truncates the prefix (adoption is contiguous
-        from job 1, see :func:`adoptable_prefix`).  Counts one hit per
-        adopted job and one miss per job the chain must execute."""
+        ``graph`` is the chain's dependency DAG (linear when omitted).
+        A job is adoptable only if every job it depends on is adoptable
+        too (:func:`adoptable_closure`) — on a linear chain that is the
+        classic longest contiguous prefix, on a DAG it may skip a lost
+        sibling branch while keeping the rest.  Each candidate entry is
+        stat-verified against the disk right here — an entry whose
+        files were lost out-of-band is invalidated and drops out of the
+        closure.  Counts one hit per adopted job and one miss per job
+        the chain must execute."""
+        if graph is None:
+            graph = JobGraph.linear(len(fingerprints))
         with self._lock:
             resident: dict[int, CacheEntry] = {}
             for job, fp in enumerate(fingerprints, start=1):
@@ -300,10 +360,14 @@ class CacheRegistry:
                     self._unlink_entry(entry)
                     del self.entries[fp]
                     self.invalidated += 1
+                    _LOG.warning(
+                        "cache entry for job %d (fp %.12s) lost its "
+                        "files out-of-band; invalidated at adoption",
+                        job, fp)
                     continue
                 resident[job] = entry
-            prefix = adoptable_prefix(resident)
-            adopted = [resident[job] for job in range(1, prefix + 1)]
+            adopted = [resident[job]
+                       for job in adoptable_closure(resident, graph)]
             now = self._clock()
             for entry in adopted:
                 entry.last_used = now
@@ -457,6 +521,7 @@ class CacheRegistry:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidated": self.invalidated,
+                "rescan_invalidated": self.rescan_invalidated,
                 "entries": len(self.entries),
                 "bytes": self.total_bytes,
                 "budget_bytes": self.budget_bytes,

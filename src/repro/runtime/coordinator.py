@@ -32,12 +32,14 @@ Failure path (the paper's protocol, §IV, run for real):
    straggler results from before the death are discarded on arrival;
 4. the registry files the damage inventory and the shared planner
    (:mod:`repro.runtime.recovery`, also used by ``localexec``) computes
-   the recomputation cascade from surviving on-disk outputs;
-5. damaged jobs are recomputed ascending: only lost mappers re-execute,
+   the recomputation cascade as a cut over the chain's dependency graph
+   from surviving on-disk outputs;
+5. damaged jobs are recomputed in topological levels — independent DAG
+   branches as one combined dispatch wave: only lost mappers re-execute,
    lost whole partitions are split ``k`` ways over surviving workers
    (``k`` capped at the surviving-node count), and the Fig. 5 guard drops
-   downstream map outputs derived from split partitions before the next
-   job re-runs.
+   every consumer's map outputs derived from split partitions before the
+   next level re-runs.
 
 Recomputed reducer pieces are buffered and committed into the registry
 atomically per job plan, so a second death mid-recovery restarts that
@@ -85,8 +87,11 @@ from repro.localexec.records import Record
 from repro.obs import NULL_TRACER, Tracer
 from repro.runtime.faults import LiveFaultPlan
 from repro.runtime.recovery import (
-    cascade_start,
+    STRIDE,
+    JobGraph,
+    cascade_jobs,
     consumer_invalidations,
+    hybrid_reclaimable,
     plan_job_recovery,
     pre_replication_targets,
 )
@@ -289,12 +294,22 @@ class RuntimeConfig:
         OPTIMISTIC baselines never run a recomputation cascade."""
         return self.strategy in ("rcmp", "hybrid")
 
+    @property
+    def graph(self) -> JobGraph:
+        """The chain's dependency DAG (linear when ``dependencies`` is
+        unset), cached — it is consulted per dispatched task."""
+        cached = self.__dict__.get("_graph")
+        if cached is None:
+            cached = self.chain.graph()
+            object.__setattr__(self, "_graph", cached)
+        return cached
+
     def is_anchor(self, job: int) -> bool:
         """Hybrid replication point (§IV-C) — every ``hybrid_interval``-th
-        job except the last (whose output is the final result)."""
+        job except sinks (whose output is part of the final result)."""
         return (self.strategy == "hybrid"
                 and job % self.hybrid_interval == 0
-                and job < self.chain.n_jobs)
+                and bool(self.graph.consumers(job)))
 
     def replication_for(self, job: int) -> int:
         """Copies ``job``'s committed output must hold on distinct nodes."""
@@ -808,7 +823,10 @@ class ChainRun:
         self.map_assignment = map_assignment or (lambda j, t, node: node)
         self.fault_plan = fault_plan
         self.registry = ClusterRegistry()
-        self.completed_jobs = 0
+        self.graph = config.graph
+        #: committed jobs — a *set*, not a high-water mark: independent
+        #: DAG branches complete out of index order
+        self.done_jobs: set[int] = set()
         #: jobs skipped at start via cross-run cache adoption
         self.adopted_jobs = 0
         self.deaths: list[tuple[float, int]] = []
@@ -827,6 +845,20 @@ class ChainRun:
         self._spec_warned = False
         self._pending_deaths: deque[int] = deque()
         self._inbox: Optional[queue.Queue] = None
+
+    @property
+    def completed_jobs(self) -> int:
+        """Length of the contiguous completed prefix — the linear-chain
+        view of :attr:`done_jobs`, kept for callers (benches, service
+        wire shape) that report chain progress as a single number."""
+        done = 0
+        while done + 1 in self.done_jobs:
+            done += 1
+        return done
+
+    @completed_jobs.setter
+    def completed_jobs(self, value: int) -> None:
+        self.done_jobs = set(range(1, value + 1))
 
     # --------------------------------------------------------- event intake
     def attach_inbox(self) -> queue.Queue:
@@ -863,20 +895,22 @@ class ChainRun:
 
     # ------------------------------------------------------- cache adoption
     def adopt_prefix(self, entries) -> int:
-        """Adopt a cached job prefix (cross-run result cache): register
-        every cached piece of jobs ``1..len(entries)`` in this chain's
-        registry and mark those jobs complete, so execution starts at
-        the first uncached job.
+        """Adopt cached jobs (cross-run result cache): register every
+        cached piece in this chain's registry and mark those jobs
+        complete, so execution starts at the first uncached job.
 
-        ``entries`` are :class:`~repro.runtime.cache.CacheEntry` rows in
-        ascending, contiguous job order.  Adopted pieces keep their
-        physical namespace (``piece.chain``) — the shuffle path serves
-        them across namespaces — and are single-holder by construction:
-        if one dies, :meth:`~ClusterRegistry.record_death` files it as
-        plain damage and the normal RCMP cascade recomputes it (through
-        adopted upstream or from regenerated chain input).  Must run
-        before any job executes."""
-        if self.completed_jobs or self.registry.pieces:
+        ``entries`` are :class:`~repro.runtime.cache.CacheEntry` rows
+        forming a dependency-closed subgraph (every parent of an adopted
+        job is adopted too — :func:`adoptable_closure`); on a linear
+        chain that is the classic contiguous prefix.  Adopted pieces
+        keep their physical namespace (``piece.chain``) — the shuffle
+        path serves them across namespaces — and are single-holder by
+        construction: if one dies,
+        :meth:`~ClusterRegistry.record_death` files it as plain damage
+        and the normal RCMP cascade recomputes it (through adopted
+        upstream or from regenerated chain input).  Must run before any
+        job executes."""
+        if self.done_jobs or self.registry.pieces:
             raise RuntimeError("prefix adoption must precede execution")
         for entry in entries:
             for piece in entry.pieces:
@@ -885,8 +919,8 @@ class ChainRun:
                     piece.n_splits, piece.node, piece.n_records,
                     chain=piece.chain))
             self.job_times.append((entry.job, "cached", 0.0))
-        self.completed_jobs = len(entries)
-        self.adopted_jobs = len(entries)
+            self.done_jobs.add(entry.job)
+        self.adopted_jobs = len(self.done_jobs)
         if entries:
             self.tracer.instant("chain", "cache-adopt",
                                 jobs=self.adopted_jobs,
@@ -903,7 +937,7 @@ class ChainRun:
                                 chain_id=self.chain_id)
         outcome = "ok"
         try:
-            while (self.completed_jobs < chain.n_jobs
+            while (len(self.done_jobs) < chain.n_jobs
                    or self._cascade_jobs()
                    or self._under_replicated()):
                 try:
@@ -913,7 +947,9 @@ class ChainRun:
                     elif self._under_replicated():
                         self._re_replicate()
                     else:
-                        self._run_job(self.completed_jobs + 1)
+                        # the wave of every dependency-ready job: one
+                        # job on a linear chain, whole levels of a DAG
+                        self._run_wave(self.graph.ready(self.done_jobs))
                 except NodeDeath as death:
                     self._handle_death(death.node)
         except BaseException:
@@ -945,50 +981,78 @@ class ChainRun:
         self.deaths.append((self.pool.now(), node))
         if not self.pool.alive:
             raise RuntimeError("no surviving workers; chain unrecoverable")
-        self.registry.record_death(node, self.completed_jobs)
+        self.registry.record_death(node, self.done_jobs)
         self.hooks("death", node=node)
 
     def _run_job(self, job: int, kind: str = "run") -> None:
         """Run one job, reusing whatever committed outputs survive."""
+        self._run_wave([job], kind=kind)
+
+    def _run_wave(self, jobs: list[int], kind: str = "run") -> None:
+        """Run a wave of dependency-ready jobs, reusing whatever
+        committed outputs survive.  The wave's map tasks dispatch as one
+        batch and its reduce tasks as another, so independent DAG
+        branches genuinely overlap across workers; a single-job wave is
+        byte-for-byte the classic linear job loop (same phase names,
+        same dispatch order)."""
         chain = self.config.chain
+        jobs = sorted(jobs)
+        label = "+".join(map(str, jobs))
         t_start = time.monotonic()
-        span = self.tracer.span("job", f"job-{job}", job=job, kind=kind)
+        spans = {job: self.tracer.span("job", f"job-{job}", job=job,
+                                       kind=kind) for job in jobs}
         outcome = "cancelled"
         try:
-            self.hooks("job-start", job=job, kind=kind)
-            if self.fault_plan and kind == "run":
-                self.fault_plan.arm_job_start(job, time.monotonic())
-            blocks = self._blocks_for(job)
-            todo = [b for b in blocks
-                    if (job, b.task_id) not in self.registry.map_outputs]
-            self._run_tasks(self._map_commands(job, todo), phase=f"map-{job}")
-            self.hooks("maps-done", job=job)
+            for job in jobs:
+                self.hooks("job-start", job=job, kind=kind)
+                if self.fault_plan and kind == "run":
+                    self.fault_plan.arm_job_start(job, time.monotonic())
+            map_cmds = {}
+            for job in jobs:
+                blocks = self._blocks_for(job)
+                todo = [b for b in blocks
+                        if (job, b.task_id)
+                        not in self.registry.map_outputs]
+                map_cmds.update(self._map_commands(job, todo))
+            self._run_tasks(map_cmds, phase=f"map-{label}")
+            for job in jobs:
+                self.hooks("maps-done", job=job)
 
-            sources = self._sources(job)
             alive = sorted(self.pool.alive)
             cmds = {}
-            for partition in range(chain.n_partitions):
-                if self.registry.covered(job, partition):
-                    continue
-                node = alive[partition % len(alive)]
-                cmds[("reduce", job, partition, 0, 1)] = (
-                    node, self._reduce_command(job, partition, 0, 1,
-                                               sources))
-            self._run_tasks(
-                cmds, phase=f"reduce-{job}",
-                after_send=lambda: self.hooks("reduce-dispatch", job=job))
-            if self.config.replication_for(job) > 1:
-                self._replicate_job_output(job)
-                if self.config.is_anchor(job) and self.config.hybrid_reclaim:
-                    self._reclaim_behind(job)
+            for job in jobs:
+                sources = self._sources(job)
+                for partition in range(chain.n_partitions):
+                    if self.registry.covered(job, partition):
+                        continue
+                    node = alive[partition % len(alive)]
+                    cmds[("reduce", job, partition, 0, 1)] = (
+                        node, self._reduce_command(job, partition, 0, 1,
+                                                   sources))
+
+            def dispatched() -> None:
+                for job in jobs:
+                    self.hooks("reduce-dispatch", job=job)
+
+            self._run_tasks(cmds, phase=f"reduce-{label}",
+                            after_send=dispatched)
+            for job in jobs:
+                if self.config.replication_for(job) > 1:
+                    self._replicate_job_output(job)
+                    if self.config.is_anchor(job) \
+                            and self.config.hybrid_reclaim:
+                        self._reclaim_behind(job)
             if self.config.pre_replicate:
                 self._pre_replicate_suspected()
             outcome = "ok"
         finally:
-            span.end(outcome=outcome)
-        self.completed_jobs = max(self.completed_jobs, job)
-        self.job_times.append((job, kind, time.monotonic() - t_start))
-        self.hooks("job-commit", job=job, kind=kind)
+            for span in spans.values():
+                span.end(outcome=outcome)
+        wall = (time.monotonic() - t_start) / len(jobs)
+        for job in jobs:
+            self.done_jobs.add(job)
+            self.job_times.append((job, kind, wall))
+            self.hooks("job-commit", job=job, kind=kind)
 
     # ---------------------------------------------------------- replication
     def _replica_commands(self, entries) -> dict:
@@ -1061,19 +1125,25 @@ class ChainRun:
 
     def _reclaim_behind(self, anchor: int) -> None:
         """Hybrid reclamation (§IV-C): with ``anchor``'s output safely
-        replicated, delete the persisted map outputs of jobs < anchor
-        and the reducer pieces of jobs < anchor - 1 with real unlinks
-        (``PersistedStore.reclaim_jobs`` semantics).  Files at or after
-        the anchor are never touched — they are the recovery floor."""
-        if anchor < 2:
+        replicated, delete with real unlinks the persisted map outputs
+        of jobs every consumer of which is shielded behind an intact
+        anchor, and the reducer pieces of jobs no unshielded anchor
+        still reduces from (``hybrid_reclaimable`` — the graph cut that
+        reduces to ``map < anchor, piece < anchor - 1`` on a linear
+        chain).  Files a live recovery could still read are never
+        touched — they are the recovery floor."""
+        map_jobs, piece_jobs = hybrid_reclaimable(
+            self.graph, self.done_jobs | {anchor},
+            self._intact_anchors())
+        if not map_jobs:
             return
-        map_upto, piece_upto = anchor - 1, anchor - 2
-        self.registry.reclaim_through(map_upto, piece_upto)
+        self.registry.reclaim_job_sets(map_jobs, piece_jobs)
         cmds = {}
         for node in sorted(self.pool.alive):
             cmds[("reclaim", anchor, node)] = (node, {
                 "op": "reclaim", "anchor": anchor,
-                "map_upto": map_upto, "piece_upto": piece_upto})
+                "map_jobs": sorted(map_jobs),
+                "piece_jobs": sorted(piece_jobs)})
         freed_box = [0]
         self._run_tasks(cmds, phase=f"reclaim-{anchor}",
                         on_freed=lambda n: freed_box.__setitem__(
@@ -1103,11 +1173,12 @@ class ChainRun:
         the jobs in between and re-join it to a contiguous run — but it
         must not drive the run loop or a recovery pass, or the chain
         would spin recovering nothing.  An intact hybrid anchor bounds
-        the cascade from below the same way (§IV-C)."""
-        start = cascade_start(self.completed_jobs + 1,
-                              self.registry.damaged_jobs(),
-                              intact_anchors=self._intact_anchors())
-        return [j for j in self.registry.damaged_jobs() if j >= start]
+        the cascade the same way (§IV-C).  The cut runs over the real
+        dependency edges: a damaged job joins only when a sink, an
+        undone consumer, or a cascading consumer still needs it."""
+        return cascade_jobs(self.graph, self.done_jobs,
+                            self.registry.damaged_jobs(),
+                            intact_anchors=self._intact_anchors())
 
     def _recover(self) -> None:
         jobs = self._cascade_jobs()
@@ -1122,111 +1193,139 @@ class ChainRun:
                                 strategy=self.config.strategy)
         outcome = "interrupted"
         try:
-            for job in jobs:
+            # topological levels: jobs inside a level are independent
+            # and recompute as one combined wave (parallel branches);
+            # each level sees its in-cascade parents already repaired
+            for level in self.graph.topo_levels(jobs):
                 if self.config.strategy == "optimistic":
-                    self._rerun_job(job)
+                    self._rerun_jobs(level)
                 else:
-                    self._recompute_job(job)
+                    self._recompute_jobs(level)
             outcome = "ok"
         finally:
             span.end(outcome=outcome)
 
-    def _rerun_job(self, job: int) -> None:
-        """OPTIMISTIC recovery: re-execute the whole damaged job."""
+    def _rerun_jobs(self, jobs: list[int]) -> None:
+        """OPTIMISTIC recovery: re-execute whole damaged jobs (one
+        independent level per call)."""
         chain = self.config.chain
-        self.tracer.instant("cascade", "rerun-job", job=job)
-        self.registry.drop_job(job)
-        # keep the job filed as damaged until the rerun commits: if a
-        # second death interrupts it, the next recovery pass must still
-        # see this (now fully dropped) job as needing re-execution
-        self.registry.damage[job] = {p: [(0, 1)]
-                                     for p in range(chain.n_partitions)}
-        self._sweep_job_files(job)
-        self._run_job(job, kind="rerun")
-        self.registry.damage[job] = {}
+        for job in jobs:
+            self.tracer.instant("cascade", "rerun-job", job=job)
+            self.registry.drop_job(job)
+            # keep the job filed as damaged until the rerun commits: if
+            # a second death interrupts it, the next recovery pass must
+            # still see this (now fully dropped) job as needing
+            # re-execution
+            self.registry.damage[job] = {
+                p: [(0, 1)] for p in range(chain.n_partitions)}
+        self._sweep_job_files(jobs)
+        self._run_wave(list(jobs), kind="rerun")
+        for job in jobs:
+            self.registry.damage[job] = {}
 
-    def _sweep_job_files(self, job: int) -> None:
-        """Delete a dropped job's files from every surviving node's disk.
+    def _sweep_job_files(self, jobs: list[int]) -> None:
+        """Delete dropped jobs' files from every surviving node's disk.
         ``drop_job`` forgets the *metadata* only; without the sweep the
         job's map slices and reducer pieces linger as orphans across
         reruns — leaking storage and hiding any accidental stale-path
         read (a rerun may place work on different nodes)."""
         cmds = {}
-        for node in sorted(self.pool.alive):
-            cmds[("drop-job", job, node)] = (
-                node, {"op": "drop-job", "job": job})
-        self._run_tasks(cmds, phase=f"sweep-{job}")
+        for job in jobs:
+            for node in sorted(self.pool.alive):
+                cmds[("drop-job", job, node)] = (
+                    node, {"op": "drop-job", "job": job})
+        self._run_tasks(cmds,
+                        phase=f"sweep-{'+'.join(map(str, jobs))}")
 
-    def _recompute_job(self, job: int) -> None:
-        """RCMP recovery: re-execute exactly what the planner says."""
+    def _recompute_jobs(self, jobs: list[int]) -> None:
+        """RCMP recovery: re-execute exactly what the planner says, for
+        one independent level of the cascade — the levels' map tasks
+        dispatch as one batch and their reduces as another, so damaged
+        sibling branches recompute in parallel."""
         chain = self.config.chain
+        jobs = sorted(jobs)
+        label = "+".join(map(str, jobs))
         t_start = time.monotonic()
-        blocks = self._blocks_for(job)
-        plan = plan_job_recovery(
-            job, self.registry.damage[job],
-            all_map_tasks=[b.task_id for b in blocks],
-            present_map_tasks=[t for (j, t) in self.registry.map_outputs
-                               if j == job],
-            alive=self.pool.alive,
-            split_ratio=chain.split_ratio)
-        self.tracer.instant("cascade", "recompute-plan", job=job,
-                            maps=len(plan.map_tasks),
-                            reduces=len(plan.reduces),
-                            split_partitions=list(plan.split_partitions))
-        span = self.tracer.span("job", f"job-{job}-recompute", job=job,
-                                kind="recompute")
+        plans: dict[int, Any] = {}
+        map_cmds: dict = {}
+        for job in jobs:
+            blocks = self._blocks_for(job)
+            plan = plan_job_recovery(
+                job, self.registry.damage[job],
+                all_map_tasks=[b.task_id for b in blocks],
+                present_map_tasks=[t for (j, t) in
+                                   self.registry.map_outputs if j == job],
+                alive=self.pool.alive,
+                split_ratio=chain.split_ratio)
+            plans[job] = plan
+            self.tracer.instant(
+                "cascade", "recompute-plan", job=job,
+                maps=len(plan.map_tasks), reduces=len(plan.reduces),
+                split_partitions=list(plan.split_partitions))
+            by_task = {b.task_id: b for b in blocks}
+            map_cmds.update(self._map_commands(
+                job, [by_task[t] for t in plan.map_tasks]))
+        spans = {job: self.tracer.span("job", f"job-{job}-recompute",
+                                       job=job, kind="recompute")
+                 for job in jobs}
         outcome = "cancelled"
         try:
-            by_task = {b.task_id: b for b in blocks}
-            self._run_tasks(
-                self._map_commands(job, [by_task[t]
-                                         for t in plan.map_tasks]),
-                phase=f"recompute-map-{job}")
-            sources = self._sources(job)
+            self._run_tasks(map_cmds, phase=f"recompute-map-{label}")
             cmds = {}
-            for spec in plan.reduces:
-                cmds[("reduce", job, spec.partition, spec.split_index,
-                      spec.n_splits)] = (
-                    spec.node,
-                    self._reduce_command(job, spec.partition,
-                                         spec.split_index, spec.n_splits,
-                                         sources))
-            # Buffer piece commits; merge only when the whole plan lands,
-            # so a mid-recovery death restarts from the same inventory.
+            for job in jobs:
+                sources = self._sources(job)
+                for spec in plans[job].reduces:
+                    cmds[("reduce", job, spec.partition, spec.split_index,
+                          spec.n_splits)] = (
+                        spec.node,
+                        self._reduce_command(job, spec.partition,
+                                             spec.split_index,
+                                             spec.n_splits, sources))
+            # Buffer piece commits; merge only when the whole level
+            # lands, so a mid-recovery death restarts from the same
+            # inventory.
             overlay: list[PieceEntry] = []
-            self._run_tasks(cmds, phase=f"recompute-reduce-{job}",
+            self._run_tasks(cmds, phase=f"recompute-reduce-{label}",
                             on_piece=overlay.append)
             for entry in overlay:
                 self.registry.add_piece(entry)
-            self.registry.damage[job] = {}
+            for job in jobs:
+                self.registry.damage[job] = {}
             outcome = "ok"
         finally:
-            span.end(outcome=outcome)
-        self.job_times.append((job, "recompute",
-                               time.monotonic() - t_start))
+            for span in spans.values():
+                span.end(outcome=outcome)
+        wall = (time.monotonic() - t_start) / len(jobs)
+        for job in jobs:
+            self.job_times.append((job, "recompute", wall))
         if self.config.fig5_guard:
-            for partition in plan.split_partitions:
-                self._invalidate_consumers(job, partition)
+            for job in jobs:
+                for partition in plans[job].split_partitions:
+                    self._invalidate_consumers(job, partition)
 
     def _invalidate_consumers(self, job: int, partition: int) -> None:
-        """The Fig. 5 guard on real storage: drop downstream map outputs
-        derived from a split-regenerated partition."""
-        consumer = job + 1
-        doomed = consumer_invalidations(
-            ((t, m.origin) for (j, t), m in
-             self.registry.map_outputs.items() if j == consumer),
-            job, partition)
-        cmds = {}
-        for task_id in doomed:
-            entry = self.registry.drop_map(consumer, task_id)
-            self.tracer.instant("cascade", "invalidate-map", job=consumer,
-                                task=task_id, node=entry.node,
-                                split_source=[job, partition])
-            if entry.node in self.pool.alive:
-                cmds[("drop", consumer, task_id)] = (
-                    entry.node,
-                    {"op": "drop", "job": consumer, "task": task_id})
-        self._run_tasks(cmds, phase=f"invalidate-{consumer}")
+        """The Fig. 5 guard on real storage: drop every consumer's map
+        outputs derived from a split-regenerated partition of ``job``
+        (a DAG partition may feed several consumers, each reading it at
+        its own parent position)."""
+        for consumer in self.graph.consumers(job):
+            doomed = consumer_invalidations(
+                ((t, m.origin) for (j, t), m in
+                 self.registry.map_outputs.items() if j == consumer),
+                job, partition,
+                parent_pos=self.graph.parent_pos(consumer, job))
+            cmds = {}
+            for task_id in doomed:
+                entry = self.registry.drop_map(consumer, task_id)
+                self.tracer.instant("cascade", "invalidate-map",
+                                    job=consumer, task=task_id,
+                                    node=entry.node,
+                                    split_source=[job, partition])
+                if entry.node in self.pool.alive:
+                    cmds[("drop", consumer, task_id)] = (
+                        entry.node,
+                        {"op": "drop", "job": consumer, "task": task_id})
+            self._run_tasks(cmds, phase=f"invalidate-{consumer}")
 
     # ------------------------------------------------------------- dispatch
     def _map_commands(self, job: int,
@@ -1258,7 +1357,8 @@ class ChainRun:
         chain = self.config.chain
         return self.registry.blocks_for(job, self.config.n_nodes,
                                         chain.records_per_node,
-                                        chain.records_per_block)
+                                        chain.records_per_block,
+                                        parents=self.graph.parents(job))
 
     def _run_tasks(self, cmds: dict, phase: str,
                    after_send: Optional[Callable[[], None]] = None,
@@ -1627,27 +1727,30 @@ class ChainRun:
 
     # -------------------------------------------------------------- queries
     def final_output(self) -> dict[int, list[Record]]:
-        """Partition -> sorted records of the last job's output, read back
-        from the nodes' files (registry-driven, like any DFS read)."""
+        """The computation's output, read back from the nodes' files
+        (registry-driven, like any DFS read): the union over sink jobs,
+        keyed ``sink_pos * STRIDE + partition`` so a single-sink chain
+        keeps plain partition keys (and checksums) unchanged."""
         chain = self.config.chain
-        last = self.registry.pieces.get(chain.n_jobs)
-        if last is None or not self.registry.coverage_complete(
-                chain.n_jobs, chain.n_partitions):
-            raise RuntimeError("chain has not completed")
         out: dict[int, list[Record]] = {}
-        for partition, plist in last.items():
-            records: list[Record] = []
-            for entry in plist:
-                # an adopted piece (full-prefix cache hit) lives in its
-                # donor chain's namespace; everything else in our own
-                namespace = entry.chain if entry.chain is not None \
-                    else self.chain_id
-                data = NodeStore(self.pool.workdir, entry.node,
-                                 chain=namespace).read_piece(
-                    entry.job, entry.partition, entry.split_index,
-                    entry.n_splits)
-                records.extend(decode_records(data))
-            out[partition] = sorted(records)
+        for pos, sink in enumerate(sorted(self.graph.sinks())):
+            last = self.registry.pieces.get(sink)
+            if last is None or not self.registry.coverage_complete(
+                    sink, chain.n_partitions):
+                raise RuntimeError("chain has not completed")
+            for partition, plist in last.items():
+                records: list[Record] = []
+                for entry in plist:
+                    # an adopted piece (cache hit) lives in its donor
+                    # chain's namespace; everything else in our own
+                    namespace = entry.chain if entry.chain is not None \
+                        else self.chain_id
+                    data = NodeStore(self.pool.workdir, entry.node,
+                                     chain=namespace).read_piece(
+                        entry.job, entry.partition, entry.split_index,
+                        entry.n_splits)
+                    records.extend(decode_records(data))
+                out[pos * STRIDE + partition] = sorted(records)
         return out
 
     def checksum(self) -> str:
@@ -1753,6 +1856,14 @@ class Coordinator:
     @completed_jobs.setter
     def completed_jobs(self, value: int) -> None:
         self.chain_run.completed_jobs = value
+
+    @property
+    def done_jobs(self) -> set[int]:
+        return self.chain_run.done_jobs
+
+    @done_jobs.setter
+    def done_jobs(self, value: set[int]) -> None:
+        self.chain_run.done_jobs = set(value)
 
     @property
     def deaths(self) -> list[tuple[float, int]]:

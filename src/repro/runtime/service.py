@@ -281,7 +281,8 @@ class ChainService:
                              name=f"chain-{job.id}", daemon=True).start()
 
     def _adopt_cached_prefix(self, job: ChainJob) -> None:
-        """Hand the longest resident cached prefix to the new chain.
+        """Hand the largest resident dependency-closed cached subgraph
+        (the classic prefix on a linear chain) to the new chain.
 
         Only for replication-1 strategies (rcmp, optimistic, hybrid):
         adopted pieces are single-holder, so losing one must be
@@ -295,7 +296,8 @@ class ChainService:
         try:
             fps = chain_fingerprints(job.config.chain,
                                      self.config.n_nodes)
-            entries = self.cache.adopt(fps, job.id)
+            entries = self.cache.adopt(fps, job.id,
+                                       graph=job.config.graph)
             if entries:
                 job.adopted_jobs = job.run.adopt_prefix(entries)
         except Exception:  # noqa: BLE001 - cache is advisory

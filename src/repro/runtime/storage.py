@@ -38,7 +38,7 @@ from pathlib import Path
 from typing import Iterable, Optional
 
 from repro.localexec.records import Record, split_of
-from repro.runtime.recovery import STRIDE, PieceSignature
+from repro.runtime.recovery import PARENT_STRIDE, STRIDE, PieceSignature
 
 _KEY = struct.Struct(">QI")
 
@@ -304,13 +304,23 @@ class NodeStore:
         return freed
 
     def reclaim_jobs(self, map_upto: int, piece_upto: int) -> int:
-        """Hybrid reclamation (§IV-C): delete persisted map outputs of
-        jobs ``<= map_upto`` and reducer pieces of jobs ``<= piece_upto``
-        (mirrors ``PersistedStore.reclaim_jobs`` — the data behind an
-        anchor sits safely in the replicated anchor output).  Returns the
-        bytes freed."""
+        """Hybrid reclamation (§IV-C) on a linear chain: delete persisted
+        map outputs of jobs ``<= map_upto`` and reducer pieces of jobs
+        ``<= piece_upto`` (the data behind an anchor sits safely in the
+        replicated anchor output).  Returns the bytes freed."""
+        return self.reclaim_job_sets(range(1, map_upto + 1),
+                                     range(1, piece_upto + 1))
+
+    def reclaim_job_sets(self, map_jobs: Iterable[int],
+                         piece_jobs: Iterable[int]) -> int:
+        """Set-based reclamation for DAGs: delete map outputs of the
+        jobs in ``map_jobs`` and reducer pieces of the jobs in
+        ``piece_jobs`` — the shielded cut behind the anchor frontier,
+        which on a DAG need not be a contiguous index range.  Returns
+        the bytes freed."""
         freed = 0
-        for kind, upto in (("map", map_upto), ("reduce", piece_upto)):
+        for kind, jobs in (("map", set(map_jobs)),
+                           ("reduce", set(piece_jobs))):
             root = self.dir / kind
             if not root.is_dir():
                 continue
@@ -321,7 +331,7 @@ class NodeStore:
                     job = int(directory.name[3:])
                 except ValueError:
                     continue
-                if job <= upto:
+                if job in jobs:
                     freed += self._rm_tree(directory)
         return freed
 
@@ -483,13 +493,22 @@ class ClusterRegistry:
         return maps, dropped_pieces
 
     def reclaim_through(self, map_upto: int, piece_upto: int) -> None:
-        """Forget reclaimed outputs (hybrid §IV-C): map outputs of jobs
-        ``<= map_upto``, pieces of jobs ``<= piece_upto``.  The files are
-        deleted by the workers; the registry must forget them too or a
-        later death would file damage pointing at unlinked paths."""
-        for key in [k for k in self.map_outputs if k[0] <= map_upto]:
+        """Forget reclaimed outputs (hybrid §IV-C) on a linear chain:
+        map outputs of jobs ``<= map_upto``, pieces of jobs
+        ``<= piece_upto``."""
+        self.reclaim_job_sets(range(1, map_upto + 1),
+                              range(1, piece_upto + 1))
+
+    def reclaim_job_sets(self, map_jobs: Iterable[int],
+                         piece_jobs: Iterable[int]) -> None:
+        """Forget reclaimed outputs of explicit job sets (the DAG
+        shielded cut).  The files are deleted by the workers; the
+        registry must forget them too or a later death would file damage
+        pointing at unlinked paths."""
+        map_set, piece_set = set(map_jobs), set(piece_jobs)
+        for key in [k for k in self.map_outputs if k[0] in map_set]:
             del self.map_outputs[key]
-        for job in [j for j in self.pieces if j <= piece_upto]:
+        for job in [j for j in self.pieces if j in piece_set]:
             for plist in self.pieces.pop(job).values():
                 for entry in plist:
                     self.replicas.pop(entry.key, None)
@@ -497,15 +516,22 @@ class ClusterRegistry:
             self.replicated_jobs.pop(job, None)
 
     # -- failure --------------------------------------------------------
-    def record_death(self, node: int, completed_jobs: int) -> None:
-        """Remove the dead node's outputs; file damage for completed jobs.
+    def record_death(self, node: int,
+                     completed_jobs: int | Iterable[int]) -> None:
+        """Remove the dead node's outputs; file damage for committed jobs.
 
         A piece with surviving replica holders is *promoted* — its
         primary entry re-points to a surviving holder — and never becomes
         damage.  Losses in a not-yet-committed job are not damage either:
         the job will simply re-run its missing work.  Only last-copy
-        losses in jobs up to ``completed_jobs`` get signatures filed for
-        the planner."""
+        losses in committed jobs get signatures filed for the planner;
+        ``completed_jobs`` is the done set — an int is the classic chain
+        prefix ``1..k``, an iterable the explicit (possibly non-prefix)
+        DAG done set."""
+        if isinstance(completed_jobs, int):
+            done = set(range(1, completed_jobs + 1))
+        else:
+            done = set(completed_jobs)
         for key in [k for k, m in self.map_outputs.items()
                     if m.node == node]:
             del self.map_outputs[key]
@@ -527,7 +553,7 @@ class ClusterRegistry:
                                             chain=None))
                         continue
                     self.replicas.pop(p.key, None)
-                    if job <= completed_jobs:
+                    if job in done:
                         self.damage.setdefault(job, {}).setdefault(
                             partition, []).append(p.signature)
                 partitions[partition] = kept
@@ -551,14 +577,21 @@ class ClusterRegistry:
         return all(self.covered(job, p) for p in range(n_partitions))
 
     def blocks_for(self, job: int, n_nodes: int, records_per_node: int,
-                   records_per_block: int) -> list[BlockSpec]:
+                   records_per_block: int,
+                   parents: Optional[tuple[int, ...]] = None
+                   ) -> list[BlockSpec]:
         """The map-side input blocks of ``job`` under the current layout.
 
-        Must enumerate exactly like ``LocalCluster.input_blocks`` — same
-        task ids, same record ranges, same empty-piece handling — or the
-        two backends' recomputation would diverge."""
+        ``parents`` is the job's upstream tuple from the dependency
+        graph (``None`` = the linear chain: ``(job - 1,)``, or the
+        computation input for job 1).  Must enumerate exactly like
+        ``LocalCluster.input_blocks`` — same task ids, same record
+        ranges, same empty-piece handling — or the two backends'
+        recomputation would diverge."""
+        if parents is None:
+            parents = (job - 1,) if job > 1 else ()
         blocks: list[BlockSpec] = []
-        if job == 1:
+        if not parents:
             tid = 0
             for node in range(n_nodes):
                 for start in range(0, records_per_node, records_per_block):
@@ -567,24 +600,26 @@ class ClusterRegistry:
                         tid, node, ("input", node, start, count), None))
                     tid += 1
             return blocks
-        upstream = self.pieces.get(job - 1)
-        if upstream is None:
-            raise RuntimeError(f"job {job - 1} has not produced output")
-        if any(self.damage.get(job - 1, {}).values()):
-            raise RuntimeError(
-                f"job {job - 1} output is damaged; recompute it first")
-        for partition in sorted(upstream):
-            ordinal = 0
-            for piece in upstream[partition]:
-                for start in range(0, max(piece.n_records, 1),
-                                   records_per_block):
-                    count = min(records_per_block,
-                                max(piece.n_records - start, 0))
-                    blocks.append(BlockSpec(
-                        partition * STRIDE + ordinal, piece.node,
-                        ("piece", piece.job, piece.partition,
-                         piece.split_index, piece.n_splits, piece.node,
-                         start, count, piece.chain),
-                        (job - 1, partition)))
-                    ordinal += 1
+        for pos, parent in enumerate(parents):
+            upstream = self.pieces.get(parent)
+            if upstream is None:
+                raise RuntimeError(f"job {parent} has not produced output")
+            if any(self.damage.get(parent, {}).values()):
+                raise RuntimeError(
+                    f"job {parent} output is damaged; recompute it first")
+            for partition in sorted(upstream):
+                ordinal = 0
+                for piece in upstream[partition]:
+                    for start in range(0, max(piece.n_records, 1),
+                                       records_per_block):
+                        count = min(records_per_block,
+                                    max(piece.n_records - start, 0))
+                        blocks.append(BlockSpec(
+                            pos * PARENT_STRIDE + partition * STRIDE
+                            + ordinal, piece.node,
+                            ("piece", piece.job, piece.partition,
+                             piece.split_index, piece.n_splits, piece.node,
+                             start, count, piece.chain),
+                            (parent, partition)))
+                        ordinal += 1
         return blocks

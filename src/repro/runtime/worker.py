@@ -258,8 +258,14 @@ class _Worker:
                 self.evt.send(("job-dropped", self.node, cmd["epoch"],
                                chain, cmd["job"], freed))
             elif op == "reclaim":
-                freed = store.reclaim_jobs(cmd["map_upto"],
-                                           cmd["piece_upto"])
+                if "map_jobs" in cmd:
+                    # set-based form: the shielded DAG cut behind the
+                    # anchor frontier (need not be an index prefix)
+                    freed = store.reclaim_job_sets(cmd["map_jobs"],
+                                                   cmd["piece_jobs"])
+                else:
+                    freed = store.reclaim_jobs(cmd["map_upto"],
+                                               cmd["piece_upto"])
                 self.evt.send(("reclaimed", self.node, cmd["epoch"],
                                chain, cmd["anchor"], freed))
             else:

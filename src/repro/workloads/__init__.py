@@ -1,6 +1,15 @@
-"""Workloads: the paper's multi-job chain and its failure scenarios."""
+"""Workloads: the paper's multi-job chain, DAG shapes (diamond, fan-in,
+fan-out, reduction tree, data-cube lattice), and failure scenarios."""
 
 from repro.workloads.chain import ChainJobSpec, ChainSpec, build_chain
+from repro.workloads.cube import cube, cube_dependencies, cuboids
+from repro.workloads.dag import (
+    binary_tree,
+    diamond,
+    fan_in,
+    fan_out,
+    shape_dependencies,
+)
 from repro.workloads.scenarios import SCENARIOS, Scenario
 
 __all__ = [
@@ -8,5 +17,13 @@ __all__ = [
     "ChainSpec",
     "SCENARIOS",
     "Scenario",
+    "binary_tree",
     "build_chain",
+    "cube",
+    "cube_dependencies",
+    "cuboids",
+    "diamond",
+    "fan_in",
+    "fan_out",
+    "shape_dependencies",
 ]

@@ -1,0 +1,82 @@
+"""Data-cube (cuboid lattice) workload: the showcase DAG.
+
+A data cube over ``d`` dimensions materializes one cuboid per subset of
+the dimensions — ``2^d`` group-bys.  The base cuboid (all ``d``
+dimensions) aggregates the raw input; every coarser cuboid aggregates
+from its *smallest parent*, the classic pipelined-cube plan: a parent of
+cuboid ``S`` is any already-built cuboid over ``S`` plus one more
+dimension, and we pick the lexicographically first (a deterministic
+stand-in for the smallest-output parent a cost-based planner would
+choose).  The result is a deep fan-out DAG with many independent
+branches and many sinks — exactly the shape that makes linear recovery
+planning fall over:
+
+* a mid-lattice kill damages cuboids on several branches at once, and
+  the cascade must cut per-branch instead of rewinding an index;
+* undamaged sibling branches must keep their outputs (and recompute
+  nothing);
+* every leaf-of-the-lattice cuboid is a sink, so the final output is a
+  multi-sink union.
+
+Jobs are numbered in submission (topological) order: subsets by
+**descending size**, lexicographic within a size — so the base cuboid
+is job 1 and the apex (grand total) is job ``2^d``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.cluster.presets import BLOCK_SIZE, STIC_PER_NODE_INPUT
+from repro.workloads.chain import ChainJobSpec, ChainSpec
+
+
+def cuboids(dims: int) -> list[tuple[int, ...]]:
+    """All dimension subsets in job order: descending size, then lex.
+
+    ``cuboids(2) == [(0, 1), (0,), (1,), ()]``."""
+    if dims < 1:
+        raise ValueError("cube needs dims >= 1")
+    out: list[tuple[int, ...]] = []
+    for size in range(dims, -1, -1):
+        out.extend(combinations(range(dims), size))
+    return out
+
+
+def cube_dependencies(dims: int) -> tuple[tuple[int, ...], ...]:
+    """Per-job upstream tuples of the cuboid lattice, 1-based — ready
+    for ``LocalJobConfig(dependencies=...)``.  The base cuboid reads
+    the computation input (``()``); every other cuboid reads its
+    smallest (lexicographically first) parent."""
+    subsets = cuboids(dims)
+    index = {s: j for j, s in enumerate(subsets, start=1)}
+    deps: list[tuple[int, ...]] = []
+    for subset in subsets:
+        if len(subset) == dims:
+            deps.append(())
+            continue
+        missing = sorted(set(range(dims)) - set(subset))
+        parents = sorted(tuple(sorted(subset + (extra,)))
+                         for extra in missing)
+        deps.append((index[parents[0]],))
+    return tuple(deps)
+
+
+def cube(dims: int = 3, per_node_input: float = STIC_PER_NODE_INPUT,
+         block_size: float = BLOCK_SIZE) -> ChainSpec:
+    """The cuboid lattice as a simulator :class:`ChainSpec`.
+
+    Each aggregation level halves its data (``reduce_output_ratio``
+    0.5), the usual group-by shrinkage, so the lattice's total footprint
+    stays bounded."""
+    deps = cube_dependencies(dims)
+    jobs = tuple(
+        ChainJobSpec(map_output_ratio=1.0,
+                     reduce_output_ratio=1.0 if not parents else 0.5,
+                     depends_on=parents)
+        for parents in deps)
+    return ChainSpec(n_jobs=len(jobs), per_node_input=per_node_input,
+                     block_size=block_size, jobs=jobs)
+
+
+__all__ = ["cube", "cube_dependencies", "cuboids"]

@@ -87,3 +87,36 @@ def binary_tree(depth: int = 2,
         level = nxt
     return ChainSpec(n_jobs=len(jobs), per_node_input=per_node_input,
                      block_size=block_size, jobs=tuple(jobs))
+
+
+def shape_dependencies(shape: str) -> tuple[tuple[int, ...], ...]:
+    """Parse a DAG shape name into per-job dependency tuples, ready for
+    ``LocalJobConfig(dependencies=...)`` (and ``None`` for a linear
+    chain, which keeps the config's classic linear default).
+
+    Shapes: ``linear``, ``diamond``, ``fanin:K``, ``fanout:K``,
+    ``tree:DEPTH``, ``cube:DIMS``.  Raises :class:`ValueError` on an
+    unknown shape or a malformed parameter."""
+    from repro.workloads.cube import cube_dependencies
+
+    name, _, arg = shape.partition(":")
+    name = name.strip().lower()
+    if name == "linear":
+        return None
+    builders = {"diamond": (diamond, None), "fanin": (fan_in, 3),
+                "fanout": (fan_out, 3), "tree": (binary_tree, 2)}
+    if name == "cube":
+        return cube_dependencies(int(arg) if arg else 3)
+    if name not in builders:
+        raise ValueError(
+            f"unknown DAG shape {shape!r}; expected linear, diamond, "
+            "fanin:K, fanout:K, tree:DEPTH, or cube:DIMS")
+    builder, default = builders[name]
+    if name == "diamond":
+        if arg:
+            raise ValueError("diamond takes no parameter")
+        spec = builder()
+    else:
+        spec = builder(int(arg) if arg else default)
+    return tuple(spec.dependencies(j)
+                 for j in range(1, spec.n_jobs + 1))

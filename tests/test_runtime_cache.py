@@ -24,7 +24,7 @@ from repro.runtime.cache import (
     udf_identity,
 )
 from repro.runtime.coordinator import RuntimeConfig
-from repro.runtime.recovery import adoptable_prefix
+from repro.runtime.recovery import JobGraph, adoptable_prefix
 from repro.runtime.service import ChainService
 from repro.runtime.storage import (
     ClusterRegistry,
@@ -90,6 +90,56 @@ def test_fingerprints_track_node_count_but_not_blocking():
 
 def test_udf_identity_is_stable():
     assert udf_identity() == udf_identity()
+
+
+DIAMOND4 = LocalJobConfig(n_jobs=4, n_partitions=4, records_per_node=48,
+                          records_per_block=16, seed=0,
+                          dependencies=((), (1,), (1,), (2, 3)))
+
+
+def test_fingerprints_include_dependency_structure():
+    """Job 3 of a diamond reads job 1; job 3 of a linear chain reads
+    job 2.  Same knobs, different lineage — the fingerprints must
+    diverge exactly where the parent sets do."""
+    linear = LocalJobConfig(n_jobs=4, n_partitions=4, records_per_node=48,
+                            records_per_block=16, seed=0)
+    lin = chain_fingerprints(linear, 4)
+    dag = chain_fingerprints(DIAMOND4, 4)
+    assert dag[0] == lin[0] and dag[1] == lin[1]  # identical lineage
+    assert dag[2] != lin[2] and dag[3] != lin[3]
+
+
+def test_multi_parent_fingerprint_is_parent_order_invariant():
+    """A join's output is the reduce over the union of its parents'
+    records — listing the parents in another order is the same
+    computation and must share the cache entry."""
+    import dataclasses
+    swapped = dataclasses.replace(
+        DIAMOND4, dependencies=((), (1,), (1,), (3, 2)))
+    assert chain_fingerprints(swapped, 4)[3] == \
+        chain_fingerprints(DIAMOND4, 4)[3]
+
+
+def test_linear_fingerprint_scheme_is_byte_stable():
+    """Byte-compat pin: on a linear chain the DAG-aware hash must equal
+    the historical ``fp[j] = md5("job:j:" + fp[j-1])`` chain, so cache
+    state persisted by older services stays valid."""
+    import hashlib
+
+    identity = json.dumps({
+        "seed": CHAIN3.seed,
+        "records_per_node": CHAIN3.records_per_node,
+        "value_size": CHAIN3.value_size,
+        "n_nodes": 4,
+        "n_partitions": CHAIN3.n_partitions,
+        "udf": udf_identity(),
+    }, sort_keys=True).encode()
+    digest = hashlib.md5(b"chain-input:" + identity).hexdigest()
+    legacy = []
+    for job in range(1, CHAIN3.n_jobs + 1):
+        digest = hashlib.md5(f"job:{job}:{digest}".encode()).hexdigest()
+        legacy.append(digest)
+    assert chain_fingerprints(CHAIN3, 4) == legacy
 
 
 def test_adoptable_prefix_contiguity():
@@ -219,6 +269,61 @@ def test_registry_death_dooms_pinned_drops_unpinned(tmp_path):
     assert pinned_file.exists()
     cache.release("cB")
     assert not pinned_file.exists()
+
+
+def test_adopt_takes_dependency_closure_on_a_dag(tmp_path):
+    """With the diamond's graph, a resident {1, 3} adopts both — the
+    cached branch survives the missing sibling; the linear default
+    would stop at the job-2 gap."""
+    fps = ["fp-a", "fp-b", "fp-c", "fp-d"]
+    registry = _seed_chain_files(tmp_path, "c0001", jobs=[1, 3])
+    cache = CacheRegistry(tmp_path, budget_bytes=1 << 20)
+    assert cache.admit(fps, "c0001", registry) == 2
+    graph = JobGraph(((), (1,), (1,), (2, 3)))
+    adopted = cache.adopt(fps, "c0002", graph=graph)
+    assert sorted(e.job for e in adopted) == [1, 3]
+    assert cache.hits == 2 and cache.misses == 2
+    # the same residency under the linear default stops at the gap
+    assert [e.job for e in cache.adopt(fps, "c0003")] == [1]
+
+
+def test_invalidation_prunes_only_the_entry_namespace(tmp_path):
+    """Unlinking an invalidated entry prunes the empty dirs it leaves —
+    up to its own chain namespace and no further (regression: a fixed
+    parent count could walk past the namespace root and delete node
+    state the cache never owned)."""
+    registry = _seed_chain_files(tmp_path, "cA", jobs=[1])
+    _seed_chain_files(tmp_path, "cB", jobs=[1])
+    cache = CacheRegistry(tmp_path, budget_bytes=1 << 20)
+    cache.admit(["fp-a"], "cA", registry)
+    # one file vanishes out-of-band: adoption invalidates the entry and
+    # unlinks its survivor, pruning cA's now-empty namespace dirs
+    NodeStore(tmp_path, 0, chain="cA").piece_path(1, 0, 0, 1).unlink()
+    assert cache.adopt(["fp-a"], "cC") == []
+    assert cache.stats()["invalidated"] == 1
+    for node in (tmp_path / "node000", tmp_path / "node001"):
+        assert not (node / "chains" / "cA").exists()
+        assert (node / "chains" / "cB").is_dir()  # sibling untouched
+        assert node.is_dir()                      # node root survives
+
+
+def test_rescan_counts_and_persists_dropped_entries(tmp_path):
+    registry = _seed_chain_files(tmp_path, "c0001", jobs=[1, 2])
+    cache = CacheRegistry(tmp_path, budget_bytes=1 << 20)
+    cache.admit(["fp-a", "fp-b"], "c0001", registry)
+    assert cache.stats()["rescan_invalidated"] == 0
+
+    NodeStore(tmp_path, 0, chain="c0001").piece_path(2, 0, 0, 1).unlink()
+    rescanned = CacheRegistry(tmp_path, budget_bytes=1 << 20)
+    assert rescanned.load() == 1
+    stats = rescanned.stats()
+    assert stats["rescan_invalidated"] == 1
+    assert stats["invalidated"] == 1  # rescan drops are a subset
+
+    # a clean restart carries the counter forward instead of resetting
+    again = CacheRegistry(tmp_path, budget_bytes=1 << 20)
+    assert again.load() == 1
+    assert again.stats()["rescan_invalidated"] == 1
 
 
 def test_scan_chain_sequence(tmp_path):

@@ -205,14 +205,13 @@ def test_cascade_jobs_skips_stale_upstream_damage(tmp_path):
     forever recovering nothing when damaged_jobs() held only such jobs)."""
     coord = Coordinator(RuntimeConfig(n_nodes=4, chain=CHAIN),
                         tmp_path / "cluster")
-    coord.completed_jobs = 4
+    coord.completed_jobs = 3
     coord.registry.damage = {1: {0: [(0, 1)]}, 2: {1: [(0, 2)]}}
     assert coord.registry.damaged_jobs() == [1, 2]
-    assert coord._cascade_jobs() == []  # jobs 3-4 intact: nothing to do
-    # a later death re-joining the run makes them cascade-relevant again
+    assert coord._cascade_jobs() == []  # job 3 intact: nothing to do
+    # a later death damaging the sink makes them cascade-relevant again
     coord.registry.damage[3] = {0: [(0, 1)]}
-    coord.registry.damage[4] = {2: [(0, 1)]}
-    assert coord._cascade_jobs() == [1, 2, 3, 4]
+    assert coord._cascade_jobs() == [1, 2, 3]
 
 
 def test_registry_promotes_replica_instead_of_filing_damage():

@@ -10,10 +10,16 @@ import pytest
 from repro.faults import FaultModel
 from repro.runtime.faults import LiveFaultPlan
 from repro.runtime.recovery import (
+    PARENT_STRIDE,
     STRIDE,
+    JobGraph,
+    adoptable_closure,
+    adoptable_prefix,
+    cascade_jobs,
     cascade_start,
     consumer_invalidations,
     effective_split_ratio,
+    hybrid_reclaimable,
     plan_job_recovery,
 )
 
@@ -114,6 +120,120 @@ def test_consumer_invalidations_by_origin_and_id_range():
     ]
     doomed = consumer_invalidations(entries, job=1, partition=2)
     assert sorted(doomed) == [7, 2 * STRIDE + 0, 2 * STRIDE + 5]
+
+
+# ------------------------------------------------------- dependency graph
+DIAMOND = JobGraph(((), (1,), (1,), (2, 3)))
+FAN_OUT = JobGraph(((), (1,), (1,), (1,)))
+#: two independent branches off one producer: 1 -> 2 -> 4 and 1 -> 3 -> 5
+TWO_BRANCH = JobGraph(((), (1,), (1,), (2,), (3,)))
+
+
+def test_job_graph_rejects_malformed_edges():
+    with pytest.raises(ValueError, match="duplicate"):
+        JobGraph(((), (1, 1)))
+    with pytest.raises(ValueError, match="earlier"):
+        JobGraph(((), (2,)))        # self dependency
+    with pytest.raises(ValueError, match="earlier"):
+        JobGraph(((3,), (1,)))      # forward dependency
+    with pytest.raises(ValueError, match="at least one job"):
+        JobGraph(())
+    with pytest.raises(ValueError, match="dependencies lists"):
+        JobGraph.from_dependencies(3, ((), (1,)))  # length mismatch
+
+
+def test_job_graph_shape_queries():
+    assert DIAMOND.parents(4) == (2, 3) and DIAMOND.consumers(1) == (2, 3)
+    assert DIAMOND.parent_pos(4, 3) == 1
+    assert DIAMOND.sinks() == (4,) and DIAMOND.sources() == (1,)
+    assert not DIAMOND.is_linear() and JobGraph.linear(3).is_linear()
+    assert FAN_OUT.sinks() == (2, 3, 4)
+    assert JobGraph.from_dependencies(3, None) == JobGraph.linear(3)
+
+
+def test_job_graph_ready_and_topo_levels():
+    assert DIAMOND.ready(()) == [1]
+    assert DIAMOND.ready({1}) == [2, 3]            # one two-job wave
+    assert DIAMOND.ready({1, 3}) == [2]
+    assert DIAMOND.ready({1, 2, 3}) == [4]
+    assert DIAMOND.topo_levels([1, 2, 3, 4]) == [[1], [2, 3], [4]]
+    assert DIAMOND.topo_levels([2, 3]) == [[2, 3]]  # independent branches
+    # only in-set parents order levels: job 4's parent (2) is intact, so
+    # 4 may recompute alongside job 1 in the very first level
+    assert TWO_BRANCH.topo_levels([1, 3, 4, 5]) == [[1, 4], [3], [5]]
+
+
+def test_cascade_cuts_by_real_edges_not_job_index():
+    # damage on one branch: the sibling branch is outside the cut
+    assert cascade_jobs(DIAMOND, done_jobs={1, 2, 3},
+                        damaged_jobs=[2]) == [2]
+    # a done, intact consumer shields the damage entirely
+    assert cascade_jobs(DIAMOND, done_jobs={1, 2, 3, 4},
+                        damaged_jobs=[2]) == []
+    # a damaged sink always recomputes, and pulls damaged parents in
+    assert cascade_jobs(DIAMOND, done_jobs={1, 2, 3, 4},
+                        damaged_jobs=[2, 4]) == [2, 4]
+    # fan-out: the damaged sink branch pulls the shared producer in,
+    # while the intact sibling sinks stay untouched
+    assert cascade_jobs(FAN_OUT, done_jobs={1, 2, 3, 4},
+                        damaged_jobs=[1, 3]) == [1, 3]
+
+
+def test_cascade_anchor_floors_one_branch_only():
+    # an intact anchor at 2 shields the shared producer: the only
+    # unfinished paths pass through replicated output
+    assert cascade_jobs(TWO_BRANCH, done_jobs={1, 2, 3},
+                        damaged_jobs=[1, 2], intact_anchors=[2]) == []
+    # without the anchor the same damage cascades
+    assert cascade_jobs(TWO_BRANCH, done_jobs={1, 2, 3},
+                        damaged_jobs=[1, 2]) == [1, 2]
+    # an anchor on branch 2 cannot shield job 1 when branch 3 is damaged
+    # too: recomputing 3 consumes 1's output directly
+    assert cascade_jobs(TWO_BRANCH, done_jobs={1, 2, 3},
+                        damaged_jobs=[1, 3], intact_anchors=[2]) == [1, 3]
+
+
+def test_adoptable_closure_is_parent_closed_not_contiguous():
+    # the cached half of a diamond adopts without the other branch
+    assert adoptable_closure({1, 3}, DIAMOND) == {1, 3}
+    assert adoptable_closure({2, 4}, DIAMOND) == set()   # 2 needs 1
+    assert adoptable_closure({1, 2, 4}, DIAMOND) == {1, 2}  # 4 needs 3
+    assert adoptable_closure({1, 2, 3, 4}, DIAMOND) == {1, 2, 3, 4}
+    # chain view: the closure is exactly the longest contiguous prefix
+    assert adoptable_closure({1, 2, 4}, JobGraph.linear(5)) == {1, 2}
+    assert adoptable_prefix({1, 2, 4}) == 2
+
+
+def test_hybrid_reclaimable_matches_linear_bounds():
+    # linear chain, anchors at 2 and 4, jobs 1..5 done: the classic
+    # ``map_upto = a - 1``, ``piece_upto = a - 2`` bound for a = 4
+    map_jobs, piece_jobs = hybrid_reclaimable(
+        JobGraph.linear(6), done_jobs={1, 2, 3, 4, 5},
+        intact_anchors={2, 4})
+    assert map_jobs == {1, 2, 3}
+    assert piece_jobs == {1, 2}
+
+
+def test_hybrid_reclaimable_on_a_dag_keeps_anchor_inputs():
+    # both branch heads replicated: the shared producer's map outputs
+    # are dead weight, but its pieces are the anchors' recompute inputs
+    map_jobs, piece_jobs = hybrid_reclaimable(
+        TWO_BRANCH, done_jobs={1, 2, 3, 4, 5}, intact_anchors={2, 3})
+    assert map_jobs == {1} and piece_jobs == set()
+
+
+def test_consumer_invalidations_selects_parent_band():
+    # a two-parent consumer: mappers reading parent position 1 sit one
+    # PARENT_STRIDE higher; the Fig. 5 guard dooms only that band
+    entries = [
+        (PARENT_STRIDE + 2 * STRIDE + 0, None),  # parent pos 1, part 2
+        (2 * STRIDE + 0, None),                  # parent pos 0, part 2
+        (PARENT_STRIDE + 3 * STRIDE + 1, None),  # parent pos 1, part 3
+        (7, (3, 2)),                             # origin match
+    ]
+    doomed = consumer_invalidations(entries, job=3, partition=2,
+                                    parent_pos=1)
+    assert sorted(doomed) == [7, PARENT_STRIDE + 2 * STRIDE + 0]
 
 
 # ------------------------------------------------------------- live faults
