@@ -18,11 +18,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import time
 from pathlib import Path
 from typing import Iterable, Optional
 
 from repro.localexec import LocalCluster, LocalJobConfig
+from repro.localexec.records import generate_records
 from repro.runtime import chain_checksum
+from repro.runtime.storage import _KEY, encode_records
 
 _REFS: dict[tuple[LocalJobConfig, int], str] = {}
 
@@ -55,6 +58,51 @@ def write_payload(payload: dict, default_name: str,
     path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"written to {path}")
     return path
+
+
+def _encode_records_join(records) -> bytes:
+    """The codec ``encode_records`` replaced: a per-record Python list
+    of header/value fragments joined at the end — 2N list appends and a
+    join-time gather for N records.  Kept here as the microbenchmark
+    baseline (and as an independent second implementation the bench
+    checks byte-equality against)."""
+    parts = []
+    for rec in records:
+        parts.append(_KEY.pack(rec.key, len(rec.value)))
+        parts.append(rec.value)
+    return b"".join(parts)
+
+
+def codec_bench(n_records: int = 20000, value_size: int = 64,
+                repeat: int = 7) -> dict:
+    """Time the preallocating ``encode_records`` against the join-based
+    implementation it replaced, best-of-``repeat`` on one shared record
+    batch.  Byte-equality of the two encodings is asserted — a codec
+    that got faster by encoding differently would corrupt every stored
+    piece."""
+    records = generate_records(n_records, seed=0, value_size=value_size)
+    encoded = encode_records(records)
+    assert encoded == _encode_records_join(records), \
+        "encode_records disagrees with the reference join encoding"
+
+    def best_of(fn) -> float:
+        walls = []
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            fn(records)
+            walls.append(time.perf_counter() - t0)
+        return min(walls)
+
+    join_s = best_of(_encode_records_join)
+    packed_s = best_of(encode_records)
+    return {
+        "n_records": n_records,
+        "value_size": value_size,
+        "payload_bytes": len(encoded),
+        "join_ms": round(join_s * 1e3, 4),
+        "packed_ms": round(packed_s * 1e3, 4),
+        "speedup": round(join_s / packed_s, 3),
+    }
 
 
 def finish(failures: Iterable[str]) -> int:

@@ -211,6 +211,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "split reducers pull the full partition bytes "
                         "and filter client-side (the pre-pipelining "
                         "data plane; for A/B measurement)")
+    p.add_argument("--memory-budget", type=int, default=64,
+                   metavar="MiB",
+                   help="hot-tier bytes each worker pins in RAM: "
+                        "committed map slices and reduce pieces are "
+                        "served from memory and spill to their on-disk "
+                        "files (the durability tier) above the budget; "
+                        "0 disables the tier (default 64)")
+    p.add_argument("--shared-memory", action="store_true",
+                   help="publish committed outputs as shared-memory "
+                        "segments so colocated workers attach instead "
+                        "of fetching over loopback TCP (experimental)")
     p.add_argument("--heartbeat-interval", type=float, default=0.05,
                    help="worker heartbeat period, wall-clock seconds "
                         "(process backend)")
@@ -263,6 +274,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "(0 disables caching; default 64).  Cached job "
                         "outputs survive in the workdir and overlapping "
                         "submissions skip their cached prefix")
+    p.add_argument("--memory-budget", type=int, default=64,
+                   metavar="MiB",
+                   help="per-worker hot-tier byte budget in MiB "
+                        "(0 disables the memory tier; default 64)")
+    p.add_argument("--shared-memory", action="store_true",
+                   help="shared-memory handoff between the pool's "
+                        "colocated workers (experimental)")
     p.add_argument("--workdir", default=None, metavar="DIR",
                    help="keep the per-node chain namespaces here "
                         "(default: a deleted temporary directory; a "
@@ -422,6 +440,8 @@ def _exec_process(args, chain, model, tracer):
                                task_slots=args.task_slots,
                                fetch_parallelism=args.fetch_parallelism,
                                server_split_filter=not args.no_server_filter,
+                               memory_budget=args.memory_budget * (1 << 20),
+                               shared_memory=args.shared_memory,
                                speculation=args.speculation,
                                speculation_slowdown=args.speculation_slowdown,
                                pre_replicate=args.pre_replicate,
@@ -543,6 +563,8 @@ def _cmd_serve(args) -> int:
             heartbeat_interval=args.heartbeat_interval,
             heartbeat_expiry=args.heartbeat_expiry,
             task_slots=args.task_slots,
+            memory_budget=args.memory_budget * (1 << 20),
+            shared_memory=args.shared_memory,
             speculation=args.speculation,
             pre_replicate=args.pre_replicate)
         faults = (MTBFKills(args.mtbf, seed=args.fault_seed,

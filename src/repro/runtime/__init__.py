@@ -13,8 +13,11 @@ Modules:
 
 * :mod:`repro.runtime.recovery` — the shared pure planner (also used by
   ``localexec``); importing it pulls no process machinery.
-* :mod:`repro.runtime.storage` — on-disk node layout, record codec,
-  coordinator-side registry with the damage inventory.
+* :mod:`repro.runtime.storage` — on-disk node layout, the in-memory
+  hot tier (:class:`MemoryTier`), record codec, coordinator-side
+  registry with the damage inventory.
+* :mod:`repro.runtime.shm` — optional shared-memory segment handoff
+  between colocated workers.
 * :mod:`repro.runtime.transport` — pipe framing, heartbeats, and the
   pipelined TCP shuffle (persistent per-peer connections, server-side
   split filtering).
@@ -53,6 +56,7 @@ __all__ = [
     "JobGraph",
     "JobRecoveryPlan",
     "MTBFKills",
+    "MemoryTier",
     "PeerPool",
     "ReduceSpec",
     "RunReport",
@@ -81,6 +85,7 @@ _LAZY = {
     "CacheRegistry": ("repro.runtime.cache", "CacheRegistry"),
     "chain_fingerprints": ("repro.runtime.cache", "chain_fingerprints"),
     "chain_checksum": ("repro.runtime.storage", "chain_checksum"),
+    "MemoryTier": ("repro.runtime.storage", "MemoryTier"),
     "PeerPool": ("repro.runtime.transport", "PeerPool"),
     "ShuffleServer": ("repro.runtime.transport", "ShuffleServer"),
 }

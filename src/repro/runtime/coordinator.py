@@ -67,6 +67,7 @@ Every strategy must produce byte-identical final output.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import queue
@@ -85,6 +86,7 @@ from repro.faults.model import FaultModel
 from repro.localexec.engine import LocalJobConfig
 from repro.localexec.records import Record
 from repro.obs import NULL_TRACER, Tracer
+from repro.runtime import shm
 from repro.runtime.faults import LiveFaultPlan
 from repro.runtime.recovery import (
     STRIDE,
@@ -160,6 +162,14 @@ class RuntimeConfig:
     #: keep one pooled connection per peer (False = connection per
     #: request, the pre-pipelining data plane, kept for A/B benching)
     persistent_connections: bool = True
+    #: bytes of hot map slices / reduce pieces each worker pins in RAM
+    #: (write-through LRU over the on-disk durability tier); 0 disables
+    #: the memory tier — every read goes back to the files
+    memory_budget: int = 64 << 20
+    #: publish committed outputs as shared-memory segments so colocated
+    #: workers attach instead of fetching over loopback TCP
+    #: (experimental; POSIX shm only)
+    shared_memory: bool = False
     #: replicate every k-th job's output as a cascade-bounding anchor
     #: (strategy "hybrid" only; paper §IV-C)
     hybrid_interval: int = 2
@@ -235,6 +245,10 @@ class RuntimeConfig:
                 f"io_timeout ({self.io_timeout}s): a single fetch "
                 "attempt may not consume the whole dispatch-stall "
                 "budget")
+        if not isinstance(self.memory_budget, int) \
+                or self.memory_budget < 0:
+            raise ValueError("memory_budget must be a non-negative "
+                             "byte count (0 disables the memory tier)")
         if self.speculation_slowdown <= 1:
             raise ValueError("speculation_slowdown must be > 1 (a backup "
                              "at 1x would duplicate every task)")
@@ -286,6 +300,8 @@ class RuntimeConfig:
             "server_timeout": self.io_timeout,
             "server_split_filter": self.server_split_filter,
             "persistent_connections": self.persistent_connections,
+            "memory_budget": self.memory_budget,
+            "shared_memory": self.shared_memory,
         }
 
     @property
@@ -354,8 +370,15 @@ class RunReport:
     strategy: str = "rcmp"
     #: (anchor job, bytes freed) per hybrid reclamation pass
     reclaims: list[tuple[int, int]] = field(default_factory=list)
-    #: dispatch phase -> bytes the phase's tasks pulled over the shuffle
+    #: dispatch phase -> bytes the phase's tasks pulled over loopback
+    #: TCP sockets (``shuffle_bytes_tcp`` is the explicit alias)
     shuffle_bytes: dict[str, int] = field(default_factory=dict)
+    #: dispatch phase -> bytes the phase's tasks resolved *without* a
+    #: socket: the node's own store (memory tier or disk) and colocated
+    #: shared-memory attaches.  Local bytes mirror what the TCP path
+    #: would have shipped (split-filtered when server filtering is on),
+    #: so tcp + local stays an exact, placement-comparable total.
+    shuffle_bytes_local: dict[str, int] = field(default_factory=dict)
     #: service-mode submission id (None for single-chain runs)
     chain_id: Optional[str] = None
     #: straggler handling: speculative attempts/wins/wasted bytes,
@@ -367,8 +390,25 @@ class RunReport:
         return sum(t for _, _, t in self.job_times)
 
     @property
+    def shuffle_bytes_tcp(self) -> dict[str, int]:
+        """Per-phase socket bytes (alias of ``shuffle_bytes`` — the
+        historical name keeps its TCP-only meaning so byte-ratio gates
+        measure wire traffic, not placement luck)."""
+        return self.shuffle_bytes
+
+    @property
     def total_shuffle_bytes(self) -> int:
+        """Every byte the chain's tasks pulled through the shuffle,
+        TCP and local combined — exact under any slot/node placement."""
+        return self.total_shuffle_bytes_tcp + self.total_shuffle_bytes_local
+
+    @property
+    def total_shuffle_bytes_tcp(self) -> int:
         return sum(self.shuffle_bytes.values())
+
+    @property
+    def total_shuffle_bytes_local(self) -> int:
+        return sum(self.shuffle_bytes_local.values())
 
     @property
     def reclaimed_bytes(self) -> int:
@@ -384,6 +424,7 @@ class RunReport:
             "strategy": self.strategy,
             "reclaims": [[a, b] for a, b in self.reclaims],
             "shuffle_bytes": dict(self.shuffle_bytes),
+            "shuffle_bytes_local": dict(self.shuffle_bytes_local),
             "chain_id": self.chain_id,
             "wall_time": self.wall_time,
             "speculation": dict(self.speculation),
@@ -397,7 +438,9 @@ class RunReport:
             lines.append(f"{anchor:>4d}  {'reclaim':<12s}  "
                          f"{freed:>8d}B freed behind anchor")
         lines.append(f"deaths: {len(self.deaths)}   "
-                     f"shuffle: {self.total_shuffle_bytes}B   "
+                     f"shuffle: {self.total_shuffle_bytes}B "
+                     f"(tcp {self.total_shuffle_bytes_tcp}B, "
+                     f"local {self.total_shuffle_bytes_local}B)   "
                      f"checksum: {self.checksum}")
         if self.speculation.get("attempts") or self.speculation.get(
                 "pre_replicated") or self.speculation.get("throttled"):
@@ -409,6 +452,11 @@ class RunReport:
                 f"{spec.get('pre_replicated', 0)} pre-replicated, "
                 f"throttled: {spec.get('throttled', {})}")
         return "\n".join(lines)
+
+
+#: distinguishes sequential pools forked from one coordinator process in
+#: the shared-memory segment namespace
+_SHM_SEQ = itertools.count()
 
 
 class WorkerPool:
@@ -453,6 +501,11 @@ class WorkerPool:
         self._t0 = 0.0
         self._started = False
         self._shut = False
+        #: run-unique shared-memory namespace: the pool pid keys the
+        #: segment names its workers publish, so death/shutdown sweeps
+        #: can unlink by prefix without ever touching another run's
+        self._shm_run = (f"{os.getpid():x}p{next(_SHM_SEQ)}"
+                         if config.shared_memory else "")
 
     # ------------------------------------------------------------ lifecycle
     def __enter__(self) -> "WorkerPool":
@@ -507,12 +560,13 @@ class WorkerPool:
         chain = self.config.chain
         cmd_recv, cmd_send = self._ctx.Pipe(duplex=False)
         evt_recv, evt_send = self._ctx.Pipe(duplex=False)
+        options = self.config.worker_options()
+        options["shm_run"] = self._shm_run
         proc = self._ctx.Process(
             target=worker_main,
             args=(node, str(self.workdir), cmd_recv, evt_send,
                   self.config.heartbeat_interval, chain.seed,
-                  chain.records_per_node, chain.value_size,
-                  self.config.worker_options()),
+                  chain.records_per_node, chain.value_size, options),
             name=f"rcmp-worker-{node}", daemon=True)
         proc.start()
         cmd_recv.close()
@@ -552,6 +606,10 @@ class WorkerPool:
                     conn.close()
                 except OSError:
                     pass
+        if self._shm_run:
+            # whatever the workers' own cleanup missed (SIGKILLed
+            # workers never ran theirs) goes with the run's prefix
+            shm.sweep_prefix(shm.run_prefix(self._shm_run))
 
     @staticmethod
     def _reap(link: _Link) -> None:
@@ -749,6 +807,11 @@ class WorkerPool:
         link = self._links[node]
         link.closed = True
         link.proc.join(timeout=1.0)
+        if self._shm_run:
+            # a SIGKILLed worker never unlinks its published segments;
+            # sweeping its prefix here forces readers onto the TCP path
+            # (where the dead socket correctly surfaces the death)
+            shm.sweep_prefix(shm.node_prefix(self._shm_run, node))
         self.deaths.append((self.now(), node))
         self.tracer.instant("cascade", "node-death", node=node,
                             pid=link.pid)
@@ -833,6 +896,7 @@ class ChainRun:
         self.job_times: list[tuple[int, str, float]] = []
         self.reclaims: list[tuple[int, int]] = []
         self.shuffle_bytes: dict[str, int] = {}
+        self.shuffle_bytes_local: dict[str, int] = {}
         # straggler accounting: backup attempts, first-commit wins, the
         # loser attempts' discarded bytes, eager pre-replications
         self.spec_attempts = 0
@@ -967,6 +1031,7 @@ class ChainRun:
                          strategy=self.config.strategy,
                          reclaims=list(self.reclaims),
                          shuffle_bytes=dict(self.shuffle_bytes),
+                         shuffle_bytes_local=dict(self.shuffle_bytes_local),
                          chain_id=self.chain_id,
                          speculation={
                              "attempts": self.spec_attempts,
@@ -1421,7 +1486,7 @@ class ChainRun:
             kind = msg[0]
             if kind == "map-done":
                 (_, node, epoch, chain, job, task, origin, counts, pid,
-                 fetched) = msg
+                 fetched, local) = msg
                 key = ("map", job, task)
                 if (epoch != self.pool.epoch or chain != self.chain_id
                         or key not in outstanding):
@@ -1429,31 +1494,31 @@ class ChainRun:
                     # after the winner: swallow and sweep, never register
                     self._stale_duplicate(key, node, chain, fetched)
                     continue
-                self._count_shuffle(phase, fetched)
+                self._count_shuffle(phase, fetched, local)
                 self.registry.add_map(MapEntry(job, task, node, origin,
                                                counts))
             elif kind == "reduce-done":
                 (_, node, epoch, chain, job, partition, s, k, n, pid,
-                 fetched) = msg
+                 fetched, local) = msg
                 key = ("reduce", job, partition, s, k)
                 if (epoch != self.pool.epoch or chain != self.chain_id
                         or key not in outstanding):
                     self._stale_duplicate(key, node, chain, fetched)
                     continue
-                self._count_shuffle(phase, fetched)
+                self._count_shuffle(phase, fetched, local)
                 entry = PieceEntry(job, partition, s, k, node, n)
                 if on_piece is not None:
                     on_piece(entry)
                 else:
                     self.registry.add_piece(entry)
             elif kind == "replica-done":
-                _, node, epoch, chain, job, partition, s, k, pid, fetched \
-                    = msg
+                (_, node, epoch, chain, job, partition, s, k, pid,
+                 fetched, local) = msg
                 key = ("replicate", job, partition, s, k, node)
                 if (epoch != self.pool.epoch or chain != self.chain_id
                         or key not in outstanding):
                     continue
-                self._count_shuffle(phase, fetched)
+                self._count_shuffle(phase, fetched, local)
                 self.registry.add_replica(job, partition, s, k, node)
             elif kind == "dropped":
                 _, node, epoch, chain, job, task = msg
@@ -1536,11 +1601,17 @@ class ChainRun:
                 spans[key].end(**extra)
             del outstanding[key]
 
-    def _count_shuffle(self, phase: str, fetched: int) -> None:
-        """Credit one committed task's shuffle traffic to its phase."""
+    def _count_shuffle(self, phase: str, fetched: int,
+                       local: int = 0) -> None:
+        """Credit one committed task's shuffle traffic to its phase:
+        ``fetched`` crossed a loopback socket, ``local`` was resolved
+        in-process (own store / memory tier / shared-memory attach)."""
         if fetched:
             self.shuffle_bytes[phase] = (
                 self.shuffle_bytes.get(phase, 0) + fetched)
+        if local:
+            self.shuffle_bytes_local[phase] = (
+                self.shuffle_bytes_local.get(phase, 0) + local)
 
     # ----------------------------------------------------------- speculation
     def _maybe_speculate(self, outstanding: dict, backups: dict,
@@ -1880,6 +1951,10 @@ class Coordinator:
     @property
     def shuffle_bytes(self) -> dict[str, int]:
         return self.chain_run.shuffle_bytes
+
+    @property
+    def shuffle_bytes_local(self) -> dict[str, int]:
+        return self.chain_run.shuffle_bytes_local
 
     @property
     def hooks(self) -> Hooks:

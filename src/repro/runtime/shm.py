@@ -1,0 +1,202 @@
+"""Optional shared-memory handoff between colocated workers.
+
+Every worker process in this runtime lives on one host, so a shuffle
+byte crossing loopback TCP is pure overhead when the reader could map
+the writer's pages directly.  Behind the ``shared_memory`` flag each
+worker *publishes* its committed map slices and reduce pieces into
+POSIX shared-memory segments (``multiprocessing.shared_memory``) named
+deterministically from the run id, the publishing node, and the
+object's logical identity — so a fetching worker can *attach* by
+computing the same name, copy the bytes out, and skip the socket
+entirely.  A missing segment (never published, over budget, already
+unpublished, publisher dead) silently falls back to the TCP path, so
+the flag can never change *what* bytes move, only *how*.
+
+Durability is untouched: publication happens after the disk commit,
+mirrors it, and is torn down with it.  Cleanup is belt-and-braces:
+
+* the worker unpublishes segments when the corresponding outputs are
+  dropped/reclaimed/swept and on orderly stop;
+* :class:`repro.runtime.coordinator.WorkerPool` sweeps a dead worker's
+  segments by name prefix when it reaps the death (a ``SIGKILL`` gives
+  the worker no chance to clean up) and sweeps the whole run's prefix
+  at shutdown.
+
+Segments are unregistered from :mod:`multiprocessing.resource_tracker`
+immediately on create/attach — the tracker would otherwise try to
+unlink them a second time at interpreter exit (and, on Python < 3.13,
+attaching registers too) and spam leak warnings for segments this
+module already owns the lifecycle of.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from pathlib import Path
+from typing import Optional
+
+try:  # pragma: no branch
+    from multiprocessing import resource_tracker, shared_memory
+    HAVE_SHM = True
+except ImportError:  # pragma: no cover - platform without posix shm
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+    HAVE_SHM = False
+
+#: where the kernel exposes POSIX shared-memory segments (Linux); the
+#: name-prefix sweeps scan this directory
+SHM_DIR = Path("/dev/shm")
+
+
+def _unregister(name: str) -> None:
+    try:
+        resource_tracker.unregister("/" + name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker gone at shutdown
+        pass
+
+
+def run_prefix(run: str) -> str:
+    return f"rcmp{run}_"
+
+
+def node_prefix(run: str, node: int) -> str:
+    return f"rcmp{run}_n{node:03d}_"
+
+
+def segment_name(run: str, node: int, identity: tuple) -> str:
+    """The deterministic segment name for one published object.
+
+    ``identity`` is the logical coordinate of the bytes — e.g.
+    ``("map", chain, job, task, partition)`` or ``("piece", chain, job,
+    partition, split, n_splits)`` — hashed so arbitrary chain ids can
+    never exceed the POSIX name length limit.  Writer and reader derive
+    the same name independently; the name is the whole protocol."""
+    digest = hashlib.md5(repr(identity).encode()).hexdigest()[:20]
+    return node_prefix(run, node) + digest
+
+
+def attach(name: str) -> Optional[bytes]:
+    """Copy one published segment's bytes out; ``None`` if absent.
+
+    The copy is deliberate: the publisher may unlink the segment at any
+    moment (drop, reclaim, death sweep) and a returned buffer must stay
+    valid after the mapping is closed."""
+    if not HAVE_SHM:  # pragma: no cover - platform without posix shm
+        return None
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError, ValueError):
+        return None
+    _unregister(name)
+    try:
+        data = bytes(seg.buf)
+    finally:
+        seg.close()
+    return data
+
+
+def sweep_prefix(prefix: str) -> int:
+    """Unlink every segment whose name starts with ``prefix`` — the
+    coordinator-side cleanup for a SIGKILLed worker (by node prefix)
+    and for the whole run at shutdown.  Returns the number unlinked."""
+    if not HAVE_SHM or not SHM_DIR.is_dir():  # pragma: no cover
+        return 0
+    swept = 0
+    for path in SHM_DIR.glob(prefix + "*"):
+        try:
+            path.unlink()
+            swept += 1
+        except OSError:  # pragma: no cover - racing another sweep
+            pass
+    return swept
+
+
+class SegmentPublisher:
+    """The worker-side registry of its own published segments.
+
+    Publication is capped by ``budget`` bytes (the same knob as the
+    memory tier): beyond it new objects simply stay TCP-served — there
+    is no eviction, because a reader attaching mid-eviction would fall
+    back to TCP anyway and the run's lifecycle (drops, reclaims, chain
+    sweeps, shutdown) already unpublishes aggressively.  Thread-safe:
+    slot threads publish concurrently."""
+
+    def __init__(self, run: str, node: int, budget: int):
+        self.run = run
+        self.node = node
+        self.budget = int(budget)
+        self.bytes = 0
+        self.published = 0
+        self.skipped = 0
+        self._lock = threading.Lock()
+        #: identity -> (segment name, size)
+        self._segments: dict[tuple, tuple[str, int]] = {}
+
+    def publish(self, identity: tuple, data: bytes) -> bool:
+        """Expose ``data`` under ``identity``'s deterministic name.
+        Returns whether it was published (budget/platform permitting)."""
+        if not HAVE_SHM or not data:
+            return False
+        name = segment_name(self.run, self.node, identity)
+        with self._lock:
+            old = self._segments.pop(identity, None)
+            if old is not None:
+                self.bytes -= old[1]
+            if self.bytes + len(data) > self.budget:
+                self.skipped += 1
+                if old is not None:  # stale bytes must not outlive this
+                    sweep_prefix(old[0])
+                return False
+            self._segments[identity] = (name, len(data))
+            self.bytes += len(data)
+            self.published += 1
+        # recreate outside the registry lock: an overwrite (recompute,
+        # speculative duplicate) unlinks the old mapping first
+        sweep_prefix(name)
+        try:
+            seg = shared_memory.SharedMemory(name=name, create=True,
+                                             size=len(data))
+        except OSError:  # pragma: no cover - shm exhausted
+            with self._lock:
+                self._segments.pop(identity, None)
+                self.bytes -= len(data)
+                self.skipped += 1
+            return False
+        _unregister(name)
+        try:
+            seg.buf[:len(data)] = data
+        finally:
+            seg.close()
+        return True
+
+    def unpublish(self, identity: tuple) -> None:
+        with self._lock:
+            entry = self._segments.pop(identity, None)
+            if entry is None:
+                return
+            self.bytes -= entry[1]
+        sweep_prefix(entry[0])
+
+    def unpublish_where(self, predicate) -> int:
+        """Unpublish every segment whose identity satisfies
+        ``predicate`` (job drops, hybrid reclaims, chain sweeps)."""
+        with self._lock:
+            doomed = [i for i in self._segments if predicate(i)]
+            entries = []
+            for identity in doomed:
+                entry = self._segments.pop(identity)
+                self.bytes -= entry[1]
+                entries.append(entry)
+        for name, _size in entries:
+            sweep_prefix(name)
+        return len(entries)
+
+    def close(self) -> None:
+        """Unlink everything this worker published (orderly stop)."""
+        with self._lock:
+            entries = list(self._segments.values())
+            self._segments.clear()
+            self.bytes = 0
+        for name, _size in entries:
+            sweep_prefix(name)

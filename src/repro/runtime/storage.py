@@ -40,12 +40,53 @@ from typing import Iterable, Optional
 from repro.localexec.records import Record, split_of
 from repro.runtime.recovery import PARENT_STRIDE, STRIDE, PieceSignature
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the baked toolchain
+    _np = None
+
 _KEY = struct.Struct(">QI")
 
 
 # --------------------------------------------------------------- record codec
+def _encode_uniform(records: list, values: list, length: int) -> bytes:
+    """Encode a uniform-value-length batch into one preallocated output
+    buffer: the frames form an ``n x (12 + length)`` matrix, so keys,
+    the constant length field, and the value blob each land with a
+    single vectorized column write — no per-record Python bytecode on
+    the ~2M-frame batches the shuffle writes."""
+    n = len(records)
+    out = _np.empty((n, _KEY.size + length), dtype=_np.uint8)
+    keys = _np.array([rec.key for rec in records], dtype=_np.uint64)
+    out[:, :8] = keys.astype(">u8").view(_np.uint8).reshape(n, 8)
+    out[:, 8:12] = _np.frombuffer(struct.pack(">I", length), _np.uint8)
+    if length:
+        out[:, 12:] = _np.frombuffer(b"".join(values),
+                                     _np.uint8).reshape(n, length)
+    return out.tobytes()
+
+
 def encode_records(records: Iterable[Record]) -> bytes:
-    """Canonical framed encoding of a record sequence."""
+    """Canonical framed encoding of a record sequence.
+
+    The hot path: every real workload here carries uniform-size values,
+    so the frames are a fixed-stride matrix and the whole batch encodes
+    with three vectorized column writes into one preallocated buffer
+    instead of a two-entries-per-record Python list joined at the end
+    (``benchmarks/common.py::codec_bench`` measures the difference).
+    Ragged values — and keys outside the u64 range numpy can vectorize,
+    which ``pack`` rejects below anyway — take the per-record loop."""
+    records = records if isinstance(records, list) else list(records)
+    if not records:
+        return b""
+    if _np is not None:
+        values = [rec.value for rec in records]
+        lengths = list(map(len, values))
+        if min(lengths) == max(lengths):
+            try:
+                return _encode_uniform(records, values, lengths[0])
+            except OverflowError:
+                pass
     parts = []
     for rec in records:
         parts.append(_KEY.pack(rec.key, len(rec.value)))
@@ -53,14 +94,15 @@ def encode_records(records: Iterable[Record]) -> bytes:
     return b"".join(parts)
 
 
-def iter_record_frames(data: bytes):
+def iter_record_frames(data):
     """Yield ``(key, start, end)`` raw frame spans of the framed encoding.
 
     The streaming primitive behind :func:`decode_records` and
     :func:`filter_split`: walking the frames costs two struct reads per
     record and never materializes a ``Record``, which is what the shuffle
     serve path wants — it only needs keys (for split routing) and raw
-    byte spans (to forward verbatim)."""
+    byte spans (to forward verbatim).  ``data`` may be ``bytes`` or a
+    ``memoryview`` — ``unpack_from`` reads either without copying."""
     offset = 0
     size = len(data)
     while offset < size:
@@ -84,6 +126,30 @@ def decode_records(data: bytes) -> list[Record]:
     return list(iter_records(data))
 
 
+def filter_split_spans(data, split_index: int, n_splits: int
+                       ) -> list[memoryview]:
+    """The frames of ``data`` routing to ``split_index`` of a
+    ``n_splits``-way split, as zero-copy ``memoryview`` spans.
+
+    Adjacent kept frames coalesce into single spans, so the common case
+    (long runs of same-split keys) yields a short span list the serve
+    path can hand to ``socket.sendmsg`` verbatim — the filtered bytes
+    are never copied into an intermediate buffer.  The spans alias
+    ``data``: callers that outlive ``data`` must join first."""
+    mv = data if isinstance(data, memoryview) else memoryview(data)
+    if n_splits <= 1:
+        return [mv] if len(mv) else []
+    merged: list[list[int]] = []
+    for key, start, end in iter_record_frames(mv):
+        if split_of(key, n_splits) != split_index:
+            continue
+        if merged and merged[-1][1] == start:
+            merged[-1][1] = end
+        else:
+            merged.append([start, end])
+    return [mv[start:end] for start, end in merged]
+
+
 def filter_split(data: bytes, split_index: int, n_splits: int) -> bytes:
     """Keep only the frames whose key routes to ``split_index`` of a
     ``n_splits``-way reducer split.
@@ -97,18 +163,10 @@ def filter_split(data: bytes, split_index: int, n_splits: int) -> bytes:
     free repartition of ``data`` and decoding is unchanged."""
     if n_splits <= 1:
         return data
-    spans = [(start, end) for key, start, end in iter_record_frames(data)
-             if split_of(key, n_splits) == split_index]
+    spans = filter_split_spans(data, split_index, n_splits)
     if not spans:
         return b""
-    # coalesce adjacent kept frames into single slices
-    merged: list[list[int]] = []
-    for start, end in spans:
-        if merged and merged[-1][1] == start:
-            merged[-1][1] = end
-        else:
-            merged.append([start, end])
-    return b"".join(data[start:end] for start, end in merged)
+    return b"".join(spans)
 
 
 def chain_checksum(final_output: dict[int, list[Record]]) -> str:
@@ -126,6 +184,95 @@ def chain_checksum(final_output: dict[int, list[Record]]) -> str:
     return h.hexdigest()
 
 
+# ---------------------------------------------------------------- memory tier
+class MemoryTier:
+    """A write-through RAM cache over a node's on-disk outputs.
+
+    The hot tier of the M3R-style data plane: every committed map slice
+    and reduce piece is pinned in memory at commit time and served from
+    RAM on the read path (same-worker handoff, shuffle serving), while
+    the on-disk file written underneath stays the durability tier RCMP
+    recovery depends on.  Above ``budget`` bytes the least-recently-used
+    entries *spill* — which here just means eviction, because the disk
+    copy was written before the commit message, so a spilled entry is
+    re-read from its file on the next access and a ``SIGKILL`` can only
+    ever lose what the recovery planner already knows how to recompute.
+
+    Keys are absolute path strings, which makes one tier shareable
+    across a worker's chain-namespaced :class:`NodeStore` views and lets
+    directory-level invalidation (job drops, hybrid reclaims, chain
+    sweeps) evict by path prefix.  Thread-safe: task-slot threads commit
+    and read while shuffle-server threads serve."""
+
+    def __init__(self, budget: int):
+        if budget <= 0:
+            raise ValueError(f"memory tier budget must be positive, "
+                             f"got {budget}")
+        self.budget = int(budget)
+        self._lock = threading.Lock()
+        self._entries: dict[str, bytes] = {}  # insertion order = LRU order
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.spills = 0
+
+    def put(self, key: str, data: bytes) -> None:
+        """Pin ``data`` under ``key``, evicting LRU entries over budget.
+
+        An object larger than the whole budget is not admitted — it
+        would only evict everything else to be evicted itself next."""
+        if len(data) > self.budget:
+            with self._lock:
+                old = self._entries.pop(key, None)
+                if old is not None:
+                    self.bytes -= len(old)
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.bytes -= len(old)
+            self._entries[key] = data
+            self.bytes += len(data)
+            while self.bytes > self.budget:
+                evicted_key = next(iter(self._entries))
+                self.bytes -= len(self._entries.pop(evicted_key))
+                self.spills += 1
+
+    def get(self, key: str) -> Optional[bytes]:
+        with self._lock:
+            data = self._entries.get(key)
+            if data is None:
+                self.misses += 1
+                return None
+            # refresh recency: move to the tail of the insertion order
+            del self._entries[key]
+            self._entries[key] = data
+            self.hits += 1
+            return data
+
+    def invalidate(self, key: str) -> None:
+        with self._lock:
+            data = self._entries.pop(key, None)
+            if data is not None:
+                self.bytes -= len(data)
+
+    def invalidate_prefix(self, prefix: str) -> int:
+        """Evict every entry whose key starts with ``prefix`` (a
+        directory subtree being dropped/reclaimed/swept).  Returns the
+        number of entries evicted."""
+        with self._lock:
+            doomed = [k for k in self._entries if k.startswith(prefix)]
+            for key in doomed:
+                self.bytes -= len(self._entries.pop(key))
+            return len(doomed)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"budget": self.budget, "bytes": self.bytes,
+                    "entries": len(self._entries), "hits": self.hits,
+                    "misses": self.misses, "spills": self.spills}
+
+
 # ----------------------------------------------------------------- node store
 class NodeStore:
     """One node's single-replica on-disk storage.
@@ -138,10 +285,12 @@ class NodeStore:
     ``(job, task)`` or ``(job, partition, split)`` path."""
 
     def __init__(self, root: str | Path, node: int,
-                 chain: Optional[str] = None):
+                 chain: Optional[str] = None,
+                 memory: Optional[MemoryTier] = None):
         self.node = node
         self.root = Path(root)
         self.chain = chain
+        self.memory = memory
         self.dir = self.root / f"node{node:03d}"
         if chain is not None:
             self.dir = self.dir / "chains" / str(chain)
@@ -149,10 +298,12 @@ class NodeStore:
     def for_chain(self, chain: Optional[str]) -> "NodeStore":
         """The same node's store under ``chain``'s namespace (``self``
         when the chain id already matches — the common single-chain
-        case pays nothing)."""
+        case pays nothing).  The memory tier is shared across namespace
+        views: keys are absolute paths, so entries can never collide."""
         if chain == self.chain:
             return self
-        return NodeStore(self.root, self.node, chain=chain)
+        return NodeStore(self.root, self.node, chain=chain,
+                         memory=self.memory)
 
     # -- paths ----------------------------------------------------------
     def map_dir(self, job: int, task_id: int) -> Path:
@@ -178,7 +329,26 @@ class NodeStore:
             path.suffix + f".{os.getpid()}-{threading.get_ident()}.tmp")
         with open(tmp, "wb") as fh:
             fh.write(data)
+            fh.flush()
+            # the disk tier is the durability story recovery depends on:
+            # fsync before the rename so the committed name can never
+            # point at data the page cache lost in a host crash
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
+        # The one tolerated crash window: dying *between* the write and
+        # the rename leaves a stale ``*.tmp`` the committed name never
+        # points at — the commit message is only sent after the rename,
+        # so the coordinator treats the task as never-completed and
+        # recomputes it; the orphan tmp is swept with its job directory.
+
+    def _commit(self, path: Path, data: bytes) -> None:
+        """Write-through commit: durable file first, then pin the bytes
+        hot in the memory tier (commit order matters — a reader must
+        never see a memory entry whose disk copy could still be lost to
+        a ``SIGKILL``)."""
+        self._write_atomic(path, data)
+        if self.memory is not None:
+            self.memory.put(str(path), data)
 
     def write_map_output(self, job: int, task_id: int,
                          origin: Optional[tuple[int, int]],
@@ -187,8 +357,8 @@ class NodeStore:
         per-partition record counts (the commit message payload)."""
         counts = {}
         for partition, records in slices.items():
-            self._write_atomic(self.map_slice_path(job, task_id, partition),
-                               encode_records(records))
+            self._commit(self.map_slice_path(job, task_id, partition),
+                         encode_records(records))
             counts[partition] = len(records)
         meta = {"task_id": task_id, "origin": origin, "counts": counts}
         self._write_atomic(self.map_dir(job, task_id) / "meta.json",
@@ -197,9 +367,8 @@ class NodeStore:
 
     def write_piece(self, job: int, partition: int, split_index: int,
                     n_splits: int, records: list[Record]) -> int:
-        self._write_atomic(self.piece_path(job, partition, split_index,
-                                           n_splits),
-                           encode_records(records))
+        self._commit(self.piece_path(job, partition, split_index, n_splits),
+                     encode_records(records))
         return len(records)
 
     def write_piece_bytes(self, job: int, partition: int, split_index: int,
@@ -207,27 +376,44 @@ class NodeStore:
         """Persist an already-encoded piece verbatim (replica writes: the
         bytes arrive over the shuffle transport from the primary holder
         and must land byte-identical, behind the same atomic rename)."""
-        self._write_atomic(self.piece_path(job, partition, split_index,
-                                           n_splits), data)
+        self._commit(self.piece_path(job, partition, split_index, n_splits),
+                     data)
 
     # -- reads ----------------------------------------------------------
     def read_map_slice(self, job: int, task_id: int, partition: int) -> bytes:
         """A mapper's slice for one partition (empty when the mapper
         produced no record for it)."""
+        path = self.map_slice_path(job, task_id, partition)
+        if self.memory is not None:
+            data = self.memory.get(str(path))
+            if data is not None:
+                return data
         try:
-            return self.map_slice_path(job, task_id, partition).read_bytes()
+            data = path.read_bytes()
         except FileNotFoundError:
             return b""
+        if self.memory is not None:  # spilled entry reloads on access
+            self.memory.put(str(path), data)
+        return data
 
     def read_piece(self, job: int, partition: int, split_index: int,
                    n_splits: int) -> bytes:
-        return self.piece_path(job, partition, split_index,
-                               n_splits).read_bytes()
+        path = self.piece_path(job, partition, split_index, n_splits)
+        if self.memory is not None:
+            data = self.memory.get(str(path))
+            if data is not None:
+                return data
+        data = path.read_bytes()
+        if self.memory is not None:
+            self.memory.put(str(path), data)
+        return data
 
     # -- invalidation ---------------------------------------------------
     def drop_map_output(self, job: int, task_id: int) -> None:
         """Delete one persisted map output (the Fig. 5 guard)."""
         directory = self.map_dir(job, task_id)
+        if self.memory is not None:
+            self.memory.invalidate_prefix(str(directory))
         if not directory.is_dir():
             return
         for path in directory.iterdir():
@@ -241,6 +427,8 @@ class NodeStore:
         the registry references).  Returns the bytes freed; missing file
         (the loser never wrote, or was already swept) frees nothing."""
         path = self.piece_path(job, partition, split_index, n_splits)
+        if self.memory is not None:
+            self.memory.invalidate(str(path))
         try:
             freed = path.stat().st_size
         except OSError:
@@ -248,10 +436,13 @@ class NodeStore:
         path.unlink(missing_ok=True)
         return freed
 
-    @staticmethod
-    def _rm_tree(directory: Path) -> int:
+    def _rm_tree(self, directory: Path) -> int:
         """Delete a job subtree bottom-up with real ``os.unlink``s;
-        returns the bytes freed."""
+        returns the bytes freed.  The memory tier drops the subtree's
+        entries first so a concurrent reader can never be served bytes
+        whose backing files are gone."""
+        if self.memory is not None:
+            self.memory.invalidate_prefix(str(directory))
         freed = 0
         if not directory.is_dir():
             return 0

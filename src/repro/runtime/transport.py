@@ -48,7 +48,7 @@ import threading
 import time
 from typing import TYPE_CHECKING, Optional
 
-from repro.runtime.storage import filter_split
+from repro.runtime.storage import filter_split_spans
 
 if TYPE_CHECKING:  # pragma: no cover
     from multiprocessing.connection import Connection
@@ -56,6 +56,10 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.storage import NodeStore
 
 _LEN = struct.Struct(">Q")
+
+#: max buffers per ``sendmsg`` call — comfortably under every platform's
+#: ``IOV_MAX`` (POSIX guarantees >= 16, Linux allows 1024)
+_IOV_MAX = 512
 
 #: errors that mean "the other side of this channel is gone"
 CHANNEL_DOWN = (EOFError, OSError, BrokenPipeError, ConnectionError,
@@ -138,8 +142,16 @@ def _recv_exact(sock: socket.socket, size: int) -> bytes:
     return b"".join(chunks)
 
 
-def serve_request(store: "NodeStore", request: dict) -> bytes:
-    """Resolve one shuffle request against the node's local files.
+def serve_request_spans(store: "NodeStore", request: dict) -> list:
+    """Resolve one shuffle request into a list of raw byte spans.
+
+    The zero-copy serve primitive: spans are the stored buffers
+    themselves (``bytes`` straight from the memory tier or disk read)
+    or ``memoryview`` slices of them (split filtering), never an
+    intermediate concatenation — the server hands the list to
+    ``socket.sendmsg`` and the kernel gathers it onto the wire.
+    ``b"".join`` of the spans is the classic contiguous payload
+    (:func:`serve_request`).
 
     ``maps`` is the bulk-shuffle request: every requested map task's
     slice for one partition in a single response (frame concatenation is
@@ -162,14 +174,54 @@ def serve_request(store: "NodeStore", request: dict) -> bytes:
                                        request["partition"])
                   for task in request["tasks"])
         if split is None:
-            return b"".join(slices)
+            return [data for data in slices if data]
         n_splits = request["n_splits"]
-        return b"".join(filter_split(data, split, n_splits)
-                        for data in slices)
+        spans: list = []
+        for data in slices:
+            spans.extend(filter_split_spans(data, split, n_splits))
+        return spans
     if kind == "piece":
-        return store.read_piece(request["job"], request["partition"],
-                                request["split"], request["n_splits"])
+        return [store.read_piece(request["job"], request["partition"],
+                                 request["split"], request["n_splits"])]
     raise ValueError(f"unknown shuffle request kind {kind!r}")
+
+
+def serve_request(store: "NodeStore", request: dict) -> bytes:
+    """Resolve one shuffle request into one contiguous payload (the
+    span list of :func:`serve_request_spans`, joined).  The local
+    same-worker handoff path uses this directly — the single-span case
+    (a piece fetch hitting the memory tier) returns the resident buffer
+    without any copy at all."""
+    spans = serve_request_spans(store, request)
+    if not spans:
+        return b""
+    if len(spans) == 1:
+        only = spans[0]
+        return only.tobytes() if isinstance(only, memoryview) else only
+    return b"".join(spans)
+
+
+def _sendall_spans(sock: socket.socket, spans: list) -> None:
+    """Send every span with scatter-gather ``sendmsg`` — no join, no
+    intermediate copy.  Handles partial sends (a blocking socket under
+    a timeout may write fewer bytes than offered) by trimming the
+    partially-sent buffer and continuing."""
+    bufs = [memoryview(s) for s in spans if len(s)]
+    if not hasattr(sock, "sendmsg"):  # pragma: no cover - non-POSIX
+        for buf in bufs:
+            sock.sendall(buf)
+        return
+    i = 0
+    while i < len(bufs):
+        sent = sock.sendmsg(bufs[i:i + _IOV_MAX])
+        while sent:
+            head = bufs[i]
+            if sent >= len(head):
+                sent -= len(head)
+                i += 1
+            else:
+                bufs[i] = head[sent:]
+                sent = 0
 
 
 class ShuffleServer:
@@ -215,10 +267,11 @@ class ShuffleServer:
                     size = _LEN.unpack(_recv_exact(conn, _LEN.size))[0]
                     request = pickle.loads(_recv_exact(conn, size))
                     started = time.perf_counter()
-                    payload = serve_request(self.store, request)
+                    spans = serve_request_spans(self.store, request)
                     if self.throttle is not None:
                         self.throttle.pace(time.perf_counter() - started)
-                    conn.sendall(_LEN.pack(len(payload)) + payload)
+                    total = sum(len(s) for s in spans)
+                    _sendall_spans(conn, [_LEN.pack(total), *spans])
         except (OSError, ConnectionError, ValueError, pickle.PickleError):
             pass  # peer closed / idle timeout / bad frame: connection done
         finally:
@@ -303,14 +356,24 @@ class PeerPool:
     spent, so the coordinator's failure path sees identical timing.
 
     ``persistent=False`` degrades to connection-per-request (the
-    pre-pipelining data plane; kept for A/B benchmarking)."""
+    pre-pipelining data plane; kept for A/B benchmarking).
+
+    ``local_port``/``local_store`` arm the same-worker handoff: a fetch
+    addressed to the worker's *own* shuffle port resolves straight from
+    the local store (memory tier first) instead of opening a loopback
+    socket to itself — the data never leaves the process."""
 
     def __init__(self, timeout: float = 5.0, retries: int = 3,
-                 backoff: float = 0.05, persistent: bool = True):
+                 backoff: float = 0.05, persistent: bool = True,
+                 local_port: Optional[int] = None,
+                 local_store: Optional["NodeStore"] = None):
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
         self.persistent = persistent
+        self.local_port = local_port
+        self.local_store = local_store
+        self.local_bytes = 0  # informational; exact counts live per-task
         self._lock = threading.Lock()
         self._peers: dict[int, _Peer] = {}
 
@@ -338,6 +401,10 @@ class PeerPool:
         request/response exchange — never across a backoff sleep, so
         concurrent tasks retrying against a dead peer back off in
         parallel instead of queueing each other's full retry budgets."""
+        if port == self.local_port and self.local_store is not None:
+            data = serve_request(self.local_store, request)
+            self.local_bytes += len(data)
+            return data
         payload = pickle.dumps(request)
         peer = self._peer(port)
         last: Optional[Exception] = None

@@ -45,8 +45,14 @@ from repro.localexec.records import (
     partition_of,
     reduce_udf,
 )
-from repro.runtime import transport
-from repro.runtime.storage import NodeStore, filter_split, iter_records
+from repro.runtime import shm, transport
+from repro.runtime.storage import (
+    MemoryTier,
+    NodeStore,
+    encode_records,
+    filter_split,
+    iter_records,
+)
 
 #: multiprocessing.Process target — keep the signature pickle-friendly
 #: so a spawn start method works where fork is unavailable.
@@ -59,6 +65,9 @@ DEFAULT_OPTIONS = {
     "server_timeout": 30.0,
     "server_split_filter": True,
     "persistent_connections": True,
+    "memory_budget": 64 << 20,  # hot-tier bytes per worker; 0 disables
+    "shared_memory": False,
+    "shm_run": "",  # run-unique segment namespace, set by WorkerPool
 }
 
 
@@ -68,7 +77,9 @@ def worker_main(node: int, root: str, cmd_conn, evt_conn,
                 options: Optional[dict] = None) -> None:
     opts = dict(DEFAULT_OPTIONS)
     opts.update(options or {})
-    store = NodeStore(root, node)
+    budget = int(opts["memory_budget"])
+    memory = MemoryTier(budget) if budget > 0 else None
+    store = NodeStore(root, node, memory=memory)
     evt = transport.LockedConnection(evt_conn)
     # one throttle shared by the task slots and the shuffle server: a
     # "slow" fault paces both, while the heartbeat thread keeps beating
@@ -78,7 +89,7 @@ def worker_main(node: int, root: str, cmd_conn, evt_conn,
     transport.start_heartbeat(evt, node, heartbeat_interval)
     evt.send(("ready", node, server.port, os.getpid()))
     worker = _Worker(node, store, evt, seed, records_per_node, value_size,
-                     opts, throttle=throttle)
+                     opts, throttle=throttle, server_port=server.port)
     try:
         while True:
             try:
@@ -131,7 +142,8 @@ class _Worker:
                  evt: transport.LockedConnection, seed: int,
                  records_per_node: int, value_size: int,
                  options: Optional[dict] = None,
-                 throttle: Optional[transport.Throttle] = None):
+                 throttle: Optional[transport.Throttle] = None,
+                 server_port: Optional[int] = None):
         opts = dict(DEFAULT_OPTIONS)
         opts.update(options or {})
         self.node = node
@@ -150,9 +162,19 @@ class _Worker:
         self._stores: dict = {None: store, store.chain: store}
         self.fetch_parallelism = max(1, int(opts["fetch_parallelism"]))
         self.server_split_filter = bool(opts["server_split_filter"])
+        self.server_port = server_port
+        # a fetch addressed to our own shuffle port short-circuits to the
+        # local store (belt-and-braces: task paths also check explicitly
+        # so the bytes are attributed to the local counter per task)
         self.pool = transport.PeerPool(
             timeout=opts["fetch_timeout"],
-            persistent=opts["persistent_connections"])
+            persistent=opts["persistent_connections"],
+            local_port=server_port, local_store=store)
+        self.shm_run = str(opts["shm_run"])
+        self._shm: Optional[shm.SegmentPublisher] = None
+        if opts["shared_memory"] and shm.HAVE_SHM and self.shm_run:
+            budget = int(opts["memory_budget"]) or (64 << 20)
+            self._shm = shm.SegmentPublisher(self.shm_run, node, budget)
         # one long-lived fetcher pool shared by every task slot — a
         # per-call thread spawn would cost more than the overlap buys
         self._fetchers = (ThreadPoolExecutor(
@@ -171,6 +193,8 @@ class _Worker:
         if self._fetchers is not None:
             self._fetchers.shutdown(wait=False)
         self.pool.close()
+        if self._shm is not None:
+            self._shm.close()
 
     # -- command routing -------------------------------------------------
     def dispatch(self, cmd: dict) -> None:
@@ -218,9 +242,13 @@ class _Worker:
             # registered.  Fire-and-forget — the chain is already closed,
             # so there is no event stream left to report on, and a
             # filesystem race must not take down the command loop.
+            swept_chain, keep = cmd["chain"], set(cmd.get("keep", ()))
+            if self._shm is not None:
+                self._shm.unpublish_where(
+                    lambda i: i[1] == swept_chain
+                    and not (i[0] == "piece" and i[2] in keep))
             try:
-                self.store.for_chain(cmd["chain"]).sweep_chain(
-                    cmd.get("keep", ()))
+                self.store.for_chain(swept_chain).sweep_chain(keep)
             except OSError:
                 pass
             return
@@ -243,17 +271,26 @@ class _Worker:
             elif op == "replicate":
                 self._replicate(cmd, chain, store)
             elif op == "drop":
+                self._unpublish(lambda i: i[0] == "map" and i[1] == chain
+                                and i[2] == cmd["job"]
+                                and i[3] == cmd["task"])
                 store.drop_map_output(cmd["job"], cmd["task"])
                 self.evt.send(("dropped", self.node, cmd["epoch"], chain,
                                cmd["job"], cmd["task"]))
             elif op == "drop-piece":
                 # sweep one losing speculative attempt's reduce output
+                if self._shm is not None:
+                    self._shm.unpublish(("piece", chain, cmd["job"],
+                                         cmd["partition"], cmd["split"],
+                                         cmd["n_splits"]))
                 freed = store.drop_piece(cmd["job"], cmd["partition"],
                                          cmd["split"], cmd["n_splits"])
                 self.evt.send(("piece-dropped", self.node, cmd["epoch"],
                                chain, cmd["job"], cmd["partition"],
                                cmd["split"], cmd["n_splits"], freed))
             elif op == "drop-job":
+                self._unpublish(lambda i: i[1] == chain
+                                and i[2] == cmd["job"])
                 freed = store.drop_job(cmd["job"])
                 self.evt.send(("job-dropped", self.node, cmd["epoch"],
                                chain, cmd["job"], freed))
@@ -261,11 +298,20 @@ class _Worker:
                 if "map_jobs" in cmd:
                     # set-based form: the shielded DAG cut behind the
                     # anchor frontier (need not be an index prefix)
-                    freed = store.reclaim_job_sets(cmd["map_jobs"],
-                                                   cmd["piece_jobs"])
+                    map_jobs = set(cmd["map_jobs"])
+                    piece_jobs = set(cmd["piece_jobs"])
+                    self._unpublish(
+                        lambda i: i[1] == chain
+                        and ((i[0] == "map" and i[2] in map_jobs)
+                             or (i[0] == "piece" and i[2] in piece_jobs)))
+                    freed = store.reclaim_job_sets(map_jobs, piece_jobs)
                 else:
-                    freed = store.reclaim_jobs(cmd["map_upto"],
-                                               cmd["piece_upto"])
+                    map_upto, piece_upto = cmd["map_upto"], cmd["piece_upto"]
+                    self._unpublish(
+                        lambda i: i[1] == chain
+                        and ((i[0] == "map" and i[2] <= map_upto)
+                             or (i[0] == "piece" and i[2] <= piece_upto)))
+                    freed = store.reclaim_jobs(map_upto, piece_upto)
                 self.evt.send(("reclaimed", self.node, cmd["epoch"],
                                chain, cmd["anchor"], freed))
             else:
@@ -290,6 +336,22 @@ class _Worker:
             store = self._stores[chain] = self.store.for_chain(chain)
         return store
 
+    # -- shared-memory handoff -------------------------------------------
+    def _unpublish(self, predicate) -> None:
+        if self._shm is not None:
+            self._shm.unpublish_where(predicate)
+
+    def _publish(self, identity: tuple, data: bytes) -> None:
+        if self._shm is not None:
+            self._shm.publish(identity, data)
+
+    def _attach(self, node: int, identity: tuple) -> Optional[bytes]:
+        """Try the colocated peer's published segment before its socket
+        (``None`` = not published; fall back to TCP)."""
+        if self._shm is None:
+            return None
+        return shm.attach(shm.segment_name(self.shm_run, node, identity))
+
     # -- input ----------------------------------------------------------
     def _node_input(self, chain, node: int) -> list[Record]:
         """Any worker can regenerate any node's chain input: the input is
@@ -311,31 +373,41 @@ class _Worker:
             return records
 
     def _block_records(self, cmd: dict, chain, store: NodeStore,
-                       ports: dict[int, int]) -> tuple[list[Record], int]:
+                       ports: dict[int, int]
+                       ) -> tuple[list[Record], int, int]:
         """Resolve one map-input block; returns ``(records, bytes fetched
-        over the shuffle)``."""
+        over TCP, bytes resolved locally)`` — local meaning the node's
+        own store (memory tier first) or a colocated peer's published
+        shared-memory segment, never a socket."""
         source = cmd["source"]
         if source[0] == "input":
             _, node, start, count = source
-            return self._node_input(chain, node)[start:start + count], 0
+            return self._node_input(chain, node)[start:start + count], 0, 0
         (_, job, partition, split_index, n_splits, node, start,
          count) = source[:8]
         # a 9th element names the namespace the piece lives in — a donor
         # chain for cache-adopted pieces (8-tuples: the task's own chain)
         src_chain = source[8] if len(source) > 8 else None
+        piece_chain = src_chain if src_chain is not None else chain
+        fetched = local = 0
         if node == self.node:
             read_store = store if src_chain is None \
                 else self._store(src_chain)
             data = read_store.read_piece(job, partition, split_index,
                                          n_splits)
-            fetched = 0
+            local = len(data)
         else:
-            data = self.pool.fetch_piece(
-                ports[node], job, partition, split_index, n_splits,
-                chain=src_chain if src_chain is not None else chain)
-            fetched = len(data)
+            data = self._attach(node, ("piece", piece_chain, job,
+                                       partition, split_index, n_splits))
+            if data is not None:
+                local = len(data)
+            else:
+                data = self.pool.fetch_piece(
+                    ports[node], job, partition, split_index, n_splits,
+                    chain=piece_chain)
+                fetched = len(data)
         records = list(iter_records(data))
-        return records[start:start + count], fetched
+        return records[start:start + count], fetched, local
 
     @staticmethod
     def _cmd_ports(cmd: dict, cached: dict[int, int]) -> dict[int, int]:
@@ -385,7 +457,8 @@ class _Worker:
         started = time.perf_counter()
         ports = self._cmd_ports(cmd, self._ports)
         job, task_id = cmd["job"], cmd["task"]
-        records, fetched = self._block_records(cmd, chain, store, ports)
+        records, fetched, local = self._block_records(cmd, chain, store,
+                                                      ports)
         slices: dict[int, list[Record]] = {}
         for record in records:
             out = map_udf(record, job)
@@ -393,12 +466,17 @@ class _Worker:
                 partition_of(out.key, cmd["n_partitions"]), []).append(out)
         counts = store.write_map_output(job, task_id, cmd["origin"],
                                         slices)
+        if self._shm is not None:
+            for partition in counts:
+                self._publish(
+                    ("map", chain, job, task_id, partition),
+                    store.read_map_slice(job, task_id, partition))
         # the throttle stretches the task *before* its commit event, so
         # a slow node's commits land at 1/factor speed, not just its slot
         self.throttle.pace(time.perf_counter() - started)
         self.evt.send(("map-done", self.node, cmd["epoch"], chain, job,
                        task_id, cmd["origin"], counts, os.getpid(),
-                       fetched))
+                       fetched, local))
 
     def _reduce(self, cmd: dict, chain, store: NodeStore) -> None:
         started = time.perf_counter()
@@ -417,11 +495,30 @@ class _Worker:
             for record in iter_records(data):
                 groups.setdefault(record.key, []).append(record.value)
 
+        # local bytes mirror what the TCP path would have shipped for
+        # the same slices (filtered when server-side filtering is on),
+        # so tcp + local is comparable across slot/node placements
+        local = 0
         requests = []
         for node, tasks in sorted(by_node.items()):
             if node == self.node:
                 continue
-            request = {"kind": "maps", "job": job, "tasks": tasks,
+            remaining = tasks
+            if self._shm is not None:  # colocated segments beat sockets
+                remaining = []
+                for task_id in tasks:
+                    data = self._attach(
+                        node, ("map", chain, job, task_id, partition))
+                    if data is None:
+                        remaining.append(task_id)
+                        continue
+                    if server_filter:
+                        data = filter_split(data, split_index, n_splits)
+                    local += len(data)
+                    merge(node, data, filtered=server_filter)
+                if not remaining:
+                    continue
+            request = {"kind": "maps", "job": job, "tasks": remaining,
                        "partition": partition}
             if chain is not None:
                 request["chain"] = chain
@@ -433,18 +530,26 @@ class _Worker:
             requests, ports,
             lambda node, data: merge(node, data, filtered=server_filter))
         if self.node in by_node:  # local slices never touch the network
-            local = b"".join(
+            own = b"".join(
                 store.read_map_slice(job, task_id, partition)
                 for task_id in by_node[self.node])
-            merge(self.node, local, filtered=False)
+            if server_filter:
+                own = filter_split(own, split_index, n_splits)
+            local += len(own)
+            merge(self.node, own, filtered=server_filter)
         records = [reduce_udf(key, values)
                    for key, values in sorted(groups.items())]
         n_records = store.write_piece(job, partition, split_index,
                                       n_splits, records)
+        if self._shm is not None:
+            self._publish(("piece", chain, job, partition, split_index,
+                           n_splits),
+                          store.read_piece(job, partition, split_index,
+                                           n_splits))
         self.throttle.pace(time.perf_counter() - started)
         self.evt.send(("reduce-done", self.node, cmd["epoch"], chain, job,
                        partition, split_index, n_splits, n_records,
-                       os.getpid(), fetched))
+                       os.getpid(), fetched, local))
 
     def _replicate(self, cmd: dict, chain, store: NodeStore) -> None:
         """Copy one stored piece from its primary holder to this node's
@@ -463,15 +568,27 @@ class _Worker:
         # an adopted piece's primary lives in a donor chain's namespace;
         # the copy is always committed into this chain's own
         src_chain = cmd.get("source_chain")
-        data = self.pool.fetch_piece(
-            ports[source], job, partition, split_index, n_splits,
-            chain=src_chain if src_chain is not None else chain)
+        piece_chain = src_chain if src_chain is not None else chain
+        fetched = local = 0
+        data = self._attach(source, ("piece", piece_chain, job, partition,
+                                     split_index, n_splits))
+        if data is not None:
+            local = len(data)
+        else:
+            data = self.pool.fetch_piece(
+                ports[source], job, partition, split_index, n_splits,
+                chain=piece_chain)
+            fetched = len(data)
         store.write_piece_bytes(job, partition, split_index, n_splits,
                                 data)
+        # the replica copy is itself attachable: after a promotion this
+        # node serves the piece, so publish under our own name
+        self._publish(("piece", chain, job, partition, split_index,
+                       n_splits), data)
         self.throttle.pace(time.perf_counter() - started)
         self.evt.send(("replica-done", self.node, cmd["epoch"], chain,
                        job, partition, split_index, n_splits, os.getpid(),
-                       len(data)))
+                       fetched, local))
 
 
 def _task_key(cmd: dict) -> Optional[tuple]:

@@ -94,7 +94,8 @@ def run_process_chain(tmp_path, chain=CHAIN, n_nodes=4, hooks=None,
                       "startup_timeout", "speculation",
                       "speculation_slowdown", "speculation_min_age",
                       "pre_replicate", "suspect_window", "suspect_ratio",
-                      "suspect_min_commits")
+                      "suspect_min_commits", "memory_budget",
+                      "shared_memory")
                      if k in kwargs}
     config = RuntimeConfig(n_nodes=n_nodes, chain=chain, **config_kwargs)
     with Coordinator(config, tmp_path / "cluster", tracer=tracer,
